@@ -1,0 +1,41 @@
+# Developer entry points; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz experiments examples cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/vodserver/ ./internal/vodclient/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fuzz:
+	$(GO) test ./internal/wire/ -fuzz='^FuzzReadFrame$$' -fuzztime=30s
+	$(GO) test ./internal/core/ -fuzz='^FuzzSchedulerInvariants$$' -fuzztime=30s
+
+experiments:
+	@for e in fig7 fig8 fig9 ablation peaks vbrplan clientcap reactive dsb models ci wait capacity storage buffer; do \
+		echo "== $$e =="; $(GO) run ./cmd/vodsim -experiment $$e -full; echo; \
+	done
+
+examples:
+	@for e in quickstart comparison vbr multivideo network flashcrowd; do \
+		echo "== $$e =="; $(GO) run ./examples/$$e; echo; \
+	done
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

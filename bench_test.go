@@ -1,0 +1,334 @@
+// Benchmarks regenerating the paper's evaluation, one per figure, plus the
+// ablations DESIGN.md calls out and microbenchmarks of the scheduling hot
+// path (the "cost of scheduling segments on the fly" Section 3 discusses).
+//
+// The figure benchmarks report the headline quantity of each figure via
+// b.ReportMetric, so `go test -bench=.` doubles as a one-screen summary of
+// the reproduction:
+//
+//	BenchmarkFig7AverageBandwidth   dhb-streams / npb-streams / tap-streams
+//	BenchmarkFig8MaximumBandwidth   dhb-max / npb-max
+//	BenchmarkFig9CompressedVideo    a-MB/s .. d-MB/s
+//	BenchmarkAblationDynamicPagoda  dnpb-streams
+//	BenchmarkAblationNaivePeak      naive-max / dhb-max
+package vodcast_test
+
+import (
+	"testing"
+
+	"vodcast"
+)
+
+// benchSweepConfig is a single-rate sweep small enough to iterate.
+func benchSweepConfig(rate float64) vodcast.SweepConfig {
+	cfg := vodcast.QuickSweepConfig()
+	cfg.Rates = []float64{rate}
+	cfg.TargetRequests = 1000
+	cfg.MinHours = 20
+	cfg.MaxHours = 100
+	return cfg
+}
+
+// BenchmarkFig7AverageBandwidth regenerates Figure 7's saturated operating
+// point (high request rate), where the paper's key claim lives: DHB's
+// average bandwidth stays below NPB's flat stream count.
+func BenchmarkFig7AverageBandwidth(b *testing.B) {
+	var last vodcast.SweepRow
+	for i := 0; i < b.N; i++ {
+		rows, err := vodcast.Sweep(benchSweepConfig(500))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[0]
+	}
+	b.ReportMetric(last.DHBAvg, "dhb-streams")
+	b.ReportMetric(last.UDAvg, "ud-streams")
+	b.ReportMetric(last.TappingAvg, "tap-streams")
+	b.ReportMetric(last.NPB, "npb-streams")
+}
+
+// BenchmarkFig7LowRate covers the other end of Figure 7, where reactive
+// protocols are competitive.
+func BenchmarkFig7LowRate(b *testing.B) {
+	var last vodcast.SweepRow
+	for i := 0; i < b.N; i++ {
+		rows, err := vodcast.Sweep(benchSweepConfig(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[0]
+	}
+	b.ReportMetric(last.DHBAvg, "dhb-streams")
+	b.ReportMetric(last.TappingAvg, "tap-streams")
+}
+
+// BenchmarkFig8MaximumBandwidth regenerates Figure 8: the peak bandwidths of
+// UD, DHB and NPB, with DHB's peak at most two streams above NPB's.
+func BenchmarkFig8MaximumBandwidth(b *testing.B) {
+	var last vodcast.SweepRow
+	for i := 0; i < b.N; i++ {
+		rows, err := vodcast.Sweep(benchSweepConfig(500))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[0]
+	}
+	b.ReportMetric(last.DHBMax, "dhb-max")
+	b.ReportMetric(last.UDMax, "ud-max")
+	b.ReportMetric(last.NPB, "npb-max")
+}
+
+// BenchmarkFig9CompressedVideo regenerates Figure 9's saturated operating
+// point: the bandwidth of the four DHB plans for the VBR movie, in MB/s.
+func BenchmarkFig9CompressedVideo(b *testing.B) {
+	cfg := vodcast.QuickVBRSweepConfig()
+	cfg.Rates = []float64{500}
+	cfg.TargetRequests = 1000
+	cfg.MinHours = 20
+	cfg.MaxHours = 100
+	var last vodcast.Fig9Row
+	for i := 0; i < b.N; i++ {
+		rows, _, err := vodcast.Fig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[0]
+	}
+	b.ReportMetric(last.UD, "ud-MB/s")
+	b.ReportMetric(last.DHBA, "a-MB/s")
+	b.ReportMetric(last.DHBB, "b-MB/s")
+	b.ReportMetric(last.DHBC, "c-MB/s")
+	b.ReportMetric(last.DHBD, "d-MB/s")
+}
+
+// BenchmarkAblationDynamicPagoda regenerates Section 3's abandoned design:
+// the dynamic pagoda protocol the authors tried before DHB.
+func BenchmarkAblationDynamicPagoda(b *testing.B) {
+	cfg := benchSweepConfig(500)
+	cfg.IncludeAblation = true
+	var last vodcast.SweepRow
+	for i := 0; i < b.N; i++ {
+		rows, err := vodcast.Sweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[0]
+	}
+	b.ReportMetric(last.DNPBAvg, "dnpb-streams")
+	b.ReportMetric(last.DHBAvg, "dhb-streams")
+}
+
+// BenchmarkAblationNaivePeak regenerates Section 3's motivation for the
+// heuristic: latest-slot scheduling piles transmissions into common slots.
+func BenchmarkAblationNaivePeak(b *testing.B) {
+	var last vodcast.PeaksResult
+	for i := 0; i < b.N; i++ {
+		res, err := vodcast.Peaks(120, 10000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.NaiveMax), "naive-max")
+	b.ReportMetric(float64(last.HeuristicMax), "dhb-max")
+}
+
+// BenchmarkDHBAdmitSaturated measures the per-request scheduling cost at
+// high load, where most segments are already scheduled and admission is a
+// single pass over the period vector.
+func BenchmarkDHBAdmitSaturated(b *testing.B) {
+	dhb, err := vodcast.NewDHB(vodcast.DHBConfig{Segments: 99})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dhb.Admit()
+		dhb.AdvanceSlot()
+	}
+}
+
+// BenchmarkDHBAdmitIdle measures the worst case: every request arrives into
+// an idle system and schedules all 99 segments through the min-load scan.
+func BenchmarkDHBAdmitIdle(b *testing.B) {
+	dhb, err := vodcast.NewDHB(vodcast.DHBConfig{Segments: 99})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dhb.Admit()
+		// Drain the horizon so the next admission hits an idle schedule.
+		for k := 0; k < 99; k++ {
+			dhb.AdvanceSlot()
+		}
+	}
+}
+
+// BenchmarkUDAdmit measures the universal distribution protocol's admission.
+func BenchmarkUDAdmit(b *testing.B) {
+	ud, err := vodcast.NewUD(99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ud.Admit()
+		ud.AdvanceSlot()
+	}
+}
+
+// BenchmarkPagodaConstruct measures building the 99-segment pagoda mapping.
+func BenchmarkPagodaConstruct(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := vodcast.Pagoda(99); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTapping measures a short stream-tapping simulation.
+func BenchmarkTapping(b *testing.B) {
+	cfg := vodcast.ReactiveConfig{
+		RatePerHour:    100,
+		VideoSeconds:   7200,
+		HorizonSeconds: 20 * 3600,
+		WarmupSeconds:  3600,
+	}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := vodcast.Tapping(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanVBR measures the Section 4 analysis pipeline end to end:
+// synthesize the trace and derive all four plans.
+func BenchmarkPlanVBR(b *testing.B) {
+	tr, err := vodcast.SyntheticMatrix(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vodcast.PlanVBR(tr, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionClientCap regenerates the Section 5 future-work study:
+// DHB with the client limited to two and three streams.
+func BenchmarkExtensionClientCap(b *testing.B) {
+	cfg := benchSweepConfig(200)
+	var last vodcast.ClientCapRow
+	for i := 0; i < b.N; i++ {
+		rows, err := vodcast.ClientCap(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[0]
+	}
+	b.ReportMetric(last.Cap2, "cap2-streams")
+	b.ReportMetric(last.Cap3, "cap3-streams")
+	b.ReportMetric(last.Unlimited, "unlimited-streams")
+}
+
+// BenchmarkExtensionReactiveZoo regenerates the related-work comparison of
+// every reactive protocol.
+func BenchmarkExtensionReactiveZoo(b *testing.B) {
+	cfg := benchSweepConfig(100)
+	var last vodcast.ReactiveZooRow
+	for i := 0; i < b.N; i++ {
+		rows, err := vodcast.ReactiveZoo(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[0]
+	}
+	b.ReportMetric(last.HMSM, "hmsm-streams")
+	b.ReportMetric(last.Tapping, "tap-streams")
+	b.ReportMetric(last.MergingBound, "bound-streams")
+}
+
+// BenchmarkExtensionDSB regenerates the dynamic skyscraper comparison.
+func BenchmarkExtensionDSB(b *testing.B) {
+	cfg := benchSweepConfig(200)
+	var last vodcast.DSBRow
+	for i := 0; i < b.N; i++ {
+		rows, err := vodcast.DSBComparison(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[0]
+	}
+	b.ReportMetric(last.DSB, "dsb-streams")
+	b.ReportMetric(last.UD, "ud-streams")
+	b.ReportMetric(last.DHB, "dhb-streams")
+}
+
+// BenchmarkHMSMAdmit measures the hierarchical merging simulation itself.
+func BenchmarkHMSMAdmit(b *testing.B) {
+	cfg := vodcast.ReactiveConfig{
+		RatePerHour:    100,
+		VideoSeconds:   7200,
+		HorizonSeconds: 10 * 3600,
+		WarmupSeconds:  3600,
+	}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := vodcast.HMSM(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCappedDHBAdmit measures the capped scheduler's hot path.
+func BenchmarkCappedDHBAdmit(b *testing.B) {
+	dhb, err := vodcast.NewDHB(vodcast.DHBConfig{Segments: 99, MaxClientStreams: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dhb.Admit()
+		dhb.AdvanceSlot()
+	}
+}
+
+// BenchmarkWireEncodeDecode measures the framing codec on a 4 KB segment.
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	// Exercised through the public server/client pair is too heavy for a
+	// microbenchmark; measure payload generation, the data-plane hot path.
+	b.Run("payload", func(b *testing.B) {
+		b.SetBytes(4096)
+		for i := 0; i < b.N; i++ {
+			vodcast.SegmentPayloadForBench(uint32(i), 1, 4096)
+		}
+	})
+}
+
+// BenchmarkStorageEvaluate measures the disk model on a saturated schedule.
+func BenchmarkStorageEvaluate(b *testing.B) {
+	dhb, err := vodcast.NewDHB(vodcast.DHBConfig{Segments: 99, TrackSegments: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := vodcast.DiskSchedule{SlotSeconds: 72.7}
+	for slot := 0; slot < 2000; slot++ {
+		dhb.Admit()
+		rep := dhb.AdvanceSlot()
+		reads := make([]vodcast.DiskRead, 0, len(rep.Segments))
+		for _, seg := range rep.Segments {
+			reads = append(reads, vodcast.DiskRead{Segment: seg, Bytes: 46e6})
+		}
+		sched.Slots = append(sched.Slots, reads)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vodcast.EvaluateDisks(vodcast.CommodityDisk2001(), sched, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command schedviz prints the segment-to-stream and segment-to-slot diagrams
+// of the paper's Figures 1-5.
+//
+// Usage:
+//
+//	schedviz -proto fb  -n 7  -slots 4    # Figure 1
+//	schedviz -proto npb                   # Figure 2 (canonical fixture)
+//	schedviz -proto sb  -n 5  -slots 6    # Figure 3
+//	schedviz -proto pagoda -n 99          # our greedy pagoda packing
+//	schedviz -proto dhb -n 6              # Figure 4 (one request in slot 1)
+//	schedviz -proto dhb -n 6 -second 3    # Figure 5 (second request in slot 3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vodcast/internal/broadcast"
+	"vodcast/internal/core"
+)
+
+func main() {
+	var (
+		proto  = flag.String("proto", "fb", "fb, npb, sb, pagoda or dhb")
+		n      = flag.Int("n", 7, "segment count")
+		slots  = flag.Int("slots", 6, "slots to draw")
+		second = flag.Int("second", 0, "for dhb: slot of a second request (0 = none)")
+	)
+	flag.Parse()
+	if err := run(*proto, *n, *slots, *second); err != nil {
+		fmt.Fprintln(os.Stderr, "schedviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(proto string, n, slots, second int) error {
+	var (
+		m   *broadcast.Mapping
+		err error
+	)
+	switch proto {
+	case "fb":
+		m, err = broadcast.FastBroadcast(n)
+	case "npb":
+		m, err = broadcast.NPBFigure2()
+	case "sb":
+		m, err = broadcast.Skyscraper(n)
+	case "pagoda":
+		m, err = broadcast.Pagoda(n)
+	case "dhb":
+		return runDHB(n, second)
+	default:
+		return fmt.Errorf("unknown protocol %q", proto)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d segments on %d streams\n", strings.ToUpper(proto), m.N(), m.Streams())
+	for i, row := range m.Render(slots) {
+		fmt.Printf("stream %d: %s\n", i+1, row)
+	}
+	return nil
+}
+
+func runDHB(n, second int) error {
+	s, err := core.New(core.Config{Segments: n, TrackSegments: true, StartSlot: 1})
+	if err != nil {
+		return err
+	}
+	s.Admit()
+	fmt.Printf("DHB: request arriving during slot 1 (n = %d)\n", n)
+	last := 1 + n
+	rows := make(map[int][]int)
+	if second > 0 {
+		if second <= s.CurrentSlot() {
+			return fmt.Errorf("second request slot %d must be after slot 1", second)
+		}
+		for s.CurrentSlot() < second {
+			rep := s.AdvanceSlot()
+			rows[rep.Slot] = rep.Segments
+		}
+		s.Admit()
+		fmt.Printf("second request arriving during slot %d\n", second)
+		if second+n > last {
+			last = second + n
+		}
+	}
+	for slot := s.CurrentSlot(); slot <= last; slot++ {
+		rows[slot] = s.ScheduledAt(slot)
+	}
+	for slot := 2; slot <= last; slot++ {
+		segs := rows[slot]
+		labels := make([]string, len(segs))
+		for i, seg := range segs {
+			labels[i] = fmt.Sprintf("S%d", seg)
+		}
+		row := strings.Join(labels, " ")
+		if row == "" {
+			row = "--"
+		}
+		fmt.Printf("slot %2d: %s\n", slot, row)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+// Command tracegen emits the synthetic VBR trace standing in for the
+// paper's Section 4 movie, either as CSV (second,bytes) or as a summary of
+// its statistics.
+//
+// Usage:
+//
+//	tracegen -seed 42 > matrix.csv
+//	tracegen -seed 42 -summary
+//	tracegen -seconds 3600 -mean 500000 -peak 800000 -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vodcast/internal/trace"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 42, "RNG seed")
+		seconds = flag.Int("seconds", 0, "duration in seconds (0 = the paper's 8170)")
+		mean    = flag.Float64("mean", 0, "mean rate in bytes/s (0 = the paper's 636000)")
+		peak    = flag.Float64("peak", 0, "peak one-second rate in bytes/s (0 = the paper's 951000)")
+		summary = flag.Bool("summary", false, "print statistics instead of the CSV body")
+	)
+	flag.Parse()
+	if err := run(*seed, *seconds, *mean, *peak, *summary); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, seconds int, mean, peak float64, summary bool) error {
+	cfg := trace.MatrixConfig()
+	if seconds > 0 {
+		cfg.Seconds = seconds
+	}
+	if mean > 0 {
+		cfg.MeanRate = mean
+	}
+	if peak > 0 {
+		cfg.PeakRate = peak
+	}
+	tr, err := trace.Synthetic(cfg, seed)
+	if err != nil {
+		return err
+	}
+	if summary {
+		fmt.Printf("duration: %d s\n", tr.Seconds())
+		fmt.Printf("mean rate: %.0f B/s\n", tr.Mean())
+		fmt.Printf("peak 1 s rate: %.0f B/s\n", tr.Peak())
+		fmt.Printf("total size: %.0f bytes\n", tr.TotalBytes())
+		return nil
+	}
+	return trace.WriteCSV(os.Stdout, tr)
+}

@@ -1,0 +1,67 @@
+// Command vodclient is the set-top-box side of the networked DHB system: it
+// requests a video from a running vodserver, verifies every byte and every
+// delivery deadline, and prints the session summary.
+//
+// Usage:
+//
+//	vodclient -addr 127.0.0.1:4800 -video 1
+//	vodclient -addr 127.0.0.1:4800 -video 1 -count 5   # five customers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"vodcast/internal/vodclient"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:4800", "server address")
+		video   = flag.Uint("video", 1, "video id to request")
+		count   = flag.Int("count", 1, "number of concurrent customers to simulate")
+		from    = flag.Uint("from", 1, "resume playback at this segment (1 = the beginning)")
+		timeout = flag.Duration("timeout", 5*time.Minute, "session timeout")
+	)
+	flag.Parse()
+	if err := run(*addr, uint32(*video), uint32(*from), *count, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "vodclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, video, from uint32, count int, timeout time.Duration) error {
+	if count <= 0 {
+		return fmt.Errorf("count %d must be positive", count)
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		failure error
+	)
+	for c := 0; c < count; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			res, err := vodclient.FetchFrom(addr, video, from, timeout)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				fmt.Printf("customer %d: FAILED: %v\n", id, err)
+				if failure == nil {
+					failure = err
+				}
+				return
+			}
+			fmt.Printf("customer %d: video %d complete — %d segments, %.1f KB verified, "+
+				"%d shared frames, peak buffer %d segments, %.2fs\n",
+				id, res.VideoID, res.Segments, float64(res.PayloadBytes)/1e3,
+				res.SharedFrames, res.MaxBuffered, res.Elapsed.Seconds())
+		}(c)
+	}
+	wg.Wait()
+	return failure
+}

@@ -1,0 +1,84 @@
+// Command vodserver runs the networked DHB video server: it admits customer
+// requests over TCP, schedules segment transmissions with the DHB protocol
+// in real time and broadcasts deterministic segment payloads to every
+// subscriber.
+//
+// Usage:
+//
+//	vodserver -addr 127.0.0.1:4800 -videos 3 -segments 99 -slot-ms 500
+//
+// then point cmd/vodclient at it. The server prints its statistics once a
+// second and exits cleanly on interrupt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"vodcast/internal/vodserver"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:4800", "TCP listen address")
+		videos       = flag.Int("videos", 1, "number of videos in the catalogue (ids 1..n)")
+		segments     = flag.Int("segments", 99, "segments per video")
+		slotMillis   = flag.Int("slot-ms", 500, "slot duration in milliseconds")
+		segmentBytes = flag.Int("segment-bytes", 4096, "payload bytes per segment")
+		statsAddr    = flag.String("stats-addr", "", "optional HTTP monitoring address serving /statsz")
+	)
+	flag.Parse()
+	if err := run(*addr, *statsAddr, *videos, *segments, *slotMillis, *segmentBytes); err != nil {
+		fmt.Fprintln(os.Stderr, "vodserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, statsAddr string, videos, segments, slotMillis, segmentBytes int) error {
+	if videos <= 0 {
+		return fmt.Errorf("video count %d must be positive", videos)
+	}
+	catalogue := make([]vodserver.VideoConfig, videos)
+	for i := range catalogue {
+		catalogue[i] = vodserver.VideoConfig{
+			ID:           uint32(i + 1),
+			Segments:     segments,
+			SegmentBytes: segmentBytes,
+		}
+	}
+	srv, err := vodserver.Start(vodserver.Config{
+		Addr:         addr,
+		Videos:       catalogue,
+		SlotDuration: time.Duration(slotMillis) * time.Millisecond,
+		StatsAddr:    statsAddr,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("vodserver listening on %s (%d videos, %d segments, %d ms slots)\n",
+		srv.Addr(), videos, segments, slotMillis)
+	if srv.StatsAddr() != "" {
+		fmt.Printf("stats on http://%s/statsz\n", srv.StatsAddr())
+	}
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-interrupt:
+			fmt.Println("\nshutting down")
+			return nil
+		case <-ticker.C:
+			st := srv.Stats()
+			fmt.Printf("requests=%d instances=%d broadcastMB=%.1f subscribers=%d dropped=%d\n",
+				st.Requests, st.Instances, float64(st.BroadcastBytes)/1e6,
+				st.ActiveSubscribers, st.Dropped)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Command vodsim regenerates the evaluation of the paper: it runs the
+// simulation behind each figure and prints the same series the paper plots,
+// plus the extension studies this repository adds.
+//
+// Usage:
+//
+//	vodsim -experiment fig7            # average bandwidth sweep (Figure 7)
+//	vodsim -experiment fig8            # maximum bandwidth sweep (Figure 8)
+//	vodsim -experiment fig9            # compressed video study (Figure 9)
+//	vodsim -experiment ablation        # dynamic pagoda vs UD vs DHB (Section 3)
+//	vodsim -experiment peaks           # naive vs heuristic peaks (Section 3)
+//	vodsim -experiment vbrplan         # the DHB-a..d plans (Section 4)
+//	vodsim -experiment clientcap       # client-bandwidth-limited DHB (Section 5)
+//	vodsim -experiment reactive        # the reactive protocol zoo (Section 2)
+//	vodsim -experiment dsb             # dynamic skyscraper vs UD vs DHB (Section 2)
+//	vodsim -experiment models          # closed-form models vs simulation
+//	vodsim -experiment ci              # Figure 7 with confidence intervals
+//	vodsim -experiment wait            # waiting-time / bandwidth trade
+//	vodsim -experiment capacity        # channel-pool provisioning curve
+//	vodsim -experiment storage         # disk-array provisioning per policy
+//	vodsim -experiment buffer          # STB buffer sizing per protocol
+//
+// Add -full for publication-length horizons (the default quick preset runs
+// in seconds and preserves every qualitative shape) and -json for
+// machine-readable output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vodcast/internal/core"
+	"vodcast/internal/experiments"
+	"vodcast/internal/report"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "fig7", "which experiment to run (see the package comment)")
+		full       = flag.Bool("full", false, "use publication-length horizons instead of the quick preset")
+		asJSON     = flag.Bool("json", false, "emit JSON instead of text tables")
+		chart      = flag.Bool("chart", false, "additionally draw an ASCII chart (fig7, fig8, ablation, dsb)")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *experiment, *full, *asJSON, *chart, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "vodsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, experiment string, full, asJSON, chart bool, seed int64) error {
+	tables, err := buildTables(experiment, full, seed)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return report.RenderJSON(w, tables...)
+	}
+	if err := report.RenderText(w, tables...); err != nil {
+		return err
+	}
+	if chart {
+		return renderChart(w, experiment, full, seed)
+	}
+	return nil
+}
+
+// renderChart draws the sweep experiments as ASCII curves.
+func renderChart(w io.Writer, experiment string, full bool, seed int64) error {
+	cfg := experiments.QuickConfig()
+	if full {
+		cfg = experiments.DefaultConfig()
+	}
+	cfg.Seed = seed
+	var series []report.Series
+	title := ""
+	switch experiment {
+	case "fig7":
+		rows, err := experiments.Sweep(cfg)
+		if err != nil {
+			return err
+		}
+		title = "Figure 7 — avg bandwidth (streams) vs requests/hour"
+		tap := report.Series{Name: "tapping"}
+		ud := report.Series{Name: "UD"}
+		dhb := report.Series{Name: "DHB"}
+		npb := report.Series{Name: "NPB"}
+		for _, r := range rows {
+			tap.Points = append(tap.Points, report.Point{X: r.RatePerHour, Y: r.TappingAvg})
+			ud.Points = append(ud.Points, report.Point{X: r.RatePerHour, Y: r.UDAvg})
+			dhb.Points = append(dhb.Points, report.Point{X: r.RatePerHour, Y: r.DHBAvg})
+			npb.Points = append(npb.Points, report.Point{X: r.RatePerHour, Y: r.NPB})
+		}
+		series = []report.Series{tap, ud, dhb, npb}
+	case "fig8":
+		rows, err := experiments.Sweep(cfg)
+		if err != nil {
+			return err
+		}
+		title = "Figure 8 — max bandwidth (streams) vs requests/hour"
+		ud := report.Series{Name: "UD"}
+		dhb := report.Series{Name: "DHB"}
+		npb := report.Series{Name: "NPB"}
+		for _, r := range rows {
+			ud.Points = append(ud.Points, report.Point{X: r.RatePerHour, Y: r.UDMax})
+			dhb.Points = append(dhb.Points, report.Point{X: r.RatePerHour, Y: r.DHBMax})
+			npb.Points = append(npb.Points, report.Point{X: r.RatePerHour, Y: r.NPB})
+		}
+		series = []report.Series{ud, dhb, npb}
+	case "ablation":
+		cfg.IncludeAblation = true
+		rows, err := experiments.Sweep(cfg)
+		if err != nil {
+			return err
+		}
+		title = "Section 3 ablation — avg bandwidth vs requests/hour"
+		ud := report.Series{Name: "UD"}
+		dp := report.Series{Name: "dyn-pagoda"}
+		dhb := report.Series{Name: "DHB"}
+		for _, r := range rows {
+			ud.Points = append(ud.Points, report.Point{X: r.RatePerHour, Y: r.UDAvg})
+			dp.Points = append(dp.Points, report.Point{X: r.RatePerHour, Y: r.DNPBAvg})
+			dhb.Points = append(dhb.Points, report.Point{X: r.RatePerHour, Y: r.DHBAvg})
+		}
+		series = []report.Series{ud, dp, dhb}
+	case "dsb":
+		rows, err := experiments.DSBComparison(cfg)
+		if err != nil {
+			return err
+		}
+		title = "DSB vs UD vs DHB — avg bandwidth vs requests/hour"
+		dsb := report.Series{Name: "DSB"}
+		ud := report.Series{Name: "UD"}
+		dhb := report.Series{Name: "DHB"}
+		for _, r := range rows {
+			dsb.Points = append(dsb.Points, report.Point{X: r.RatePerHour, Y: r.DSB})
+			ud.Points = append(ud.Points, report.Point{X: r.RatePerHour, Y: r.UD})
+			dhb.Points = append(dhb.Points, report.Point{X: r.RatePerHour, Y: r.DHB})
+		}
+		series = []report.Series{dsb, ud, dhb}
+	default:
+		return fmt.Errorf("no chart for experiment %q", experiment)
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return report.RenderChart(w, title, series, report.ChartOptions{LogX: true})
+}
+
+// buildTables runs the requested experiment and shapes its result.
+func buildTables(experiment string, full bool, seed int64) ([]report.Table, error) {
+	cfg := experiments.QuickConfig()
+	vbrCfg := experiments.QuickVBRConfig()
+	if full {
+		cfg = experiments.DefaultConfig()
+		vbrCfg = experiments.DefaultVBRConfig()
+	}
+	cfg.Seed = seed
+	vbrCfg.Seed = seed
+
+	switch experiment {
+	case "fig7":
+		rows, err := experiments.Sweep(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []report.Table{report.Fig7(rows)}, nil
+	case "fig8":
+		rows, err := experiments.Sweep(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []report.Table{report.Fig8(rows)}, nil
+	case "fig9":
+		rows, plans, err := experiments.Fig9(vbrCfg)
+		if err != nil {
+			return nil, err
+		}
+		return report.Fig9(rows, plans), nil
+	case "ablation":
+		cfg.IncludeAblation = true
+		rows, err := experiments.Sweep(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []report.Table{report.Ablation(rows)}, nil
+	case "peaks":
+		horizon := 20000
+		if full {
+			horizon = 200000
+		}
+		res, err := experiments.Peaks(120, horizon)
+		if err != nil {
+			return nil, err
+		}
+		return []report.Table{report.Peaks(res)}, nil
+	case "vbrplan":
+		vbrCfg.Rates = []float64{1000}
+		rows, plans, err := experiments.Fig9(vbrCfg)
+		if err != nil {
+			return nil, err
+		}
+		measured := map[core.VBRVariant]float64{
+			core.VariantA: rows[0].DHBA,
+			core.VariantB: rows[0].DHBB,
+			core.VariantC: rows[0].DHBC,
+			core.VariantD: rows[0].DHBD,
+		}
+		return []report.Table{report.VBRPlan(plans, measured)}, nil
+	case "clientcap":
+		rows, err := experiments.ClientCap(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []report.Table{report.ClientCap(rows)}, nil
+	case "reactive":
+		rows, err := experiments.ReactiveZoo(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []report.Table{report.ReactiveZoo(rows)}, nil
+	case "dsb":
+		rows, err := experiments.DSBComparison(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []report.Table{report.DSB(rows)}, nil
+	case "models":
+		rows, err := experiments.Models(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []report.Table{report.Models(rows)}, nil
+	case "ci":
+		rows, err := experiments.ConfidenceSweep(cfg, 10)
+		if err != nil {
+			return nil, err
+		}
+		return []report.Table{report.Confidence(rows)}, nil
+	case "wait":
+		cfg.Rates = []float64{100}
+		rows, err := experiments.WaitTradeoff(cfg, []int{9, 19, 49, 99, 199, 399})
+		if err != nil {
+			return nil, err
+		}
+		return []report.Table{report.WaitTradeoff(rows)}, nil
+	case "buffer":
+		rows, err := experiments.BufferStudy(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []report.Table{report.Buffer(rows)}, nil
+	case "storage":
+		scfg := experiments.DefaultStorageConfig()
+		scfg.Seed = seed
+		if !full {
+			scfg.HorizonSlots = 3000
+		}
+		rows, err := experiments.Storage(scfg)
+		if err != nil {
+			return nil, err
+		}
+		return []report.Table{report.Storage(rows)}, nil
+	case "capacity":
+		ccfg := experiments.DefaultCapacityConfig()
+		ccfg.Seed = seed
+		if !full {
+			ccfg.HorizonSlots = 2500
+			ccfg.WarmupSlots = 100
+		}
+		rows, err := experiments.Capacity(ccfg, []float64{30, 16, 14, 13, 12, 11})
+		if err != nil {
+			return nil, err
+		}
+		return []report.Table{report.Capacity(rows)}, nil
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", experiment)
+	}
+}

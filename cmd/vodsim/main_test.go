@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vodcast/internal/report"
+)
+
+// TestEveryExperimentRuns drives the CLI entry point through every
+// experiment id in both output formats at quick scale.
+func TestEveryExperimentRuns(t *testing.T) {
+	ids := []string{
+		"fig7", "fig8", "fig9", "ablation", "peaks", "vbrplan",
+		"clientcap", "reactive", "dsb", "models", "wait", "capacity", "storage", "buffer",
+	}
+	for _, id := range ids {
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, id, false /* full */, false /* json */, false /* chart */, 1); err != nil {
+				t.Fatalf("text: %v", err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("no text output")
+			}
+			buf.Reset()
+			if err := run(&buf, id, false, true /* json */, false, 1); err != nil {
+				t.Fatalf("json: %v", err)
+			}
+			var tables []report.Table
+			if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+				t.Fatalf("invalid JSON: %v", err)
+			}
+			if len(tables) == 0 || len(tables[0].Rows) == 0 {
+				t.Fatal("empty JSON tables")
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", false, false, false, 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFig7TextShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig7", false, false, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 7", "tapping", "DHB", "NPB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, "fig7", false, false, false, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, "fig7", false, false, false, 7); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different output")
+	}
+}
+
+func TestChartOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig7", false, false, true /* chart */, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 7 —", "x (log)", "tapping", "NPB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart output missing %q", want)
+		}
+	}
+	// No chart defined for vbrplan: the flag must error rather than lie.
+	if err := run(&buf, "vbrplan", false, false, true, 1); err == nil {
+		t.Fatal("chart for vbrplan accepted")
+	}
+}

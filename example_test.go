@@ -1,0 +1,110 @@
+package vodcast_test
+
+import (
+	"fmt"
+	"log"
+
+	"vodcast"
+)
+
+// ExampleNewDHB reproduces Figure 4 of the paper: a single request arriving
+// during slot 1 of an idle six-segment system schedules segment S_i in slot
+// i+1 for every i.
+func ExampleNewDHB() {
+	dhb, err := vodcast.NewDHB(vodcast.DHBConfig{
+		Segments:      6,
+		TrackSegments: true,
+		StartSlot:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dhb.Admit()
+	for slot := 2; slot <= 7; slot++ {
+		fmt.Printf("slot %d: S%d\n", slot, dhb.ScheduledAt(slot)[0])
+	}
+	// Output:
+	// slot 2: S1
+	// slot 3: S2
+	// slot 4: S3
+	// slot 5: S4
+	// slot 6: S5
+	// slot 7: S6
+}
+
+// ExampleFastBroadcast reproduces Figure 1: the first three streams of fast
+// broadcasting with seven segments.
+func ExampleFastBroadcast() {
+	fb, err := vodcast.FastBroadcast(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, row := range fb.Render(4) {
+		fmt.Printf("stream %d: %s\n", i+1, row)
+	}
+	// Output:
+	// stream 1: S1 S1 S1 S1
+	// stream 2: S2 S3 S2 S3
+	// stream 3: S4 S5 S6 S7
+}
+
+// ExampleNPBFigure2 reproduces Figure 2: the canonical three-stream new
+// pagoda broadcasting mapping.
+func ExampleNPBFigure2() {
+	npb, err := vodcast.NPBFigure2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, row := range npb.Render(6) {
+		fmt.Printf("stream %d: %s\n", i+1, row)
+	}
+	// Output:
+	// stream 1: S1 S1 S1 S1 S1 S1
+	// stream 2: S2 S4 S2 S5 S2 S4
+	// stream 3: S3 S6 S8 S3 S7 S9
+}
+
+// ExamplePlanVBR runs the Section 4 pipeline on the synthetic trace and
+// prints the segment counts of the four plans.
+func ExamplePlanVBR() {
+	tr, err := vodcast.SyntheticMatrix(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plans, err := vodcast.PlanVBR(tr, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range []vodcast.VBRVariant{vodcast.VariantA, vodcast.VariantB, vodcast.VariantC, vodcast.VariantD} {
+		fmt.Printf("%v: %d segments\n", v, plans[v].Segments)
+	}
+	// Output:
+	// DHB-a: 137 segments
+	// DHB-b: 137 segments
+	// DHB-c: 132 segments
+	// DHB-d: 132 segments
+}
+
+// ExampleHarmonicBandwidth shows the harmonic number DHB's saturation load
+// approaches for a 99-segment video.
+func ExampleHarmonicBandwidth() {
+	h, err := vodcast.HarmonicBandwidth(99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("H(99) = %.2f streams\n", h)
+	// Output:
+	// H(99) = 5.18 streams
+}
+
+// ExampleModelPatchingMean evaluates the closed form for optimal threshold
+// patching at the paper's two-hour video and 20 requests/hour.
+func ExampleModelPatchingMean() {
+	bw, err := vodcast.ModelPatchingMean(20, 7200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.1f streams\n", bw)
+	// Output:
+	// 8.0 streams
+}

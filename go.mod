@@ -1,0 +1,3 @@
+module vodcast
+
+go 1.22

@@ -1,0 +1,131 @@
+// Package client models the customer's set-top box (STB): it replays the
+// transmissions of a slotted broadcasting protocol and verifies, segment by
+// segment, that everything a customer needs arrives before its deadline.
+// Integration tests use it as the correctness oracle for the schedulers, and
+// it reports the buffer occupancy Section 2's STB-sizing discussion cares
+// about.
+package client
+
+import (
+	"fmt"
+
+	"vodcast/internal/video"
+)
+
+// STB follows one customer's download. The customer requested the video
+// during arrivalSlot; segment j must be fully received by the end of slot
+// arrivalSlot + T[j] and is consumed during the following slot.
+type STB struct {
+	arrival  int
+	from     int
+	periods  []int
+	received []bool
+	pending  int
+	// buffered tracks segments received but not yet consumed.
+	buffered    int
+	maxBuffered int
+	lastSlot    int
+}
+
+// New returns an STB for a request that arrived during arrivalSlot, for a
+// video whose 1-based maximum-period vector is periods (as in core.Config).
+func New(arrivalSlot int, periods []int) (*STB, error) {
+	return NewFrom(arrivalSlot, periods, 1)
+}
+
+// NewFrom returns an STB for an interactive customer resuming playback at
+// segment from: it only expects segments from..n, and segment j's deadline
+// shifts to arrivalSlot + periods[j-from+1] because the customer consumes
+// the suffix as if it were the whole video.
+func NewFrom(arrivalSlot int, periods []int, from int) (*STB, error) {
+	n := len(periods) - 1
+	if n < 1 {
+		return nil, fmt.Errorf("client: empty period vector")
+	}
+	if err := video.ValidatePeriods(periods, n); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if arrivalSlot < 0 {
+		return nil, fmt.Errorf("client: arrival slot %d must be non-negative", arrivalSlot)
+	}
+	if from < 1 || from > n {
+		return nil, fmt.Errorf("client: resume segment %d outside 1..%d", from, n)
+	}
+	own := make([]int, len(periods))
+	copy(own, periods)
+	received := make([]bool, n+1)
+	for j := 1; j < from; j++ {
+		received[j] = true // already watched before the pause
+	}
+	return &STB{
+		arrival:  arrivalSlot,
+		from:     from,
+		periods:  own,
+		received: received,
+		pending:  n - from + 1,
+		lastSlot: arrivalSlot,
+	}, nil
+}
+
+// N reports the video's segment count.
+func (c *STB) N() int { return len(c.periods) - 1 }
+
+// Deadline reports the last slot in which segment j may arrive; it is only
+// meaningful for segments the customer still needs (j >= the resume point).
+func (c *STB) Deadline(j int) int {
+	if j < c.from {
+		return -1 // already held; no deadline
+	}
+	return c.arrival + c.periods[j-c.from+1]
+}
+
+// Received reports whether segment j has arrived.
+func (c *STB) Received(j int) bool { return c.received[j] }
+
+// Complete reports whether every segment has arrived.
+func (c *STB) Complete() bool { return c.pending == 0 }
+
+// MaxBuffered reports the largest number of segments the STB held before
+// consuming them.
+func (c *STB) MaxBuffered() int { return c.maxBuffered }
+
+// ObserveSlot ingests the transmissions of one slot and then checks the
+// deadlines that expire with it. Slots must be fed in increasing order,
+// starting no earlier than the arrival slot; segments the customer already
+// holds are ignored (the STB simply does not tune in again).
+func (c *STB) ObserveSlot(slot int, segments []int) error {
+	if slot < c.lastSlot {
+		return fmt.Errorf("client: slot %d fed after slot %d", slot, c.lastSlot)
+	}
+	c.lastSlot = slot
+	for _, j := range segments {
+		if j < 1 || j > c.N() {
+			return fmt.Errorf("client: transmission of unknown segment %d", j)
+		}
+		if c.received[j] {
+			continue
+		}
+		if slot <= c.arrival {
+			// The customer cannot download before the slot after arrival.
+			continue
+		}
+		c.received[j] = true
+		c.pending--
+		c.buffered++
+		if c.buffered > c.maxBuffered {
+			c.maxBuffered = c.buffered
+		}
+	}
+	// Deadlines expiring at the end of this slot.
+	for j := 1; j <= c.N(); j++ {
+		if c.Deadline(j) == slot {
+			if !c.received[j] {
+				return fmt.Errorf("client: segment %d missed its deadline slot %d (arrival %d, T=%d)",
+					j, slot, c.arrival, c.periods[j])
+			}
+			// Consumed during the next slot; it leaves the buffer now.
+			c.buffered--
+		}
+	}
+	return nil
+}

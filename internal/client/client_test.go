@@ -1,0 +1,261 @@
+package client
+
+import (
+	"strings"
+	"testing"
+
+	"vodcast/internal/core"
+	"vodcast/internal/sim"
+	"vodcast/internal/video"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, []int{0}); err == nil {
+		t.Fatal("empty periods should error")
+	}
+	if _, err := New(0, []int{0, 2}); err == nil {
+		t.Fatal("T[1] != 1 should error")
+	}
+	if _, err := New(-1, video.DefaultPeriods(3)); err == nil {
+		t.Fatal("negative arrival should error")
+	}
+}
+
+func TestSTBHappyPath(t *testing.T) {
+	c, err := New(1, video.DefaultPeriods(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := []struct {
+		slot int
+		segs []int
+	}{
+		{slot: 2, segs: []int{1}},
+		{slot: 3, segs: []int{2}},
+		{slot: 4, segs: []int{3}},
+	}
+	for _, f := range feeds {
+		if err := c.ObserveSlot(f.slot, f.segs); err != nil {
+			t.Fatalf("slot %d: %v", f.slot, err)
+		}
+	}
+	if !c.Complete() {
+		t.Fatal("all segments fed but STB not complete")
+	}
+	if c.MaxBuffered() != 1 {
+		t.Fatalf("MaxBuffered = %d, want 1 for just-in-time delivery", c.MaxBuffered())
+	}
+}
+
+func TestSTBDetectsMissedDeadline(t *testing.T) {
+	c, err := New(1, video.DefaultPeriods(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ObserveSlot(2, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	// Slot 3 passes without segment 2: deadline 1+2=3 missed.
+	err = c.ObserveSlot(3, nil)
+	if err == nil || !strings.Contains(err.Error(), "segment 2") {
+		t.Fatalf("missed deadline not detected: %v", err)
+	}
+}
+
+func TestSTBEarlyDeliveryBuffers(t *testing.T) {
+	c, err := New(0, video.DefaultPeriods(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything arrives in slot 1: buffer holds 4 segments at once.
+	if err := c.ObserveSlot(1, []int{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxBuffered() != 4 {
+		t.Fatalf("MaxBuffered = %d, want 4", c.MaxBuffered())
+	}
+	for slot := 2; slot <= 4; slot++ {
+		if err := c.ObserveSlot(slot, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Complete() {
+		t.Fatal("STB not complete")
+	}
+}
+
+func TestSTBIgnoresPreArrivalAndDuplicates(t *testing.T) {
+	c, err := New(5, video.DefaultPeriods(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transmission during the arrival slot itself cannot be used.
+	if err := c.ObserveSlot(5, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Received(1) {
+		t.Fatal("segment downloaded during the arrival slot")
+	}
+	if err := c.ObserveSlot(6, []int{1, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Received(1) || !c.Received(2) {
+		t.Fatal("segments not received")
+	}
+	if c.MaxBuffered() != 2 {
+		t.Fatalf("MaxBuffered = %d, want 2 (duplicate must not double-count)", c.MaxBuffered())
+	}
+}
+
+func TestSTBRejectsBadInput(t *testing.T) {
+	c, err := New(0, video.DefaultPeriods(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ObserveSlot(1, []int{7}); err == nil {
+		t.Fatal("unknown segment accepted")
+	}
+	if err := c.ObserveSlot(1, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ObserveSlot(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ObserveSlot(1, nil); err == nil {
+		t.Fatal("out-of-order slot accepted")
+	}
+}
+
+// TestDHBServesEveryCustomer is the end-to-end oracle: a DHB scheduler under
+// Poisson load, with an STB spawned per request, must deliver every segment
+// of every request by its deadline.
+func TestDHBServesEveryCustomer(t *testing.T) {
+	const n = 30
+	periods := video.DefaultPeriods(n)
+	for _, policy := range []core.Policy{core.PolicyHeuristic, core.PolicyNaive} {
+		s, err := core.New(core.Config{Segments: n, TrackSegments: true, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(31)
+		var live []*STB
+		for step := 0; step < 3000; step++ {
+			for a := 0; a < rng.Poisson(0.5); a++ {
+				s.Admit()
+				stb, err := New(s.CurrentSlot(), periods)
+				if err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, stb)
+			}
+			rep := s.AdvanceSlot()
+			kept := live[:0]
+			for _, stb := range live {
+				if err := stb.ObserveSlot(rep.Slot, rep.Segments); err != nil {
+					t.Fatalf("policy %v: %v", policy, err)
+				}
+				if !stb.Complete() {
+					kept = append(kept, stb)
+				}
+			}
+			live = kept
+		}
+	}
+}
+
+// TestDHBWithWorkAheadPeriodsServesEveryCustomer repeats the oracle with a
+// stretched DHB-d style period vector.
+func TestDHBWithWorkAheadPeriodsServesEveryCustomer(t *testing.T) {
+	periods := []int{0, 1, 3, 3, 5, 6, 7, 9, 9, 11, 12}
+	s, err := core.New(core.Config{Segments: 10, Periods: periods, TrackSegments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(33)
+	var live []*STB
+	for step := 0; step < 4000; step++ {
+		for a := 0; a < rng.Poisson(0.8); a++ {
+			s.Admit()
+			stb, err := New(s.CurrentSlot(), periods)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, stb)
+		}
+		rep := s.AdvanceSlot()
+		kept := live[:0]
+		for _, stb := range live {
+			if err := stb.ObserveSlot(rep.Slot, rep.Segments); err != nil {
+				t.Fatal(err)
+			}
+			if !stb.Complete() {
+				kept = append(kept, stb)
+			}
+		}
+		live = kept
+	}
+}
+
+func TestNewFromValidation(t *testing.T) {
+	p := video.DefaultPeriods(5)
+	if _, err := NewFrom(0, p, 0); err == nil {
+		t.Error("from 0 accepted")
+	}
+	if _, err := NewFrom(0, p, 6); err == nil {
+		t.Error("from beyond n accepted")
+	}
+}
+
+func TestResumeSTBDeadlinesShift(t *testing.T) {
+	c, err := NewFrom(10, video.DefaultPeriods(6), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The customer consumes segment 4 first: deadline 10+1, then 10+2, ...
+	if c.Deadline(4) != 11 || c.Deadline(5) != 12 || c.Deadline(6) != 13 {
+		t.Fatalf("deadlines = %d %d %d", c.Deadline(4), c.Deadline(5), c.Deadline(6))
+	}
+	if c.Deadline(2) != -1 {
+		t.Fatalf("pre-resume segment has deadline %d", c.Deadline(2))
+	}
+	if c.Complete() {
+		t.Fatal("resume STB complete before receiving anything")
+	}
+	if !c.Received(3) {
+		t.Fatal("pre-resume segments should count as held")
+	}
+}
+
+func TestResumeSTBHappyPath(t *testing.T) {
+	c, err := NewFrom(0, video.DefaultPeriods(5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := []struct {
+		slot int
+		segs []int
+	}{
+		{slot: 1, segs: []int{3, 1}}, // stray S1 is ignored (already held)
+		{slot: 2, segs: []int{4}},
+		{slot: 3, segs: []int{5}},
+	}
+	for _, f := range feeds {
+		if err := c.ObserveSlot(f.slot, f.segs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Complete() {
+		t.Fatal("resume STB not complete")
+	}
+}
+
+func TestResumeSTBDetectsMiss(t *testing.T) {
+	c, err := NewFrom(0, video.DefaultPeriods(5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot 1 passes without segment 3, whose shifted deadline is slot 1.
+	if err := c.ObserveSlot(1, nil); err == nil {
+		t.Fatal("missed shifted deadline not detected")
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import "fmt"
+
+// This file implements the client-bandwidth-limited DHB variant the paper's
+// conclusion singles out as future work: "we would like to investigate
+// dynamic heuristic broadcasting protocols that limit the client bandwidth
+// to two or three data streams".
+//
+// With a cap c, a request's assignment may place at most c of its segments
+// in any one slot, so the set-top box never receives more than c streams
+// simultaneously. Sharing becomes harder: an already-scheduled instance only
+// helps if its slot still has client-side capacity, so the scheduler tracks
+// every future instance of every segment (not just the most recent one) and
+// falls back to scheduling a duplicate in a capacity-feasible slot.
+//
+// Feasibility is guaranteed for every c >= 1: processing segments in
+// deadline order, segment j has a window of T[j] >= j slots of which at most
+// j-1 client-slots are occupied, so at least one slot always has room (c = 1
+// degenerates to the sequential just-in-time schedule S_j at slot i+j).
+
+// admitCapped is the capped counterpart of admit.
+func (s *Scheduler) admitCapped(assignment []int) []int {
+	i := s.current
+	s.requests++
+	// clientLoad[k] counts this request's segments assigned to slot i+1+k.
+	for k := range s.clientLoad {
+		s.clientLoad[k] = 0
+	}
+	var placed []int
+	for j := 1; j <= s.n; j++ {
+		hi := i + s.periods[j]
+		chosen := -1
+
+		// Try to share an already-scheduled instance; prefer the latest
+		// feasible one so earlier slots keep capacity for tighter windows.
+		inst := s.pruneInstances(j)
+		for k := len(inst) - 1; k >= 0; k-- {
+			slot := inst[k]
+			if slot > hi {
+				continue
+			}
+			if s.clientLoad[slot-i-1] < s.cap {
+				chosen = slot
+				break
+			}
+		}
+
+		if chosen < 0 {
+			// Schedule a new instance in the minimum-load slot among the
+			// window slots with client capacity, ties toward the latest.
+			bestLoad := int(^uint(0) >> 1)
+			for slot := hi; slot >= i+1; slot-- {
+				if s.clientLoad[slot-i-1] >= s.cap {
+					continue
+				}
+				if l := s.ring.Load(slot); l < bestLoad {
+					chosen, bestLoad = slot, l
+				}
+			}
+			if chosen < 0 {
+				// Unreachable by the feasibility argument above.
+				panic(fmt.Sprintf("core: no feasible slot for segment %d (cap %d)", j, s.cap))
+			}
+			s.ring.Add(chosen, j)
+			s.insertInstance(j, chosen)
+			if chosen > s.lastSched[j] {
+				s.lastSched[j] = chosen
+			}
+			s.instances++
+			placed = append(placed, chosen)
+		}
+
+		s.clientLoad[chosen-i-1]++
+		if assignment != nil {
+			assignment[j] = chosen
+		}
+	}
+	return placed
+}
+
+// pruneInstances drops instances of segment j that already transmitted and
+// returns the live, ascending list.
+func (s *Scheduler) pruneInstances(j int) []int {
+	inst := s.futureInst[j]
+	k := 0
+	for k < len(inst) && inst[k] <= s.current {
+		k++
+	}
+	if k > 0 {
+		inst = inst[k:]
+		s.futureInst[j] = inst
+	}
+	return inst
+}
+
+// insertInstance keeps futureInst[j] sorted ascending.
+func (s *Scheduler) insertInstance(j, slot int) {
+	inst := append(s.futureInst[j], slot)
+	k := len(inst) - 1
+	for k > 0 && inst[k-1] > slot {
+		inst[k] = inst[k-1]
+		k--
+	}
+	inst[k] = slot
+	s.futureInst[j] = inst
+}

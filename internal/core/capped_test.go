@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"vodcast/internal/sim"
+)
+
+func TestCappedConfigValidation(t *testing.T) {
+	if _, err := New(Config{Segments: 5, MaxClientStreams: -1}); err == nil {
+		t.Fatal("negative cap should error")
+	}
+	if _, err := New(Config{Segments: 5, MaxClientStreams: 2, Policy: PolicyNaive}); err == nil {
+		t.Fatal("cap with naive policy should error")
+	}
+	s, err := New(Config{Segments: 5, MaxClientStreams: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ClientStreamCap() != 2 {
+		t.Fatalf("ClientStreamCap = %d, want 2", s.ClientStreamCap())
+	}
+}
+
+// concurrency returns the largest number of this request's segments assigned
+// to one slot.
+func concurrency(assignment []int) int {
+	counts := make(map[int]int)
+	max := 0
+	for j := 1; j < len(assignment); j++ {
+		counts[assignment[j]]++
+		if counts[assignment[j]] > max {
+			max = counts[assignment[j]]
+		}
+	}
+	return max
+}
+
+func TestCappedRespectsClientBandwidth(t *testing.T) {
+	for _, cap := range []int{1, 2, 3} {
+		s, err := New(Config{Segments: 40, MaxClientStreams: cap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(41)
+		for step := 0; step < 2500; step++ {
+			i := s.CurrentSlot()
+			for a := 0; a < rng.Poisson(0.6); a++ {
+				got := s.AdmitTraced()
+				if c := concurrency(got); c > cap {
+					t.Fatalf("cap %d: request at slot %d downloads %d streams at once", cap, i, c)
+				}
+				for j := 1; j <= 40; j++ {
+					if got[j] < i+1 || got[j] > i+j {
+						t.Fatalf("cap %d: segment %d served at %d outside [%d, %d]", cap, j, got[j], i+1, i+j)
+					}
+				}
+			}
+			s.AdvanceSlot()
+		}
+	}
+}
+
+func TestCapOneIsSequentialJustInTime(t *testing.T) {
+	// With one receivable stream, an isolated request degenerates to the
+	// sequential schedule S_j at slot i+j.
+	s, err := New(Config{Segments: 12, MaxClientStreams: 1, StartSlot: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.AdmitTraced()
+	for j := 1; j <= 12; j++ {
+		if got[j] != 1+j {
+			t.Fatalf("segment %d at slot %d, want %d", j, got[j], 1+j)
+		}
+	}
+}
+
+func TestCappedSharingStillHappens(t *testing.T) {
+	s, err := New(Config{Segments: 30, MaxClientStreams: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Admit()
+	s.AdvanceSlot()
+	s.AdvanceSlot()
+	added := s.Admit()
+	if added >= 30 {
+		t.Fatalf("second request scheduled %d instances: no sharing under cap 2", added)
+	}
+	if added == 0 {
+		t.Fatal("second request cannot share everything (S1, S2 already passed)")
+	}
+}
+
+func TestCappedBandwidthMonotoneInCap(t *testing.T) {
+	// Tighter client bandwidth means less sharing, so the server pays more.
+	run := func(cap int) float64 {
+		cfg := Config{Segments: 50}
+		if cap > 0 {
+			cfg.MaxClientStreams = cap
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(43)
+		total := 0
+		const horizon = 8000
+		for slot := 0; slot < horizon; slot++ {
+			for a := 0; a < rng.Poisson(0.5); a++ {
+				s.Admit()
+			}
+			total += s.AdvanceSlot().Load
+		}
+		return float64(total) / horizon
+	}
+	uncapped := run(0)
+	cap3 := run(3)
+	cap2 := run(2)
+	cap1 := run(1)
+	if !(cap1 >= cap2 && cap2 >= cap3 && cap3 >= uncapped-0.05) {
+		t.Fatalf("bandwidth not monotone in cap: cap1=%.2f cap2=%.2f cap3=%.2f uncapped=%.2f",
+			cap1, cap2, cap3, uncapped)
+	}
+	if cap1 <= uncapped {
+		t.Fatalf("cap 1 (%.2f) should cost strictly more than unlimited (%.2f)", cap1, uncapped)
+	}
+}
+
+func TestCappedTwoOrThreeStreamsCloseToUncapped(t *testing.T) {
+	// The conclusion's conjecture: limiting clients to two or three streams
+	// should not be ruinous. Verify cap 3 stays within 25% of unlimited at
+	// a busy operating point.
+	run := func(cap int) float64 {
+		cfg := Config{Segments: 99, MaxClientStreams: cap}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(47)
+		total := 0
+		const horizon = 6000
+		for slot := 0; slot < horizon; slot++ {
+			for a := 0; a < rng.Poisson(2.0); a++ {
+				s.Admit()
+			}
+			total += s.AdvanceSlot().Load
+		}
+		return float64(total) / horizon
+	}
+	capped := run(3)
+	uncapped := run(0)
+	if capped > 1.25*uncapped {
+		t.Fatalf("cap 3 bandwidth %.2f more than 25%% above unlimited %.2f", capped, uncapped)
+	}
+}
+
+func TestCappedInstanceConservation(t *testing.T) {
+	s, err := New(Config{Segments: 15, MaxClientStreams: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(53)
+	var transmitted int64
+	for step := 0; step < 3000; step++ {
+		for a := 0; a < rng.Poisson(0.4); a++ {
+			s.Admit()
+		}
+		transmitted += int64(s.AdvanceSlot().Load)
+	}
+	for k := 0; k <= 15; k++ {
+		transmitted += int64(s.AdvanceSlot().Load)
+	}
+	if transmitted != s.Instances() {
+		t.Fatalf("transmitted %d, scheduled %d", transmitted, s.Instances())
+	}
+}
+
+func TestCappedWithStretchedPeriods(t *testing.T) {
+	periods := []int{0, 1, 3, 3, 5, 6, 8, 9, 9}
+	s, err := New(Config{Segments: 8, Periods: periods, MaxClientStreams: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(59)
+	for step := 0; step < 3000; step++ {
+		i := s.CurrentSlot()
+		for a := 0; a < rng.Poisson(0.9); a++ {
+			got := s.AdmitTraced()
+			if c := concurrency(got); c > 2 {
+				t.Fatalf("concurrency %d under cap 2", c)
+			}
+			for j := 1; j <= 8; j++ {
+				if got[j] < i+1 || got[j] > i+periods[j] {
+					t.Fatalf("segment %d at %d outside [%d, %d]", j, got[j], i+1, i+periods[j])
+				}
+			}
+		}
+		s.AdvanceSlot()
+	}
+}

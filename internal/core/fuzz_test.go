@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"vodcast/internal/video"
+)
+
+// FuzzSchedulerInvariants drives the scheduler with an arbitrary byte-coded
+// command stream and checks every protocol invariant on every step: no
+// panics, deadlines always met, conservation of instances.
+//
+// Command encoding (one byte each):
+//
+//	0-1: advance one slot
+//	2-4: admit an ordinary request
+//	5-7: admit a resume at a segment derived from the byte
+func FuzzSchedulerInvariants(f *testing.F) {
+	f.Add([]byte{2, 0, 2, 2, 0, 5, 0, 0}, uint8(12), uint8(0))
+	f.Add([]byte{3, 3, 3, 3}, uint8(30), uint8(2))
+	f.Add([]byte{0, 0, 0}, uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, cmds []byte, segByte, capByte uint8) {
+		n := 1 + int(segByte)%40
+		cap := int(capByte) % 4 // 0 = unlimited
+		s, err := New(Config{Segments: n, MaxClientStreams: cap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cmds) > 400 {
+			cmds = cmds[:400]
+		}
+		var transmitted int64
+		for idx, c := range cmds {
+			switch c % 8 {
+			case 0, 1:
+				transmitted += int64(s.AdvanceSlot().Load)
+			case 2, 3, 4:
+				i := s.CurrentSlot()
+				got := s.AdmitTraced()
+				for j := 1; j <= n; j++ {
+					if got[j] < i+1 || got[j] > i+j {
+						t.Fatalf("cmd %d: segment %d served at %d outside [%d, %d]",
+							idx, j, got[j], i+1, i+j)
+					}
+				}
+			default:
+				from := 1 + int(c)%n
+				i := s.CurrentSlot()
+				got, err := s.AdmitFromTraced(from)
+				if err != nil {
+					t.Fatalf("cmd %d: %v", idx, err)
+				}
+				for j := from; j <= n; j++ {
+					deadline := i + (j - from + 1)
+					if got[j] < i+1 || got[j] > deadline {
+						t.Fatalf("cmd %d: resume segment %d at %d outside [%d, %d]",
+							idx, j, got[j], i+1, deadline)
+					}
+				}
+			}
+		}
+		// Drain and check conservation.
+		for k := 0; k <= n; k++ {
+			transmitted += int64(s.AdvanceSlot().Load)
+		}
+		if transmitted != s.Instances() {
+			t.Fatalf("transmitted %d, scheduled %d", transmitted, s.Instances())
+		}
+	})
+}
+
+// FuzzPeriodVectors feeds arbitrary (sanitized) period vectors through the
+// validator and scheduler: any vector the validator accepts must run without
+// violating its own deadlines.
+func FuzzPeriodVectors(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4})
+	f.Add([]byte{1, 3, 3, 9})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 32 {
+			return
+		}
+		n := len(raw)
+		periods := make([]int, n+1)
+		for i, b := range raw {
+			periods[i+1] = int(b)
+		}
+		if err := video.ValidatePeriods(periods, n); err != nil {
+			return // correctly rejected
+		}
+		s, err := New(Config{Segments: n, Periods: periods})
+		if err != nil {
+			t.Fatalf("validated periods rejected by the scheduler: %v", err)
+		}
+		for step := 0; step < 50; step++ {
+			i := s.CurrentSlot()
+			got := s.AdmitTraced()
+			for j := 1; j <= n; j++ {
+				if got[j] < i+1 || got[j] > i+periods[j] {
+					t.Fatalf("segment %d at %d outside [%d, %d]", j, got[j], i+1, i+periods[j])
+				}
+			}
+			s.AdvanceSlot()
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package core
+
+import "fmt"
+
+// This file adds interactive (VCR-style) service on top of the DHB
+// scheduler: a customer who paused, or whose session dropped, resumes from
+// segment k instead of re-watching the whole video. A resume admitted
+// during slot i consumes segment k during slot i+1, so segment j >= k must
+// arrive within [i+1, i + T[j-k+1]] — the ordinary DHB window shifted to
+// the remaining suffix. Because j-k+1 <= j, every instance scheduled for a
+// resume is also timely for an ordinary request of the same segment, so
+// resumes share instances with (and donate instances to) regular customers
+// without weakening any invariant.
+
+// AdmitFrom processes one request resuming playback at segment from
+// (1 <= from <= n; from == 1 is exactly Admit) and reports how many new
+// instances it scheduled.
+func (s *Scheduler) AdmitFrom(from int) (int, error) {
+	placed, err := s.admitFrom(from, nil)
+	if err != nil {
+		return 0, err
+	}
+	return placed, nil
+}
+
+// AdmitFromTraced is AdmitFrom returning the per-segment serving slots:
+// result[j] is the slot serving segment j for j >= from and zero below.
+func (s *Scheduler) AdmitFromTraced(from int) ([]int, error) {
+	assignment := make([]int, s.n+1)
+	if _, err := s.admitFrom(from, assignment); err != nil {
+		return nil, err
+	}
+	return assignment, nil
+}
+
+func (s *Scheduler) admitFrom(from int, assignment []int) (int, error) {
+	if from < 1 || from > s.n {
+		return 0, fmt.Errorf("core: resume segment %d outside 1..%d", from, s.n)
+	}
+	if s.cap > 0 {
+		return s.admitFromCapped(from, assignment), nil
+	}
+	i := s.current
+	s.requests++
+	placed := 0
+	for j := from; j <= s.n; j++ {
+		// The j-th segment is the (j-from+1)-th the customer consumes.
+		deadline := s.periods[j-from+1]
+		if s.lastSched[j] >= i+1 && s.lastSched[j] <= i+deadline {
+			if assignment != nil {
+				assignment[j] = s.lastSched[j]
+			}
+			continue
+		}
+		var slot int
+		switch s.policy {
+		case PolicyHeuristic:
+			slot, _ = s.ring.MinLoadLatest(i+1, i+deadline)
+		case PolicyMinLoadEarliest:
+			slot, _ = s.ring.MinLoadEarliest(i+1, i+deadline)
+		default: // PolicyNaive
+			slot = i + deadline
+		}
+		s.ring.Add(slot, j)
+		if slot > s.lastSched[j] {
+			s.lastSched[j] = slot
+		}
+		s.instances++
+		placed++
+		if assignment != nil {
+			assignment[j] = slot
+		}
+	}
+	return placed, nil
+}
+
+// admitFromCapped is the client-bandwidth-capped resume path.
+func (s *Scheduler) admitFromCapped(from int, assignment []int) int {
+	i := s.current
+	s.requests++
+	for k := range s.clientLoad {
+		s.clientLoad[k] = 0
+	}
+	placed := 0
+	for j := from; j <= s.n; j++ {
+		hi := i + s.periods[j-from+1]
+		chosen := -1
+		inst := s.pruneInstances(j)
+		for k := len(inst) - 1; k >= 0; k-- {
+			slot := inst[k]
+			if slot > hi {
+				continue
+			}
+			if s.clientLoad[slot-i-1] < s.cap {
+				chosen = slot
+				break
+			}
+		}
+		if chosen < 0 {
+			bestLoad := int(^uint(0) >> 1)
+			for slot := hi; slot >= i+1; slot-- {
+				if s.clientLoad[slot-i-1] >= s.cap {
+					continue
+				}
+				if l := s.ring.Load(slot); l < bestLoad {
+					chosen, bestLoad = slot, l
+				}
+			}
+			if chosen < 0 {
+				panic(fmt.Sprintf("core: no feasible resume slot for segment %d (cap %d)", j, s.cap))
+			}
+			s.ring.Add(chosen, j)
+			s.insertInstance(j, chosen)
+			if chosen > s.lastSched[j] {
+				s.lastSched[j] = chosen
+			}
+			s.instances++
+			placed++
+		}
+		s.clientLoad[chosen-i-1]++
+		if assignment != nil {
+			assignment[j] = chosen
+		}
+	}
+	return placed
+}

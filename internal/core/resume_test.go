@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"vodcast/internal/sim"
+)
+
+func TestAdmitFromValidation(t *testing.T) {
+	s := mustNew(t, Config{Segments: 10})
+	if _, err := s.AdmitFrom(0); err == nil {
+		t.Error("from 0 accepted")
+	}
+	if _, err := s.AdmitFrom(11); err == nil {
+		t.Error("from beyond n accepted")
+	}
+}
+
+func TestAdmitFromOneEqualsAdmit(t *testing.T) {
+	a := mustNew(t, Config{Segments: 15, StartSlot: 1})
+	b := mustNew(t, Config{Segments: 15, StartSlot: 1})
+	fromOne, err := a.AdmitFromTraced(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := b.AdmitTraced()
+	for j := 1; j <= 15; j++ {
+		if fromOne[j] != plain[j] {
+			t.Fatalf("segment %d: resume-from-1 slot %d vs admit slot %d", j, fromOne[j], plain[j])
+		}
+	}
+}
+
+func TestResumeDeadlines(t *testing.T) {
+	// A resume from segment k consumes segment j during slot i + (j-k+1),
+	// so the instance must arrive no later than that.
+	s := mustNew(t, Config{Segments: 12, StartSlot: 1})
+	got, err := s.AdmitFromTraced(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= 4; j++ {
+		if got[j] != 0 {
+			t.Fatalf("segment %d scheduled for a resume from 5", j)
+		}
+	}
+	for j := 5; j <= 12; j++ {
+		deadline := 1 + (j - 5 + 1)
+		if got[j] < 2 || got[j] > deadline {
+			t.Fatalf("segment %d served at slot %d outside [2, %d]", j, got[j], deadline)
+		}
+	}
+}
+
+func TestResumeSharesWithOrdinaryRequests(t *testing.T) {
+	s := mustNew(t, Config{Segments: 20, StartSlot: 1})
+	s.Admit() // full request schedules S_j at slot 1+j
+	// A resume from segment 10 in the same slot needs S10..S20 by slots
+	// 2..12; the full request's instances sit at 11..21, too late for the
+	// early suffix but fine for nothing — the resume must schedule its own
+	// early copies yet share none too late.
+	added, err := s.AdmitFrom(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added == 0 {
+		t.Fatal("resume shared instances that violate its deadlines")
+	}
+	if added > 11 {
+		t.Fatalf("resume scheduled %d instances for an 11-segment suffix", added)
+	}
+}
+
+func TestOrdinaryRequestsShareResumeInstances(t *testing.T) {
+	s := mustNew(t, Config{Segments: 10, StartSlot: 1})
+	if _, err := s.AdmitFrom(6); err != nil {
+		t.Fatal(err)
+	}
+	// Segments 6..10 now sit in slots 2..6. A full request in the same
+	// slot has deadlines 1+j >= those slots, so it shares all of them.
+	added := s.Admit()
+	if added != 5 {
+		t.Fatalf("full request scheduled %d new instances, want 5 (S1..S5 only)", added)
+	}
+}
+
+func TestResumeTimelinessUnderLoad(t *testing.T) {
+	s := mustNew(t, Config{Segments: 25})
+	rng := sim.NewRNG(91)
+	for step := 0; step < 3000; step++ {
+		i := s.CurrentSlot()
+		for a := 0; a < rng.Poisson(0.5); a++ {
+			from := 1 + rng.Intn(25)
+			got, err := s.AdmitFromTraced(from)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := from; j <= 25; j++ {
+				deadline := i + (j - from + 1)
+				if got[j] < i+1 || got[j] > deadline {
+					t.Fatalf("resume from %d at slot %d: segment %d served at %d outside [%d, %d]",
+						from, i, j, got[j], i+1, deadline)
+				}
+			}
+		}
+		s.AdvanceSlot()
+	}
+}
+
+func TestResumeCappedRespectsClientBandwidth(t *testing.T) {
+	s := mustNew(t, Config{Segments: 20, MaxClientStreams: 2})
+	rng := sim.NewRNG(93)
+	for step := 0; step < 2500; step++ {
+		i := s.CurrentSlot()
+		for a := 0; a < rng.Poisson(0.6); a++ {
+			from := 1 + rng.Intn(20)
+			got, err := s.AdmitFromTraced(from)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := make(map[int]int)
+			for j := from; j <= 20; j++ {
+				deadline := i + (j - from + 1)
+				if got[j] < i+1 || got[j] > deadline {
+					t.Fatalf("capped resume: segment %d at %d outside [%d, %d]", j, got[j], i+1, deadline)
+				}
+				counts[got[j]]++
+				if counts[got[j]] > 2 {
+					t.Fatalf("capped resume downloads %d streams at once", counts[got[j]])
+				}
+			}
+		}
+		s.AdvanceSlot()
+	}
+}
+
+func TestResumeFromLastSegment(t *testing.T) {
+	s := mustNew(t, Config{Segments: 8, StartSlot: 1})
+	added, err := s.AdmitFrom(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 {
+		t.Fatalf("resume from the final segment scheduled %d instances, want 1", added)
+	}
+	if got := s.ScheduledAt(2); got != nil {
+		t.Skip("tracking disabled") // tracking off in this config
+	}
+}
+
+func TestResumeConservation(t *testing.T) {
+	s := mustNew(t, Config{Segments: 15})
+	rng := sim.NewRNG(95)
+	var transmitted int64
+	for step := 0; step < 2000; step++ {
+		for a := 0; a < rng.Poisson(0.4); a++ {
+			if _, err := s.AdmitFrom(1 + rng.Intn(15)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		transmitted += int64(s.AdvanceSlot().Load)
+	}
+	for k := 0; k <= 15; k++ {
+		transmitted += int64(s.AdvanceSlot().Load)
+	}
+	if transmitted != s.Instances() {
+		t.Fatalf("transmitted %d, scheduled %d", transmitted, s.Instances())
+	}
+}

@@ -1,0 +1,254 @@
+// Package core implements the paper's contribution: the Dynamic Heuristic
+// Broadcasting (DHB) protocol of Figure 6.
+//
+// DHB is a slotted protocol. A video is split into n segments of equal
+// duration d; requests arriving during slot i are served by a transmission
+// schedule starting at slot i+1. Each segment S_j carries a maximum period
+// T[j] (T[j] = j for constant-bit-rate video): a request is satisfied by any
+// instance of S_j transmitted in the window [i+1, i+T[j]]. When no such
+// instance exists, DHB schedules a new one in the window slot with the
+// minimum number of already-scheduled instances, breaking ties toward the
+// latest slot so future requests have the best chance of sharing it.
+//
+// The package also provides the naive variant Section 3 discusses (always
+// schedule at the last possible slot i+T[j]), whose bandwidth peaks grow to
+// n times the consumption rate, and the VBR planning pipeline of Section 4
+// (solutions DHB-a through DHB-d).
+package core
+
+import (
+	"fmt"
+
+	"vodcast/internal/slots"
+	"vodcast/internal/video"
+)
+
+// Policy selects how the scheduler places a segment instance that no
+// previous schedule covers.
+type Policy int
+
+const (
+	// PolicyHeuristic is the DHB rule of Figure 6: minimum-load slot in the
+	// window, ties broken toward the latest slot.
+	PolicyHeuristic Policy = iota + 1
+	// PolicyNaive is Section 3's strawman: always the latest slot of the
+	// window. It maximizes sharing but piles transmissions into common
+	// slots, producing bandwidth peaks up to n instances in one slot.
+	PolicyNaive
+	// PolicyMinLoadEarliest is an ablation of Figure 6's tie-breaking rule:
+	// minimum-load slot, ties toward the EARLIEST slot. It flattens peaks
+	// exactly like the heuristic but forfeits sharing, because instances
+	// placed early leave the next request's window sooner.
+	PolicyMinLoadEarliest
+)
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Segments is the number of video segments n.
+	Segments int
+	// Periods is the 1-based maximum-period vector T (Periods[0] unused).
+	// Nil selects the CBR default T[i] = i. Section 4's DHB-d solution
+	// passes the work-ahead periods derived by internal/smoothing.
+	Periods []int
+	// Policy selects the placement rule; the zero value means
+	// PolicyHeuristic.
+	Policy Policy
+	// MaxClientStreams caps how many streams one set-top box may receive
+	// simultaneously (Section 5's future-work variant). Zero means
+	// unlimited, the published protocol. A positive cap requires the
+	// heuristic policy.
+	MaxClientStreams int
+	// TrackSegments records which segment ids occupy each slot, needed by
+	// the schedule visualizer and the golden tests. Leave it off in large
+	// simulations.
+	TrackSegments bool
+	// StartSlot is the index of the first transmission slot (the paper's
+	// figures number slots from 1). The scheduler begins with this slot
+	// current.
+	StartSlot int
+}
+
+// SlotReport describes one retired (transmitted) slot.
+type SlotReport struct {
+	// Slot is the absolute slot index.
+	Slot int
+	// Load is the number of segment instances transmitted during the slot,
+	// i.e. the slot's bandwidth in multiples of the consumption rate.
+	Load int
+	// Segments lists the transmitted segment ids when tracking is enabled.
+	Segments []int
+}
+
+// Scheduler is the DHB transmission scheduler for a single video. It is not
+// safe for concurrent use; every simulation drives it from one goroutine.
+type Scheduler struct {
+	n       int
+	periods []int
+	policy  Policy
+	ring    *slots.Ring
+	// lastSched[j] is the most recent slot holding an instance of segment
+	// j, or a sentinel below every real slot. Because every instance for a
+	// request arriving in slot i lands no later than i+T[j], an instance
+	// exists in the window [i+1, i+T[j]] if and only if lastSched[j] >= i+1.
+	lastSched []int
+	current   int
+
+	// Client-bandwidth-capped mode (cap > 0) additionally tracks every
+	// future instance per segment and a per-request slot-occupancy scratch.
+	cap        int
+	futureInst [][]int
+	clientLoad []int
+
+	requests  int64
+	instances int64
+}
+
+// New validates cfg and returns a scheduler whose current slot is
+// cfg.StartSlot.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Segments <= 0 {
+		return nil, fmt.Errorf("core: segment count %d must be positive", cfg.Segments)
+	}
+	periods := cfg.Periods
+	if periods == nil {
+		periods = video.DefaultPeriods(cfg.Segments)
+	}
+	if err := video.ValidatePeriods(periods, cfg.Segments); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	policy := cfg.Policy
+	if policy == 0 {
+		policy = PolicyHeuristic
+	}
+	if policy != PolicyHeuristic && policy != PolicyNaive && policy != PolicyMinLoadEarliest {
+		return nil, fmt.Errorf("core: unknown policy %d", policy)
+	}
+	if cfg.StartSlot < 0 {
+		return nil, fmt.Errorf("core: start slot %d must be non-negative", cfg.StartSlot)
+	}
+	if cfg.MaxClientStreams < 0 {
+		return nil, fmt.Errorf("core: client stream cap %d must be non-negative", cfg.MaxClientStreams)
+	}
+	if cfg.MaxClientStreams > 0 && policy != PolicyHeuristic {
+		return nil, fmt.Errorf("core: client stream cap requires the heuristic policy")
+	}
+	maxP := 0
+	for j := 1; j <= cfg.Segments; j++ {
+		if periods[j] > maxP {
+			maxP = periods[j]
+		}
+	}
+	own := make([]int, len(periods))
+	copy(own, periods)
+	s := &Scheduler{
+		n:       cfg.Segments,
+		periods: own,
+		policy:  policy,
+		ring:    slots.NewRing(maxP+1, cfg.StartSlot, cfg.TrackSegments),
+		current: cfg.StartSlot,
+	}
+	s.lastSched = make([]int, cfg.Segments+1)
+	for j := range s.lastSched {
+		s.lastSched[j] = cfg.StartSlot - 1 // below any schedulable slot
+	}
+	if cfg.MaxClientStreams > 0 {
+		s.cap = cfg.MaxClientStreams
+		s.futureInst = make([][]int, cfg.Segments+1)
+		s.clientLoad = make([]int, maxP)
+	}
+	return s, nil
+}
+
+// ClientStreamCap reports the per-client concurrent stream cap (0 =
+// unlimited).
+func (s *Scheduler) ClientStreamCap() int { return s.cap }
+
+// N reports the segment count.
+func (s *Scheduler) N() int { return s.n }
+
+// CurrentSlot reports the slot currently being transmitted; arrivals admitted
+// now are served starting at CurrentSlot()+1.
+func (s *Scheduler) CurrentSlot() int { return s.current }
+
+// Requests reports how many requests have been admitted.
+func (s *Scheduler) Requests() int64 { return s.requests }
+
+// Instances reports how many segment instances have been scheduled in total.
+func (s *Scheduler) Instances() int64 { return s.instances }
+
+// Period reports T[j].
+func (s *Scheduler) Period(j int) int { return s.periods[j] }
+
+// Admit processes one request arriving during the current slot, scheduling
+// whatever segment instances previous schedules do not already cover, and
+// reports how many new instances it added.
+func (s *Scheduler) Admit() int {
+	return len(s.admit(nil))
+}
+
+// AdmitTraced is Admit returning the full per-segment assignment: result[j]
+// is the slot whose instance of segment j serves this request (either newly
+// scheduled or shared). result[0] is unused. It allocates; large simulations
+// use Admit.
+func (s *Scheduler) AdmitTraced() []int {
+	assignment := make([]int, s.n+1)
+	s.admit(assignment)
+	return assignment
+}
+
+// admit implements Figure 6. When assignment is non-nil it is filled with
+// the serving slot of every segment. It returns the slots of newly scheduled
+// instances (shared segments contribute nothing).
+func (s *Scheduler) admit(assignment []int) []int {
+	if s.cap > 0 {
+		return s.admitCapped(assignment)
+	}
+	i := s.current
+	s.requests++
+	var placed []int
+	for j := 1; j <= s.n; j++ {
+		if s.lastSched[j] >= i+1 {
+			// A timely instance is already scheduled; share it.
+			if assignment != nil {
+				assignment[j] = s.lastSched[j]
+			}
+			continue
+		}
+		var slot int
+		switch s.policy {
+		case PolicyHeuristic:
+			slot, _ = s.ring.MinLoadLatest(i+1, i+s.periods[j])
+		case PolicyMinLoadEarliest:
+			slot, _ = s.ring.MinLoadEarliest(i+1, i+s.periods[j])
+		default: // PolicyNaive
+			slot = i + s.periods[j]
+		}
+		s.ring.Add(slot, j)
+		s.lastSched[j] = slot
+		s.instances++
+		placed = append(placed, slot)
+		if assignment != nil {
+			assignment[j] = slot
+		}
+	}
+	return placed
+}
+
+// ScheduledAt lists the segment ids currently scheduled in the given slot
+// (only when the scheduler was built with TrackSegments).
+func (s *Scheduler) ScheduledAt(slot int) []int { return s.ring.Segments(slot) }
+
+// LoadAt reports the number of instances currently scheduled in the given
+// slot, which must lie inside the tracked window
+// [CurrentSlot, CurrentSlot+maxPeriod].
+func (s *Scheduler) LoadAt(slot int) int { return s.ring.Load(slot) }
+
+// AdvanceSlot finishes transmitting the current slot and moves to the next,
+// returning what the finished slot carried. Requests cannot add instances to
+// a slot once it is current (their windows start one slot later), so the
+// report is final.
+func (s *Scheduler) AdvanceSlot() SlotReport {
+	abs, load, segs := s.ring.Retire()
+	s.current++
+	return SlotReport{Slot: abs, Load: load, Segments: segs}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"vodcast/internal/smoothing"
+	"vodcast/internal/trace"
+	"vodcast/internal/video"
+)
+
+// VBRVariant identifies one of the four compressed-video solutions of the
+// paper's Section 4.
+type VBRVariant int
+
+const (
+	// VariantA allocates each stream the worst one-second bit rate of the
+	// video and streams segments just in time (the base solution DHB-a).
+	VariantA VBRVariant = iota + 1
+	// VariantB downloads each segment completely before it is watched, so
+	// streams only need the worst per-segment average rate (DHB-b).
+	VariantB
+	// VariantC adds smoothing by work-ahead: streams run at the minimal
+	// feasible constant rate and segments pack tighter, so fewer of them
+	// carry the whole video (DHB-c).
+	VariantC
+	// VariantD additionally relaxes each segment's minimum transmission
+	// frequency to the latest deadline the work-ahead buffer allows (DHB-d).
+	VariantD
+)
+
+// String returns the paper's name for the variant.
+func (v VBRVariant) String() string {
+	switch v {
+	case VariantA:
+		return "DHB-a"
+	case VariantB:
+		return "DHB-b"
+	case VariantC:
+		return "DHB-c"
+	case VariantD:
+		return "DHB-d"
+	default:
+		return fmt.Sprintf("VBRVariant(%d)", int(v))
+	}
+}
+
+// VBRSolution is a ready-to-schedule plan for distributing one VBR video:
+// feed Segments and Periods into a Scheduler and multiply its per-slot loads
+// by Rate to obtain bandwidth in bytes per second.
+type VBRSolution struct {
+	// Variant identifies the plan.
+	Variant VBRVariant
+	// Rate is the per-stream bandwidth in bytes per second.
+	Rate float64
+	// Segments is the number of transmission units n.
+	Segments int
+	// SlotDuration is the slot length d in seconds.
+	SlotDuration float64
+	// Periods is the 1-based maximum-period vector to pass to Config.
+	Periods []int
+	// WorkAheadBuffer is the maximum client buffer occupancy in bytes for
+	// the smoothed variants (C and D); zero for A and B, whose buffering
+	// needs stay within a couple of segments.
+	WorkAheadBuffer float64
+}
+
+// SchedulerConfig builds the scheduler configuration that realizes the plan.
+func (s VBRSolution) SchedulerConfig() Config {
+	return Config{Segments: s.Segments, Periods: s.Periods}
+}
+
+// SaturatedBandwidth reports the plan's average bandwidth in bytes per
+// second when the video is in permanent demand (at least one request per
+// slot): every segment is then transmitted at its minimum frequency, so the
+// mean load is the sum of 1/T[j].
+func (s VBRSolution) SaturatedBandwidth() float64 {
+	load := 0.0
+	for j := 1; j <= s.Segments; j++ {
+		load += 1 / float64(s.Periods[j])
+	}
+	return load * s.Rate
+}
+
+// PlanVBR derives the four Section 4 solutions for distributing the traced
+// video with the given maximum waiting time in seconds.
+func PlanVBR(tr *trace.Trace, maxWait float64) (map[VBRVariant]VBRSolution, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("core: nil trace")
+	}
+	if maxWait <= 0 {
+		return nil, fmt.Errorf("core: max wait %v must be positive", maxWait)
+	}
+	n := int(math.Ceil(tr.Duration() / maxWait))
+	d := tr.Duration() / float64(n)
+
+	out := make(map[VBRVariant]VBRSolution, 4)
+
+	// DHB-a: every stream carries the worst one-second rate.
+	out[VariantA] = VBRSolution{
+		Variant:      VariantA,
+		Rate:         tr.Peak(),
+		Segments:     n,
+		SlotDuration: d,
+		Periods:      video.DefaultPeriods(n),
+	}
+
+	// DHB-b: worst per-segment average rate.
+	rateB, err := smoothing.PeakSegmentRate(tr, n)
+	if err != nil {
+		return nil, fmt.Errorf("core: plan DHB-b: %w", err)
+	}
+	out[VariantB] = VBRSolution{
+		Variant:      VariantB,
+		Rate:         rateB,
+		Segments:     n,
+		SlotDuration: d,
+		Periods:      video.DefaultPeriods(n),
+	}
+
+	// DHB-c: work-ahead smoothing at the minimal feasible constant rate.
+	rateC, err := smoothing.MinWorkAheadRate(tr, d)
+	if err != nil {
+		return nil, fmt.Errorf("core: plan DHB-c: %w", err)
+	}
+	nC, err := smoothing.PackedSegments(tr, d, rateC)
+	if err != nil {
+		return nil, fmt.Errorf("core: plan DHB-c: %w", err)
+	}
+	bufC, err := smoothing.VerifyFeasible(tr, d, rateC, video.DefaultPeriods(nC))
+	if err != nil {
+		return nil, fmt.Errorf("core: DHB-c plan infeasible: %w", err)
+	}
+	out[VariantC] = VBRSolution{
+		Variant:         VariantC,
+		Rate:            rateC,
+		Segments:        nC,
+		SlotDuration:    d,
+		Periods:         video.DefaultPeriods(nC),
+		WorkAheadBuffer: bufC,
+	}
+
+	// DHB-d: same transmission plan with relaxed minimum frequencies.
+	periodsD, err := smoothing.Periods(tr, d, rateC, nC)
+	if err != nil {
+		return nil, fmt.Errorf("core: plan DHB-d: %w", err)
+	}
+	bufD, err := smoothing.VerifyFeasible(tr, d, rateC, periodsD)
+	if err != nil {
+		return nil, fmt.Errorf("core: DHB-d plan infeasible: %w", err)
+	}
+	out[VariantD] = VBRSolution{
+		Variant:         VariantD,
+		Rate:            rateC,
+		Segments:        nC,
+		SlotDuration:    d,
+		Periods:         periodsD,
+		WorkAheadBuffer: bufD,
+	}
+	return out, nil
+}

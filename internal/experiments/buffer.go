@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"vodcast/internal/core"
+	"vodcast/internal/dynamic"
+	"vodcast/internal/metrics"
+	"vodcast/internal/sim"
+	"vodcast/internal/workload"
+)
+
+// BufferRow reports how much set-top-box storage one protocol demands at one
+// arrival rate — Section 2's question of whether "thirty minutes to one hour
+// of video data" suffices.
+type BufferRow struct {
+	RatePerHour float64
+	// Mean/Max buffer occupancy in segments, per protocol.
+	DHBMean float64
+	DHBMax  int
+	UDMean  float64
+	UDMax   int
+	// MinutesPerSegment converts segments to minutes of video.
+	MinutesPerSegment float64
+}
+
+// maxOccupancy computes the peak number of segments a customer holds before
+// consuming them, from the per-segment serving slots of one request:
+// segment j sits in the buffer from its arrival slot until it is consumed at
+// slot i+j.
+func maxOccupancy(assignment []int, admitSlot int) int {
+	type event struct {
+		at    int
+		delta int
+	}
+	var events []event
+	for j := 1; j < len(assignment); j++ {
+		arrive := assignment[j]
+		consume := admitSlot + j
+		if arrive >= consume {
+			// Arrives in its consumption slot: streams straight through.
+			continue
+		}
+		events = append(events, event{at: arrive, delta: 1}, event{at: consume, delta: -1})
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		// Consume before arrive at the same slot boundary.
+		return events[a].delta < events[b].delta
+	})
+	cur, max := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// BufferStudy measures client buffer occupancy for DHB and UD across rates.
+// Every request's assignment is inspected, so the statistics are exact for
+// the simulated horizon.
+func BufferStudy(cfg Config) ([]BufferRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := cfg.VideoSeconds / float64(cfg.Segments)
+	rows := make([]BufferRow, 0, len(cfg.Rates))
+	for i, rate := range cfg.Rates {
+		hours := cfg.hoursFor(rate)
+		horizonSlots := int(hours * 3600 / d)
+		seed := cfg.Seed + int64(i)*100
+		row := BufferRow{RatePerHour: rate, MinutesPerSegment: d / 60}
+
+		dhb, err := core.New(core.Config{Segments: cfg.Segments})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		row.DHBMean, row.DHBMax = measureBuffers(seed+1, rate, d, horizonSlots,
+			dhb.CurrentSlot, dhb.AdmitTraced, func() { dhb.AdvanceSlot() })
+
+		ud, err := dynamic.UD(cfg.Segments)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		row.UDMean, row.UDMax = measureBuffers(seed+2, rate, d, horizonSlots,
+			ud.CurrentSlot, ud.AdmitTraced, func() { ud.AdvanceSlot() })
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func measureBuffers(seed int64, rate, d float64, horizonSlots int,
+	current func() int, admit func() []int, advance func()) (mean float64, max int) {
+	rng := sim.NewRNG(seed)
+	arrivals := workload.NewSlottedArrivals(rng, workload.Constant(rate), d)
+	var reps metrics.Replicates
+	for slot := 0; slot < horizonSlots; slot++ {
+		for a := 0; a < arrivals.Next(); a++ {
+			occ := maxOccupancy(admit(), current())
+			reps.Add(float64(occ))
+			if occ > max {
+				max = occ
+			}
+		}
+		advance()
+	}
+	return reps.Mean(), max
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import "testing"
+
+func TestMaxOccupancy(t *testing.T) {
+	tests := []struct {
+		name       string
+		assignment []int
+		admit      int
+		want       int
+	}{
+		{
+			name:       "just in time",
+			assignment: []int{0, 1, 2, 3}, // segment j at slot j = consumption slot
+			admit:      0,
+			want:       0,
+		},
+		{
+			name:       "all early",
+			assignment: []int{0, 1, 1, 1}, // everything arrives in slot 1
+			admit:      0,
+			want:       2, // S2 and S3 buffered while S1 streams through
+		},
+		{
+			name:       "staggered",
+			assignment: []int{0, 1, 2, 2},
+			admit:      0,
+			want:       1,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := maxOccupancy(tt.assignment, tt.admit); got != tt.want {
+				t.Fatalf("maxOccupancy = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBufferStudyShape(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Rates = []float64{2, 200}
+	rows, err := BufferStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, high := rows[0], rows[1]
+	// At low rates requests are nearly isolated and delivery is close to
+	// just-in-time, so buffers stay small; heavy sharing at high rates
+	// means segments arrive early and buffers grow.
+	if low.DHBMean > high.DHBMean {
+		t.Fatalf("DHB buffer shrank with load: %.2f then %.2f", low.DHBMean, high.DHBMean)
+	}
+	for _, r := range rows {
+		if r.DHBMax > cfg.Segments || r.UDMax > cfg.Segments {
+			t.Fatalf("buffer above the whole video: %+v", r)
+		}
+		if r.MinutesPerSegment <= 0 {
+			t.Fatal("missing segment duration")
+		}
+	}
+	// Section 2 sanity: at heavy demand the needed buffer stays within the
+	// "thirty minutes to one hour" the paper's STBs provide (a half video
+	// here is ~60 minutes).
+	halfVideo := cfg.Segments / 2
+	if high.DHBMax > halfVideo+cfg.Segments/10 {
+		t.Fatalf("DHB needs %d segments of buffer, beyond the STB budget", high.DHBMax)
+	}
+}
+
+func TestBufferStudyValidation(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Rates = nil
+	if _, err := BufferStudy(cfg); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vodcast/internal/server"
+	"vodcast/internal/workload"
+)
+
+// CapacityRow describes how one channel-pool size behaves under admission
+// control: the bandwidth the pool actually carries and the waiting times
+// customers pay for deferral.
+type CapacityRow struct {
+	Capacity       float64
+	AvgBandwidth   float64
+	AvgWaitSeconds float64
+	MaxWaitSeconds float64
+	DeferredShare  float64
+	MaxQueue       int
+}
+
+// CapacityConfig parameterizes the provisioning study.
+type CapacityConfig struct {
+	// Videos is the catalogue size; every video uses Segments segments.
+	Videos   int
+	Segments int
+	// RatePerHour is the aggregate request rate.
+	RatePerHour float64
+	// VideoSeconds is the video duration D.
+	VideoSeconds float64
+	// HorizonSlots / WarmupSlots size the run.
+	HorizonSlots int
+	WarmupSlots  int
+	Seed         int64
+}
+
+// DefaultCapacityConfig is a three-video catalogue at 250 requests/hour,
+// whose unconstrained demand saturates around 13-14 streams.
+func DefaultCapacityConfig() CapacityConfig {
+	return CapacityConfig{
+		Videos:       3,
+		Segments:     99,
+		RatePerHour:  250,
+		VideoSeconds: 7200,
+		HorizonSlots: 4000,
+		WarmupSlots:  200,
+		Seed:         3,
+	}
+}
+
+// Capacity sweeps channel-pool sizes with deferral admission control,
+// producing the provisioning curve: a generous pool serves everyone within
+// one slot; shrinking it trades bandwidth for growing waits.
+func Capacity(cfg CapacityConfig, pools []float64) ([]CapacityRow, error) {
+	if cfg.Videos <= 0 || cfg.Segments <= 0 {
+		return nil, fmt.Errorf("experiments: capacity study needs positive videos (%d) and segments (%d)",
+			cfg.Videos, cfg.Segments)
+	}
+	if cfg.RatePerHour <= 0 || cfg.VideoSeconds <= 0 {
+		return nil, fmt.Errorf("experiments: capacity study needs positive rate and duration")
+	}
+	if len(pools) == 0 {
+		return nil, fmt.Errorf("experiments: empty pool sweep")
+	}
+	videos := make([]server.VideoSpec, cfg.Videos)
+	for i := range videos {
+		videos[i] = server.VideoSpec{
+			Name:     fmt.Sprintf("video-%d", i+1),
+			Segments: cfg.Segments,
+			Rate:     1,
+		}
+	}
+	d := cfg.VideoSeconds / float64(cfg.Segments)
+	rows := make([]CapacityRow, 0, len(pools))
+	for _, pool := range pools {
+		if pool <= 0 {
+			return nil, fmt.Errorf("experiments: pool size %v must be positive", pool)
+		}
+		srv, err := server.New(server.Config{
+			Videos:          videos,
+			ZipfSkew:        1,
+			Arrivals:        workload.Constant(cfg.RatePerHour),
+			SlotSeconds:     d,
+			HorizonSlots:    cfg.HorizonSlots,
+			WarmupSlots:     cfg.WarmupSlots,
+			ChannelCapacity: pool,
+			DeferRequests:   true,
+			Seed:            cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		rep := srv.Run()
+		row := CapacityRow{
+			Capacity:       pool,
+			AvgBandwidth:   rep.AvgBandwidth,
+			AvgWaitSeconds: rep.AvgWaitSeconds,
+			MaxWaitSeconds: rep.MaxWaitSeconds,
+			MaxQueue:       rep.MaxQueue,
+		}
+		if rep.Requests+rep.DeferredRequests > 0 {
+			row.DeferredShare = float64(rep.DeferredRequests) / float64(rep.Requests)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import "testing"
+
+func quickCapacityConfig() CapacityConfig {
+	cfg := DefaultCapacityConfig()
+	cfg.HorizonSlots = 2500
+	cfg.WarmupSlots = 100
+	return cfg
+}
+
+func TestCapacityValidation(t *testing.T) {
+	cfg := quickCapacityConfig()
+	if _, err := Capacity(cfg, nil); err == nil {
+		t.Error("empty pools accepted")
+	}
+	if _, err := Capacity(cfg, []float64{0}); err == nil {
+		t.Error("zero pool accepted")
+	}
+	bad := cfg
+	bad.Videos = 0
+	if _, err := Capacity(bad, []float64{10}); err == nil {
+		t.Error("zero videos accepted")
+	}
+	bad = cfg
+	bad.RatePerHour = 0
+	if _, err := Capacity(bad, []float64{10}); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestCapacityCurveShape(t *testing.T) {
+	rows, err := Capacity(quickCapacityConfig(), []float64{30, 14, 12, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous pool: nobody deferred, waits within a slot.
+	first := rows[0]
+	if first.DeferredShare != 0 {
+		t.Fatalf("pool 30 deferred %.3f of requests", first.DeferredShare)
+	}
+	// Shrinking the pool must monotonically raise average waits and the
+	// deferred share.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AvgWaitSeconds < rows[i-1].AvgWaitSeconds-1 {
+			t.Errorf("avg wait fell from %.1f to %.1f when the pool shrank to %v",
+				rows[i-1].AvgWaitSeconds, rows[i].AvgWaitSeconds, rows[i].Capacity)
+		}
+		if rows[i].DeferredShare < rows[i-1].DeferredShare-0.01 {
+			t.Errorf("deferred share fell when the pool shrank to %v", rows[i].Capacity)
+		}
+	}
+	// The tightest pool visibly defers and throttles bandwidth near the
+	// pool size.
+	last := rows[len(rows)-1]
+	if last.DeferredShare <= 0 {
+		t.Fatal("tightest pool never deferred")
+	}
+	if last.AvgBandwidth > last.Capacity+2 {
+		t.Fatalf("throttled bandwidth %.1f far above the pool %v", last.AvgBandwidth, last.Capacity)
+	}
+}
+
+func TestStorageValidation(t *testing.T) {
+	cfg := DefaultStorageConfig()
+	cfg.Segments = 0
+	if _, err := Storage(cfg); err == nil {
+		t.Error("zero segments accepted")
+	}
+	cfg = DefaultStorageConfig()
+	cfg.MaxDisks = 0
+	if _, err := Storage(cfg); err == nil {
+		t.Error("zero disks accepted")
+	}
+}
+
+func TestStorageShape(t *testing.T) {
+	cfg := DefaultStorageConfig()
+	cfg.HorizonSlots = 3000
+	rows, err := Storage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]StorageRow, len(rows))
+	for _, r := range rows {
+		byName[r.Policy] = r
+		if r.DisksNeeded < r.MinDiskBound {
+			t.Errorf("%s: %d disks below the information floor %d", r.Policy, r.DisksNeeded, r.MinDiskBound)
+		}
+		if r.MaxBusy > 1.0 {
+			t.Errorf("%s: chosen array over capacity (%.2f)", r.Policy, r.MaxBusy)
+		}
+	}
+	heuristic := byName["DHB heuristic"]
+	naive := byName["naive latest-slot"]
+	if heuristic.DisksNeeded > naive.DisksNeeded {
+		t.Fatalf("heuristic needs %d disks, naive %d", heuristic.DisksNeeded, naive.DisksNeeded)
+	}
+	if naive.PeakLoad <= heuristic.PeakLoad {
+		t.Fatalf("naive peak %d not above heuristic peak %d", naive.PeakLoad, heuristic.PeakLoad)
+	}
+}

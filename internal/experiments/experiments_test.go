@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"testing"
+
+	"vodcast/internal/core"
+)
+
+// sweepOnce caches the quick sweep: several shape tests read the same rows.
+var sweepRows []SweepRow
+
+func quickSweep(t *testing.T) []SweepRow {
+	t.Helper()
+	if sweepRows != nil {
+		return sweepRows
+	}
+	cfg := QuickConfig()
+	cfg.IncludeAblation = true
+	rows, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepRows = rows
+	return rows
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{name: "empty rates", mut: func(c *Config) { c.Rates = nil }},
+		{name: "negative rate", mut: func(c *Config) { c.Rates = []float64{-1} }},
+		{name: "zero segments", mut: func(c *Config) { c.Segments = 0 }},
+		{name: "zero video", mut: func(c *Config) { c.VideoSeconds = 0 }},
+		{name: "bad hours", mut: func(c *Config) { c.MaxHours = c.MinHours - 1 }},
+		{name: "negative warmup", mut: func(c *Config) { c.WarmupSlots = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mut(&cfg)
+			if _, err := Sweep(cfg); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestHoursForClamps(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.hoursFor(1); got != cfg.MaxHours {
+		t.Fatalf("hoursFor(1) = %v, want clamp to %v", got, cfg.MaxHours)
+	}
+	if got := cfg.hoursFor(1e6); got != cfg.MinHours {
+		t.Fatalf("hoursFor(1e6) = %v, want clamp to %v", got, cfg.MinHours)
+	}
+	if got := cfg.hoursFor(100); got != cfg.TargetRequests/100 {
+		t.Fatalf("hoursFor(100) = %v, want %v", got, cfg.TargetRequests/100)
+	}
+}
+
+// TestFig7Shape pins the paper's Figure 7: DHB needs less average bandwidth
+// than stream tapping, UD and NPB at every rate above two requests per hour;
+// NPB is flat at its stream count; tapping grows without bound.
+func TestFig7Shape(t *testing.T) {
+	rows := quickSweep(t)
+	for _, r := range rows {
+		if r.NPB != 6 {
+			t.Fatalf("rate %v: NPB = %v streams, want the flat 6 for 99 segments", r.RatePerHour, r.NPB)
+		}
+		if r.RatePerHour >= 2 {
+			if r.DHBAvg >= r.TappingAvg {
+				t.Errorf("rate %v: DHB avg %.2f not below tapping %.2f", r.RatePerHour, r.DHBAvg, r.TappingAvg)
+			}
+			if r.DHBAvg >= r.UDAvg {
+				t.Errorf("rate %v: DHB avg %.2f not below UD %.2f", r.RatePerHour, r.DHBAvg, r.UDAvg)
+			}
+			if r.DHBAvg >= r.NPB {
+				t.Errorf("rate %v: DHB avg %.2f not below NPB %.0f", r.RatePerHour, r.DHBAvg, r.NPB)
+			}
+		}
+	}
+	// Tapping must eventually cross above both UD and NPB (the whole point
+	// of proactive protocols at high rates).
+	last := rows[len(rows)-1]
+	if last.TappingAvg <= last.NPB {
+		t.Fatalf("tapping avg %.2f did not cross above NPB at %v/h", last.TappingAvg, last.RatePerHour)
+	}
+	// UD saturates to its FB stream count of 7; DHB saturates below NPB.
+	if last.UDAvg < 6.8 || last.UDAvg > 7.0 {
+		t.Fatalf("UD saturation = %.2f, want about 7", last.UDAvg)
+	}
+	if last.DHBAvg < 4.5 || last.DHBAvg >= 6 {
+		t.Fatalf("DHB saturation = %.2f, want within [4.5, 6) (H(99) = 5.17)", last.DHBAvg)
+	}
+}
+
+func TestFig7DHBMonotone(t *testing.T) {
+	rows := quickSweep(t)
+	for i := 1; i < len(rows); i++ {
+		if rows[i].DHBAvg < rows[i-1].DHBAvg-0.05 {
+			t.Fatalf("DHB average bandwidth decreased from %.2f to %.2f between %v and %v req/h",
+				rows[i-1].DHBAvg, rows[i].DHBAvg, rows[i-1].RatePerHour, rows[i].RatePerHour)
+		}
+	}
+}
+
+// TestFig8Shape pins the paper's Figure 8: NPB has the smallest maximum
+// bandwidth, DHB the highest, and the DHB-NPB gap never exceeds twice the
+// consumption rate.
+func TestFig8Shape(t *testing.T) {
+	rows := quickSweep(t)
+	for _, r := range rows {
+		if r.DHBMax > r.NPB+2 {
+			t.Errorf("rate %v: DHB max %.0f exceeds NPB+2 = %.0f (paper: gap never above 2b)",
+				r.RatePerHour, r.DHBMax, r.NPB+2)
+		}
+		if r.UDMax > 7 {
+			t.Errorf("rate %v: UD max %.0f above its 7-stream ceiling", r.RatePerHour, r.UDMax)
+		}
+	}
+	last := rows[len(rows)-1]
+	if !(last.NPB <= last.UDMax && last.UDMax <= last.DHBMax) {
+		t.Fatalf("saturated ordering NPB (%v) <= UD max (%v) <= DHB max (%v) violated",
+			last.NPB, last.UDMax, last.DHBMax)
+	}
+}
+
+// TestAblationShape pins Section 3's finding: the dynamic pagoda protocol
+// stays between DHB and static NPB, which is why the authors abandoned it
+// for the heuristic approach.
+func TestAblationShape(t *testing.T) {
+	rows := quickSweep(t)
+	for _, r := range rows {
+		if r.DNPBAvg == 0 {
+			t.Fatal("ablation rows not populated")
+		}
+		if r.DNPBAvg > r.NPB {
+			t.Errorf("rate %v: dynamic pagoda avg %.2f above its static parent %.0f", r.RatePerHour, r.DNPBAvg, r.NPB)
+		}
+		if r.RatePerHour >= 10 && r.DHBAvg >= r.DNPBAvg {
+			t.Errorf("rate %v: DHB avg %.2f not below dynamic pagoda %.2f", r.RatePerHour, r.DHBAvg, r.DNPBAvg)
+		}
+		if r.DNPBMax > 6 {
+			t.Errorf("rate %v: dynamic pagoda max %.0f above 6 streams", r.RatePerHour, r.DNPBMax)
+		}
+	}
+}
+
+// TestPeaks pins Section 3's motivation for the heuristic: naive latest-slot
+// scheduling produces bandwidth peaks several times those of DHB.
+func TestPeaks(t *testing.T) {
+	res, err := Peaks(120, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NaiveMax < 3*res.HeuristicMax {
+		t.Fatalf("naive peak %d not at least 3x the heuristic peak %d", res.NaiveMax, res.HeuristicMax)
+	}
+	if res.HeuristicMax > 10 {
+		t.Fatalf("heuristic peak %d too high for 120 segments", res.HeuristicMax)
+	}
+	// Both policies transmit nearly the same average bandwidth; the
+	// heuristic buys its flat peaks with at most a small average overhead.
+	if res.HeuristicAvg > res.NaiveAvg*1.1 {
+		t.Fatalf("heuristic avg %.2f much above naive avg %.2f", res.HeuristicAvg, res.NaiveAvg)
+	}
+}
+
+func TestPeaksValidation(t *testing.T) {
+	if _, err := Peaks(0, 10); err == nil {
+		t.Fatal("zero segments should error")
+	}
+	if _, err := Peaks(10, 0); err == nil {
+		t.Fatal("zero horizon should error")
+	}
+}
+
+// TestFig9Shape pins the paper's Figure 9: at every rate the bandwidth
+// ordering is UD > DHB-a > DHB-b > DHB-c >= DHB-d (in MB/s), and switching
+// from peak-rate streams to deterministic waiting (a -> b) is the largest
+// single saving.
+func TestFig9Shape(t *testing.T) {
+	cfg := QuickVBRConfig()
+	cfg.Rates = []float64{1, 10, 100, 1000}
+	rows, plans, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans[core.VariantA].Segments != 137 {
+		t.Fatalf("DHB-a plan has %d segments, want 137", plans[core.VariantA].Segments)
+	}
+	for _, r := range rows {
+		if !(r.UD > r.DHBA && r.DHBA > r.DHBB && r.DHBB > r.DHBC) {
+			t.Errorf("rate %v: ordering UD (%.2f) > a (%.2f) > b (%.2f) > c (%.2f) violated",
+				r.RatePerHour, r.UD, r.DHBA, r.DHBB, r.DHBC)
+		}
+		// DHB-d's relaxation can be statistically invisible at very low
+		// rates but must never cost bandwidth beyond noise.
+		if r.DHBD > r.DHBC+0.05 {
+			t.Errorf("rate %v: DHB-d (%.2f) above DHB-c (%.2f)", r.RatePerHour, r.DHBD, r.DHBC)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.DHBD >= last.DHBC {
+		t.Errorf("at saturation DHB-d (%.2f) must beat DHB-c (%.2f)", last.DHBD, last.DHBC)
+	}
+	if (last.DHBA - last.DHBB) < (last.DHBB - last.DHBC) {
+		t.Errorf("a->b saving %.2f should be the largest step (b->c %.2f)",
+			last.DHBA-last.DHBB, last.DHBB-last.DHBC)
+	}
+}
+
+func TestFig9Validation(t *testing.T) {
+	cfg := QuickVBRConfig()
+	cfg.Rates = nil
+	if _, _, err := Fig9(cfg); err == nil {
+		t.Fatal("empty rates should error")
+	}
+}

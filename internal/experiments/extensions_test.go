@@ -1,0 +1,255 @@
+package experiments
+
+import "testing"
+
+func extCfg() Config {
+	cfg := QuickConfig()
+	cfg.Rates = []float64{2, 20, 200}
+	return cfg
+}
+
+func TestClientCapShape(t *testing.T) {
+	rows, err := ClientCap(extCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Tighter client bandwidth costs the server more; the gap shrinks
+		// as demand saturates (everything transmits at minimum frequency
+		// anyway).
+		if !(r.Cap1 >= r.Cap2-0.05 && r.Cap2 >= r.Cap3-0.05 && r.Cap3 >= r.Unlimited-0.05) {
+			t.Errorf("rate %v: bandwidth not monotone in cap: 1=%.2f 2=%.2f 3=%.2f inf=%.2f",
+				r.RatePerHour, r.Cap1, r.Cap2, r.Cap3, r.Unlimited)
+		}
+	}
+	// The Section 5 conjecture: a cap of three is nearly free.
+	last := rows[len(rows)-1]
+	if last.Cap3 > last.Unlimited*1.2 {
+		t.Errorf("cap 3 (%.2f) more than 20%% above unlimited (%.2f) at %v/h",
+			last.Cap3, last.Unlimited, last.RatePerHour)
+	}
+	// But a cap of one must visibly hurt at low rates, where sharing is
+	// opportunistic.
+	first := rows[0]
+	if first.Cap1 <= first.Unlimited {
+		t.Errorf("cap 1 (%.2f) should exceed unlimited (%.2f) at %v/h",
+			first.Cap1, first.Unlimited, first.RatePerHour)
+	}
+}
+
+func TestClientCapValidation(t *testing.T) {
+	cfg := extCfg()
+	cfg.Segments = 0
+	if _, err := ClientCap(cfg); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestReactiveZooShape(t *testing.T) {
+	rows, err := ReactiveZoo(extCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Everything sits above the information-theoretic merging bound.
+		for name, v := range map[string]float64{
+			"tapping": r.Tapping, "hmsm": r.HMSM, "piggyback": r.Piggyback,
+		} {
+			if v < r.MergingBound {
+				t.Errorf("rate %v: %s (%.2f) below the merging bound (%.2f)",
+					r.RatePerHour, name, v, r.MergingBound)
+			}
+		}
+		// Hierarchical merging dominates threshold patching, which
+		// dominates rate-alteration piggybacking.
+		if !(r.HMSM <= r.Tapping && r.Tapping <= r.Piggyback) {
+			t.Errorf("rate %v: ordering hmsm (%.2f) <= tapping (%.2f) <= piggyback (%.2f) violated",
+				r.RatePerHour, r.HMSM, r.Tapping, r.Piggyback)
+		}
+	}
+	// At 200/h the fixed-cost hybrids win over pure reactive approaches.
+	last := rows[len(rows)-1]
+	if last.Catching > last.Tapping {
+		t.Errorf("selective catching (%.2f) above tapping (%.2f) at %v/h",
+			last.Catching, last.Tapping, last.RatePerHour)
+	}
+	if last.Batching > last.Tapping {
+		t.Errorf("batching (%.2f) above tapping (%.2f) at %v/h",
+			last.Batching, last.Tapping, last.RatePerHour)
+	}
+}
+
+func TestReactiveZooValidation(t *testing.T) {
+	cfg := extCfg()
+	cfg.Rates = nil
+	if _, err := ReactiveZoo(cfg); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestDSBComparisonShape(t *testing.T) {
+	rows, err := DSBComparison(extCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The related-work claim: DSB needs more server bandwidth than UD
+		// (the skyscraper mapping packs fewer segments per stream), and
+		// DHB beats both.
+		if r.DSB <= r.UD {
+			t.Errorf("rate %v: DSB (%.2f) not above UD (%.2f)", r.RatePerHour, r.DSB, r.UD)
+		}
+		if r.DHB >= r.UD {
+			t.Errorf("rate %v: DHB (%.2f) not below UD (%.2f)", r.RatePerHour, r.DHB, r.UD)
+		}
+	}
+}
+
+func TestDSBComparisonValidation(t *testing.T) {
+	cfg := extCfg()
+	cfg.VideoSeconds = 0
+	if _, err := DSBComparison(cfg); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestModelsAgreeWithSimulation(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Rates = []float64{5, 50, 500}
+	rows, err := Models(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if rel(r.UDSim, r.UDModel) > 0.08 {
+			t.Errorf("rate %v: UD sim %.2f vs model %.2f", r.RatePerHour, r.UDSim, r.UDModel)
+		}
+		if rel(r.TappingSim, r.TappingModel) > 0.12 {
+			t.Errorf("rate %v: tapping sim %.2f vs model %.2f", r.RatePerHour, r.TappingSim, r.TappingModel)
+		}
+		// The heuristic sits at or slightly above the renewal model.
+		if r.DHBSim < r.DHBModel*0.9 || r.DHBSim > r.DHBModel*1.2 {
+			t.Errorf("rate %v: DHB sim %.2f vs model %.2f", r.RatePerHour, r.DHBSim, r.DHBModel)
+		}
+	}
+}
+
+func TestModelsValidation(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Rates = nil
+	if _, err := Models(cfg); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func rel(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if b == 0 {
+		return d
+	}
+	return d / b
+}
+
+func TestConfidenceSweep(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Rates = []float64{20}
+	rows, err := ConfidenceSweep(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Replicates != 5 {
+		t.Fatalf("replicates = %d, want 5", r.Replicates)
+	}
+	for name, pair := range map[string][2]float64{
+		"dhb":     {r.DHBMean, r.DHBHalf},
+		"ud":      {r.UDMean, r.UDHalf},
+		"tapping": {r.TappingMean, r.TappingHalf},
+	} {
+		mean, half := pair[0], pair[1]
+		if mean <= 0 {
+			t.Errorf("%s mean = %v", name, mean)
+		}
+		if half <= 0 {
+			t.Errorf("%s half-width = %v, want positive", name, half)
+		}
+		// Replicate noise must be small relative to the estimate, or the
+		// horizons are too short to trust.
+		if half > 0.2*mean {
+			t.Errorf("%s half-width %v exceeds 20%% of mean %v", name, half, mean)
+		}
+	}
+	// The single-run Figure 7 value must sit inside (a slightly widened)
+	// interval of the replicate mean.
+	single, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := single[0].DHBAvg - r.DHBMean; d > 3*r.DHBHalf || d < -3*r.DHBHalf {
+		t.Errorf("single-run DHB %.3f far outside the replicate interval %.3f +/- %.3f",
+			single[0].DHBAvg, r.DHBMean, r.DHBHalf)
+	}
+}
+
+func TestConfidenceSweepValidation(t *testing.T) {
+	cfg := QuickConfig()
+	if _, err := ConfidenceSweep(cfg, 1); err == nil {
+		t.Fatal("one replicate should error")
+	}
+	cfg.Rates = nil
+	if _, err := ConfidenceSweep(cfg, 5); err == nil {
+		t.Fatal("empty rates should error")
+	}
+}
+
+func TestWaitTradeoff(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Rates = []float64{100}
+	counts := []int{9, 19, 49, 99, 199}
+	rows, err := WaitTradeoff(cfg, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if r.Segments != counts[i] {
+			t.Fatalf("row %d segments = %d, want %d", i, r.Segments, counts[i])
+		}
+		// d = D/n and bandwidth below the analytic saturation ceiling.
+		if rel(r.MaxWaitSecs, 7200/float64(r.Segments)) > 1e-9 {
+			t.Errorf("n=%d: wait = %v", r.Segments, r.MaxWaitSecs)
+		}
+		if r.DHBAvg > r.Saturation+0.4 {
+			t.Errorf("n=%d: avg %.2f above saturation %.2f", r.Segments, r.DHBAvg, r.Saturation)
+		}
+		if r.DHBAvg < 0.5 {
+			t.Errorf("n=%d: avg %.2f — degenerate measurement window", r.Segments, r.DHBAvg)
+		}
+		if i > 0 {
+			// More segments: shorter wait, more bandwidth.
+			if r.MaxWaitSecs >= rows[i-1].MaxWaitSecs {
+				t.Errorf("wait did not shrink at n=%d", r.Segments)
+			}
+			if r.DHBAvg <= rows[i-1].DHBAvg {
+				t.Errorf("bandwidth did not grow at n=%d (%.2f after %.2f)",
+					r.Segments, r.DHBAvg, rows[i-1].DHBAvg)
+			}
+		}
+	}
+}
+
+func TestWaitTradeoffValidation(t *testing.T) {
+	cfg := QuickConfig()
+	if _, err := WaitTradeoff(cfg, nil); err == nil {
+		t.Fatal("empty counts accepted")
+	}
+	if _, err := WaitTradeoff(cfg, []int{0}); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	cfg.Rates = nil
+	if _, err := WaitTradeoff(cfg, []int{9}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

@@ -1,0 +1,184 @@
+package reactive
+
+import (
+	"math"
+
+	"vodcast/internal/metrics"
+	"vodcast/internal/sim"
+)
+
+// hmsmStream is one active multicast stream in the HMSM simulation. Clients
+// that arrived together listen to their own stream and tap the closest
+// stream ahead of them; once they have tapped for as long as the gap between
+// the two streams, their stream merges into the target and disappears.
+type hmsmStream struct {
+	id int
+	// vstart is the stream's virtual start time: at time t it has
+	// transmitted video [0, t-vstart).
+	vstart float64
+	// target is the stream this one is merging into (nil while playing out
+	// alone).
+	target *hmsmStream
+	// listenStart is when the group began tapping the current target.
+	listenStart float64
+	// epoch invalidates stale loop events after retargeting or removal.
+	epoch int
+	alive bool
+}
+
+// HMSM simulates Eager and Vernon's hierarchical multicast stream merging,
+// the best published reactive protocol of the paper's related work: every
+// arrival starts a stream and taps the closest stream ahead; streams merge
+// hierarchically until everything rides the oldest stream.
+//
+// Two simplifications, both conservative (they can only increase the
+// measured bandwidth): clients listen to at most two streams (the paper's
+// own HMSM restriction), and when a group's target merges away, the group
+// retargets and restarts its tap without crediting data it already buffered
+// from the vanished target.
+func HMSM(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	var (
+		rng    = sim.NewRNG(cfg.Seed)
+		proc   = sim.NewPoissonProcess(rng, cfg.RatePerHour/3600)
+		loop   = sim.NewLoop()
+		bw     = metrics.NewBandwidth()
+		g      = newGauge(bw, cfg.WarmupSeconds)
+		res    Result
+		d      = cfg.VideoSeconds
+		active []*hmsmStream
+		nextID int
+	)
+
+	remove := func(s *hmsmStream) {
+		s.alive = false
+		s.epoch++
+		for i, a := range active {
+			if a == s {
+				active = append(active[:i], active[i+1:]...)
+				break
+			}
+		}
+	}
+
+	// retarget points s at the closest live stream ahead of it and
+	// schedules the merge or natural end, whichever comes first.
+	var retarget func(s *hmsmStream, now float64)
+
+	endOrMerge := func(s *hmsmStream, now float64) {
+		end := s.vstart + d // natural completion
+		mergeAt := math.Inf(1)
+		if s.target != nil {
+			gap := s.vstart - s.target.vstart
+			mergeAt = s.listenStart + gap
+			// The merge must happen while both streams still exist.
+			if mergeAt >= end || mergeAt >= s.target.vstart+d {
+				mergeAt = math.Inf(1)
+				s.target = nil
+			}
+		}
+		epoch := s.epoch
+		if mergeAt < end {
+			loop.At(mergeAt, func(at float64) {
+				if !s.alive || s.epoch != epoch {
+					return
+				}
+				if s.target == nil || !s.target.alive {
+					// The target merged away first; restart the tap
+					// against whatever is ahead now.
+					retarget(s, at)
+					return
+				}
+				// The group joins the target; everyone it carried is now
+				// served by the target's transmissions.
+				remove(s)
+				g.add(-1, at)
+				// Streams that were merging into s must pick a new target.
+				for _, a := range active {
+					if a.target == s {
+						retarget(a, at)
+					}
+				}
+			})
+			return
+		}
+		loop.At(end, func(at float64) {
+			if !s.alive || s.epoch != epoch {
+				return
+			}
+			remove(s)
+			g.add(-1, at)
+			// Streams that were merging into s must pick a new target.
+			for _, a := range active {
+				if a.target == s {
+					retarget(a, at)
+				}
+			}
+		})
+	}
+
+	retarget = func(s *hmsmStream, now float64) {
+		s.epoch++
+		s.target = nil
+		s.listenStart = now
+		// The closest stream ahead is the live stream with the largest
+		// virtual start below s's.
+		for _, a := range active {
+			if a == s || a.vstart >= s.vstart {
+				continue
+			}
+			if s.target == nil || a.vstart > s.target.vstart {
+				s.target = a
+			}
+		}
+		endOrMerge(s, now)
+	}
+
+	// Streams whose target merges away retarget at the merge instant; the
+	// merge handler above removes the target first, so retargeting happens
+	// from the arrival path and the end handler. Target-merged retargeting
+	// is handled lazily here: a stream whose mergeAt was computed against a
+	// now-dead target keeps its event (the epoch guard drops it) and the
+	// next sweep re-schedules it.
+	fixOrphans := func(now float64) {
+		for _, a := range active {
+			if a.target != nil && !a.target.alive {
+				retarget(a, now)
+			}
+		}
+	}
+
+	for {
+		t := proc.Next()
+		if t >= cfg.HorizonSeconds {
+			break
+		}
+		loop.Run(t)
+		fixOrphans(t)
+		res.Requests++
+		s := &hmsmStream{id: nextID, vstart: t, listenStart: t, alive: true}
+		nextID++
+		// Pick the closest live stream ahead.
+		for _, a := range active {
+			if s.target == nil || a.vstart > s.target.vstart {
+				s.target = a
+			}
+		}
+		active = append(active, s)
+		g.add(1, t)
+		if s.target == nil {
+			res.CompleteStreams++
+		} else {
+			res.PartialStreams++
+		}
+		endOrMerge(s, t)
+	}
+	loop.Run(cfg.HorizonSeconds)
+	g.finish(cfg.HorizonSeconds)
+	res.AvgBandwidth = bw.Mean()
+	res.MaxBandwidth = bw.Max()
+	res.AvgWait, res.MaxWait = 0, 0
+	return res, nil
+}

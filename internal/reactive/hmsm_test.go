@@ -1,0 +1,185 @@
+package reactive
+
+import (
+	"testing"
+)
+
+func TestHMSMValidatesConfig(t *testing.T) {
+	cfg := tapCfg(10, 1)
+	cfg.RatePerHour = 0
+	if _, err := HMSM(cfg); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestHMSMSingleRequestPlaysOut(t *testing.T) {
+	cfg := tapCfg(1, 2)
+	cfg.HorizonSeconds = 20 * 3600
+	cfg.WarmupSeconds = 0
+	res, err := HMSM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests simulated")
+	}
+	if res.AvgWait != 0 || res.MaxWait != 0 {
+		t.Fatal("HMSM must offer zero-delay access")
+	}
+}
+
+func TestHMSMBeatsTapping(t *testing.T) {
+	// Hierarchical merging is the whole point: at moderate-to-high rates it
+	// must need far less bandwidth than threshold patching.
+	for _, rate := range []float64{10, 50, 200} {
+		tap, err := Tapping(tapCfg(rate, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hm, err := HMSM(tapCfg(rate, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hm.AvgBandwidth >= tap.AvgBandwidth {
+			t.Errorf("rate %v: HMSM %.2f not below tapping %.2f", rate, hm.AvgBandwidth, tap.AvgBandwidth)
+		}
+	}
+}
+
+func TestHMSMLogarithmicGrowth(t *testing.T) {
+	// The published bound: bandwidth within a small constant factor of
+	// ln(1 + lambda D). Our conservative merge rule must stay above the
+	// bound and below about 3x of it at every rate.
+	for _, rate := range []float64{5, 20, 100, 500} {
+		res, err := HMSM(tapCfg(rate, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lower := MergingLowerBound(rate, 7200)
+		if res.AvgBandwidth < lower {
+			t.Errorf("rate %v: HMSM %.2f below the merging lower bound %.2f", rate, res.AvgBandwidth, lower)
+		}
+		if res.AvgBandwidth > 3*lower {
+			t.Errorf("rate %v: HMSM %.2f more than 3x the bound %.2f — merging broken?", rate, res.AvgBandwidth, lower)
+		}
+	}
+}
+
+func TestHMSMBandwidthGrowsWithRate(t *testing.T) {
+	prev := 0.0
+	for _, rate := range []float64{2, 20, 200} {
+		res, err := HMSM(tapCfg(rate, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AvgBandwidth <= prev {
+			t.Fatalf("HMSM bandwidth not increasing at rate %v: %.2f after %.2f", rate, res.AvgBandwidth, prev)
+		}
+		prev = res.AvgBandwidth
+	}
+}
+
+func TestHMSMDeterministicPerSeed(t *testing.T) {
+	a, err := HMSM(tapCfg(20, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HMSM(tapCfg(20, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestHMSMMostStreamsMerge(t *testing.T) {
+	res, err := HMSM(tapCfg(100, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartialStreams < res.CompleteStreams {
+		t.Fatalf("at 100 req/h merging streams (%d) should dominate full streams (%d)",
+			res.PartialStreams, res.CompleteStreams)
+	}
+}
+
+func TestPiggybackingValidation(t *testing.T) {
+	if _, err := Piggybacking(tapCfg(10, 1), 0); err == nil {
+		t.Fatal("zero delta should error")
+	}
+	if _, err := Piggybacking(tapCfg(10, 1), 0.5); err == nil {
+		t.Fatal("delta 0.5 should error")
+	}
+	cfg := tapCfg(10, 1)
+	cfg.VideoSeconds = -1
+	if _, err := Piggybacking(cfg, 0.05); err == nil {
+		t.Fatal("bad config should error")
+	}
+}
+
+func TestPiggybackingSavesOverUnicast(t *testing.T) {
+	// Every arrival starts a stream; without merging the average would be
+	// lambda*D streams. Piggybacking's 5% rate alteration must recover a
+	// visible fraction at moderate rates.
+	cfg := tapCfg(20, 13)
+	res, err := Piggybacking(cfg, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unicast := 20.0 / 3600 * 7200 // lambda * D = 40 streams
+	if res.AvgBandwidth >= unicast {
+		t.Fatalf("piggybacking %.2f no better than unicast %.0f", res.AvgBandwidth, unicast)
+	}
+	if res.PartialStreams == 0 {
+		t.Fatal("no merges happened")
+	}
+}
+
+func TestPiggybackingWeakerThanBufferedMerging(t *testing.T) {
+	// A 5% rate alteration can only merge streams within ~10% of the video
+	// of each other, so piggybacking must cost more than tapping (which
+	// buffers) at the same rate.
+	cfg := tapCfg(50, 15)
+	pb, err := Piggybacking(cfg, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap, err := Tapping(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.AvgBandwidth <= tap.AvgBandwidth {
+		t.Fatalf("piggybacking %.2f unexpectedly beat tapping %.2f", pb.AvgBandwidth, tap.AvgBandwidth)
+	}
+}
+
+func TestPiggybackingDeterministicPerSeed(t *testing.T) {
+	a, err := Piggybacking(tapCfg(30, 17), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Piggybacking(tapCfg(30, 17), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestPiggybackingLargerDeltaMergesMore(t *testing.T) {
+	cfg := tapCfg(30, 19)
+	small, err := Piggybacking(cfg, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Piggybacking(cfg, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.AvgBandwidth >= small.AvgBandwidth {
+		t.Fatalf("delta 0.10 bandwidth %.2f not below delta 0.02 bandwidth %.2f",
+			large.AvgBandwidth, small.AvgBandwidth)
+	}
+}

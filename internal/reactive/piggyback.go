@@ -1,0 +1,154 @@
+package reactive
+
+import (
+	"fmt"
+
+	"vodcast/internal/metrics"
+	"vodcast/internal/sim"
+)
+
+// pbStream is one display stream in the adaptive piggybacking simulation.
+// Position advances at Speed video-seconds per second; speeds change only at
+// pairing and merge instants, so position is tracked piecewise-linearly.
+type pbStream struct {
+	posAt  float64 // position at time refT
+	refT   float64
+	speed  float64
+	paired bool
+	front  bool
+	epoch  int
+	alive  bool
+}
+
+func (s *pbStream) pos(now float64) float64 {
+	return s.posAt + (now-s.refT)*s.speed
+}
+
+func (s *pbStream) setSpeed(now, speed float64) {
+	s.posAt = s.pos(now)
+	s.refT = now
+	s.speed = speed
+	s.epoch++
+}
+
+// Piggybacking simulates adaptive piggybacking (Golubchik, Lui and Muntz),
+// the earliest stream-merging approach of the paper's related work: instead
+// of buffering, the server alters display rates by +/-delta (classically 5%,
+// imperceptible to viewers) so that a trailing stream catches a leading one,
+// after which the pair continues as a single stream.
+//
+// The policy is greedy pairwise: each new arrival pairs with the closest
+// unpaired stream ahead if the catch-up completes before the leader finishes
+// the video; merged and unpairable streams play at normal speed.
+func Piggybacking(cfg Config, delta float64) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if delta <= 0 || delta >= 0.5 {
+		return Result{}, fmt.Errorf("reactive: piggybacking delta %v must be in (0, 0.5)", delta)
+	}
+	var (
+		rng    = sim.NewRNG(cfg.Seed)
+		proc   = sim.NewPoissonProcess(rng, cfg.RatePerHour/3600)
+		loop   = sim.NewLoop()
+		bw     = metrics.NewBandwidth()
+		g      = newGauge(bw, cfg.WarmupSeconds)
+		res    Result
+		d      = cfg.VideoSeconds
+		active []*pbStream
+	)
+
+	remove := func(s *pbStream) {
+		s.alive = false
+		s.epoch++
+		for i, a := range active {
+			if a == s {
+				active = append(active[:i], active[i+1:]...)
+				break
+			}
+		}
+	}
+
+	var scheduleEnd func(s *pbStream)
+	scheduleEnd = func(s *pbStream) {
+		epoch := s.epoch
+		endAt := s.refT + (d-s.posAt)/s.speed
+		loop.At(endAt, func(at float64) {
+			if !s.alive || s.epoch != epoch {
+				return
+			}
+			remove(s)
+			g.add(-1, at)
+		})
+	}
+
+	scheduleMerge := func(back, front *pbStream, now float64) {
+		gap := front.pos(now) - back.pos(now)
+		mergeAt := now + gap/(2*delta)
+		backEpoch, frontEpoch := back.epoch, front.epoch
+		loop.At(mergeAt, func(at float64) {
+			if !back.alive || !front.alive || back.epoch != backEpoch || front.epoch != frontEpoch {
+				return
+			}
+			// The pair becomes one normal-speed stream carried by front.
+			remove(back)
+			g.add(-1, at)
+			res.PartialStreams++ // count completed merges
+			front.setSpeed(at, 1)
+			front.paired = false
+			front.front = false
+			scheduleEnd(front)
+		})
+	}
+
+	for {
+		t := proc.Next()
+		if t >= cfg.HorizonSeconds {
+			break
+		}
+		loop.Run(t)
+		res.Requests++
+		s := &pbStream{refT: t, speed: 1, alive: true}
+		active = append(active, s)
+		g.add(1, t)
+		res.CompleteStreams++
+
+		// Find the closest unpaired stream ahead that the newcomer can
+		// catch before the leader finishes.
+		var target *pbStream
+		for _, a := range active {
+			if a == s || a.paired || !a.alive {
+				continue
+			}
+			gap := a.pos(t)
+			if gap <= 0 {
+				continue
+			}
+			// Catch-up takes gap/(2 delta); the slowed leader advances
+			// (1-delta) per second and must not reach d first.
+			if a.pos(t)+(1-delta)*gap/(2*delta) >= d {
+				continue
+			}
+			if target == nil || a.pos(t) < target.pos(t) {
+				target = a
+			}
+		}
+		if target != nil {
+			s.setSpeed(t, 1+delta)
+			s.paired = true
+			target.setSpeed(t, 1-delta)
+			target.paired = true
+			target.front = true
+			scheduleMerge(s, target, t)
+			// The slowed leader's end event is superseded by its epoch
+			// bump; the merge handler re-schedules its end.
+		}
+		scheduleEnd(s)
+	}
+	loop.Run(cfg.HorizonSeconds)
+	g.finish(cfg.HorizonSeconds)
+	res.AvgBandwidth = bw.Mean()
+	res.MaxBandwidth = bw.Max()
+	res.AvgWait, res.MaxWait = 0, 0
+	return res, nil
+}

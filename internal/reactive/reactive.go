@@ -1,0 +1,269 @@
+// Package reactive implements the reactive (purely on-demand) distribution
+// protocols of the paper's evaluation and related work: stream tapping /
+// patching with unlimited client buffers (the Figure 7 comparator), request
+// batching, and selective catching, plus the classical merging lower bound
+// for context.
+//
+// All simulators run in continuous time on the internal/sim event loop and
+// report time-weighted bandwidth in multiples of the video consumption rate.
+package reactive
+
+import (
+	"fmt"
+	"math"
+
+	"vodcast/internal/metrics"
+	"vodcast/internal/sim"
+)
+
+// Config parameterizes a reactive-protocol simulation.
+type Config struct {
+	// RatePerHour is the Poisson request arrival rate.
+	RatePerHour float64
+	// VideoSeconds is the video duration D.
+	VideoSeconds float64
+	// HorizonSeconds is the simulated time span.
+	HorizonSeconds float64
+	// WarmupSeconds excludes the initial transient from the statistics.
+	WarmupSeconds float64
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.RatePerHour <= 0 {
+		return fmt.Errorf("reactive: rate %v must be positive", c.RatePerHour)
+	}
+	if c.VideoSeconds <= 0 {
+		return fmt.Errorf("reactive: video duration %v must be positive", c.VideoSeconds)
+	}
+	if c.HorizonSeconds <= c.WarmupSeconds {
+		return fmt.Errorf("reactive: horizon %v must exceed warmup %v", c.HorizonSeconds, c.WarmupSeconds)
+	}
+	if c.WarmupSeconds < 0 {
+		return fmt.Errorf("reactive: warmup %v must be non-negative", c.WarmupSeconds)
+	}
+	return nil
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// AvgBandwidth is the time-weighted mean number of concurrent streams.
+	AvgBandwidth float64
+	// MaxBandwidth is the peak number of concurrent streams.
+	MaxBandwidth float64
+	// Requests counts the customers served.
+	Requests int64
+	// CompleteStreams counts full-length streams started.
+	CompleteStreams int64
+	// PartialStreams counts taps / patches / catch-up streams started.
+	PartialStreams int64
+	// AvgWait and MaxWait are customer waiting times in seconds.
+	AvgWait float64
+	MaxWait float64
+}
+
+// gauge tracks the number of concurrent streams, feeding the bandwidth
+// accumulator only after the warmup boundary.
+type gauge struct {
+	counter *metrics.Counter
+	active  float64
+	warmup  float64
+	started bool
+}
+
+func newGauge(bw *metrics.Bandwidth, warmup float64) *gauge {
+	return &gauge{counter: metrics.NewCounter(bw), warmup: warmup}
+}
+
+func (g *gauge) add(delta, now float64) {
+	g.active += delta
+	if now < g.warmup {
+		return
+	}
+	if !g.started {
+		g.counter.Set(g.active, g.warmup)
+		g.started = true
+		return
+	}
+	g.counter.Set(g.active, now)
+}
+
+func (g *gauge) finish(now float64) {
+	if !g.started {
+		g.counter.Set(g.active, g.warmup)
+	}
+	g.counter.Finish(now)
+}
+
+// Tapping simulates stream tapping / patching with unlimited client buffers,
+// the reactive comparator of Figure 7. Every arrival is served immediately:
+// either by a new complete stream of length D or by a tap stream carrying
+// only the first delta = t - t0 seconds of the video while the client taps
+// the rest from the latest complete stream. The server restarts a complete
+// stream whenever delta reaches the adaptive threshold sqrt(2 D / lambda),
+// the window that minimizes the long-run bandwidth of threshold patching,
+// with lambda estimated online from observed interarrival times.
+func Tapping(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	var (
+		rng    = sim.NewRNG(cfg.Seed)
+		proc   = sim.NewPoissonProcess(rng, cfg.RatePerHour/3600)
+		loop   = sim.NewLoop()
+		bw     = metrics.NewBandwidth()
+		g      = newGauge(bw, cfg.WarmupSeconds)
+		res    Result
+		d      = cfg.VideoSeconds
+		iatEst = 3600 / cfg.RatePerHour // warm-start at the true mean
+		last   = 0.0
+		// lastComplete is the start time of the latest complete stream;
+		// none exists before the first arrival.
+		lastComplete = math.Inf(-1)
+	)
+	startStream := func(at, length float64) {
+		g.add(1, at)
+		loop.At(at+length, func(now float64) { g.add(-1, now) })
+	}
+	for {
+		t := proc.Next()
+		if t >= cfg.HorizonSeconds {
+			break
+		}
+		loop.Run(t)
+		if res.Requests > 0 {
+			iatEst = 0.95*iatEst + 0.05*(t-last)
+		}
+		last = t
+		res.Requests++
+
+		delta := t - lastComplete
+		threshold := math.Min(d, math.Sqrt(2*d*iatEst))
+		if delta >= threshold || delta >= d {
+			lastComplete = t
+			res.CompleteStreams++
+			startStream(t, d)
+			continue
+		}
+		res.PartialStreams++
+		startStream(t, delta)
+	}
+	loop.Run(cfg.HorizonSeconds)
+	g.finish(cfg.HorizonSeconds)
+	res.AvgBandwidth = bw.Mean()
+	res.MaxBandwidth = bw.Max()
+	// Tapping offers zero-delay access.
+	res.AvgWait, res.MaxWait = 0, 0
+	return res, nil
+}
+
+// Batching simulates the earliest bandwidth-saving approach of the related
+// work: requests queue and a single complete stream serves everyone waiting
+// at each multiple of windowSeconds.
+func Batching(cfg Config, windowSeconds float64) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if windowSeconds <= 0 {
+		return Result{}, fmt.Errorf("reactive: batching window %v must be positive", windowSeconds)
+	}
+	var (
+		rng       = sim.NewRNG(cfg.Seed)
+		proc      = sim.NewPoissonProcess(rng, cfg.RatePerHour/3600)
+		loop      = sim.NewLoop()
+		bw        = metrics.NewBandwidth()
+		g         = newGauge(bw, cfg.WarmupSeconds)
+		waits     = metrics.NewWait()
+		res       Result
+		scheduled = -1.0 // departure boundary that already has a stream
+	)
+	for {
+		t := proc.Next()
+		if t >= cfg.HorizonSeconds {
+			break
+		}
+		loop.Run(t)
+		res.Requests++
+		// The batch departs at the next window boundary.
+		depart := (math.Floor(t/windowSeconds) + 1) * windowSeconds
+		waits.Record(depart - t)
+		if depart == scheduled {
+			continue // this batch's stream is already scheduled
+		}
+		scheduled = depart
+		res.CompleteStreams++
+		loop.At(depart, func(now float64) {
+			g.add(1, now)
+			loop.At(now+cfg.VideoSeconds, func(end float64) { g.add(-1, end) })
+		})
+	}
+	loop.Run(cfg.HorizonSeconds)
+	g.finish(cfg.HorizonSeconds)
+	res.AvgBandwidth = bw.Mean()
+	res.MaxBandwidth = bw.Max()
+	res.AvgWait = waits.Mean()
+	res.MaxWait = waits.Max()
+	return res, nil
+}
+
+// SelectiveCatching simulates Gao, Zhang and Towsley's hybrid: channels
+// dedicated to staggered periodic broadcasts of the whole video (one start
+// every D/channels), plus a unicast catch-up stream per request carrying the
+// gap back to the preceding broadcast start. Requests within the same gap
+// share the catch-up stream of their group leader.
+func SelectiveCatching(cfg Config, channels int) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if channels <= 0 {
+		return Result{}, fmt.Errorf("reactive: channel count %d must be positive", channels)
+	}
+	var (
+		rng     = sim.NewRNG(cfg.Seed)
+		proc    = sim.NewPoissonProcess(rng, cfg.RatePerHour/3600)
+		loop    = sim.NewLoop()
+		bw      = metrics.NewBandwidth()
+		g       = newGauge(bw, cfg.WarmupSeconds)
+		res     Result
+		period  = cfg.VideoSeconds / float64(channels)
+		lastCat = math.Inf(-1) // broadcast-cycle start covered by the newest catch-up stream
+	)
+	// The dedicated channels are always on.
+	g.add(float64(channels), 0)
+	res.CompleteStreams = int64(channels)
+	for {
+		t := proc.Next()
+		if t >= cfg.HorizonSeconds {
+			break
+		}
+		loop.Run(t)
+		res.Requests++
+		cycle := math.Floor(t/period) * period
+		if cycle <= lastCat {
+			// An existing catch-up stream already carries this gap prefix;
+			// the client taps it (unlimited buffer) and the broadcast.
+			continue
+		}
+		lastCat = cycle
+		res.PartialStreams++
+		gap := t - cycle
+		if gap > 0 {
+			g.add(1, t)
+			loop.At(t+gap, func(now float64) { g.add(-1, now) })
+		}
+	}
+	loop.Run(cfg.HorizonSeconds)
+	g.finish(cfg.HorizonSeconds)
+	res.AvgBandwidth = bw.Mean()
+	res.MaxBandwidth = bw.Max()
+	return res, nil
+}
+
+// MergingLowerBound returns Eager, Vernon and Zahorjan's lower bound on the
+// average server bandwidth of any reactive protocol that delivers immediate
+// service with unconstrained client bandwidth: ln(1 + lambda D) in units of
+// the consumption rate.
+func MergingLowerBound(ratePerHour, videoSeconds float64) float64 {
+	return math.Log(1 + ratePerHour/3600*videoSeconds)
+}

@@ -1,0 +1,217 @@
+package reactive
+
+import (
+	"math"
+	"testing"
+)
+
+func tapCfg(rate float64, seed int64) Config {
+	return Config{
+		RatePerHour:    rate,
+		VideoSeconds:   7200,
+		HorizonSeconds: 400 * 3600,
+		WarmupSeconds:  4 * 3600,
+		Seed:           seed,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{name: "zero rate", mut: func(c *Config) { c.RatePerHour = 0 }},
+		{name: "zero video", mut: func(c *Config) { c.VideoSeconds = 0 }},
+		{name: "horizon before warmup", mut: func(c *Config) { c.HorizonSeconds = c.WarmupSeconds }},
+		{name: "negative warmup", mut: func(c *Config) { c.WarmupSeconds = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := tapCfg(10, 1)
+			tt.mut(&cfg)
+			if _, err := Tapping(cfg); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestTappingNearOptimalPatchingBandwidth(t *testing.T) {
+	// Threshold patching with the optimal window needs about sqrt(2 lambda
+	// D) streams on average. The event-driven simulation must land near
+	// that law across the Figure 7 rate range.
+	tests := []struct {
+		rate float64
+		lo   float64
+		hi   float64
+	}{
+		{rate: 1, lo: 1.2, hi: 2.6},     // sqrt(2*2) = 2
+		{rate: 10, lo: 4.0, hi: 8.0},    // sqrt(2*20) = 6.3
+		{rate: 100, lo: 13.0, hi: 27.0}, // sqrt(2*200) = 20
+	}
+	for _, tt := range tests {
+		res, err := Tapping(tapCfg(tt.rate, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AvgBandwidth < tt.lo || res.AvgBandwidth > tt.hi {
+			t.Errorf("rate %v: avg bandwidth = %.2f, want within [%v, %v]",
+				tt.rate, res.AvgBandwidth, tt.lo, tt.hi)
+		}
+		if res.AvgBandwidth < MergingLowerBound(tt.rate, 7200) {
+			t.Errorf("rate %v: avg bandwidth %.2f below the merging lower bound %.2f",
+				tt.rate, res.AvgBandwidth, MergingLowerBound(tt.rate, 7200))
+		}
+	}
+}
+
+func TestTappingBandwidthGrowsWithRate(t *testing.T) {
+	prev := 0.0
+	for _, rate := range []float64{1, 5, 20, 100} {
+		res, err := Tapping(tapCfg(rate, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AvgBandwidth <= prev {
+			t.Fatalf("bandwidth not increasing: %.2f at rate %v after %.2f", res.AvgBandwidth, rate, prev)
+		}
+		prev = res.AvgBandwidth
+	}
+}
+
+func TestTappingServesEveryoneInstantly(t *testing.T) {
+	res, err := Tapping(tapCfg(20, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgWait != 0 || res.MaxWait != 0 {
+		t.Fatalf("tapping waits = (%v, %v), want zero-delay access", res.AvgWait, res.MaxWait)
+	}
+	if res.Requests == 0 || res.CompleteStreams == 0 || res.PartialStreams == 0 {
+		t.Fatalf("degenerate run: %+v", res)
+	}
+	if res.CompleteStreams+res.PartialStreams != res.Requests {
+		t.Fatalf("streams %d+%d do not cover requests %d",
+			res.CompleteStreams, res.PartialStreams, res.Requests)
+	}
+}
+
+func TestTappingDeterministicPerSeed(t *testing.T) {
+	a, err := Tapping(tapCfg(10, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tapping(tapCfg(10, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed produced different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestTappingMostRequestsTapAtHighRates(t *testing.T) {
+	res, err := Tapping(tapCfg(200, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartialStreams < 5*res.CompleteStreams {
+		t.Fatalf("at 200/h want taps to dominate: %d taps vs %d complete",
+			res.PartialStreams, res.CompleteStreams)
+	}
+}
+
+func TestBatchingBandwidthBoundedByWindow(t *testing.T) {
+	cfg := tapCfg(100, 11)
+	const window = 600.0
+	res, err := Batching(cfg, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 100 req/h every 10-minute batch is almost surely non-empty, so
+	// the server runs about D/W = 12 concurrent streams.
+	want := cfg.VideoSeconds / window
+	if math.Abs(res.AvgBandwidth-want) > 1.0 {
+		t.Fatalf("avg bandwidth = %.2f, want about %.1f", res.AvgBandwidth, want)
+	}
+	if res.MaxWait > window {
+		t.Fatalf("max wait %.1f exceeded the batching window %v", res.MaxWait, window)
+	}
+	if math.Abs(res.AvgWait-window/2) > window/10 {
+		t.Fatalf("avg wait = %.1f, want about %v", res.AvgWait, window/2)
+	}
+}
+
+func TestBatchingWindowValidation(t *testing.T) {
+	if _, err := Batching(tapCfg(10, 1), 0); err == nil {
+		t.Fatal("zero window should error")
+	}
+}
+
+func TestBatchingCheaperThanTappingAtHighRates(t *testing.T) {
+	cfg := tapCfg(500, 13)
+	tap, err := Tapping(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := Batching(cfg, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bat.AvgBandwidth >= tap.AvgBandwidth {
+		t.Fatalf("batching (%.1f) should beat zero-delay tapping (%.1f) at 500 req/h",
+			bat.AvgBandwidth, tap.AvgBandwidth)
+	}
+}
+
+func TestSelectiveCatchingBandwidth(t *testing.T) {
+	cfg := tapCfg(50, 17)
+	const channels = 6
+	res, err := SelectiveCatching(cfg, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgBandwidth < channels {
+		t.Fatalf("avg bandwidth %.2f below the %d dedicated channels", res.AvgBandwidth, channels)
+	}
+	// Catch-up streams add at most one concurrent stream per broadcast
+	// period on average at this rate.
+	if res.AvgBandwidth > channels+3 {
+		t.Fatalf("avg bandwidth %.2f implausibly high", res.AvgBandwidth)
+	}
+	if res.Requests == 0 || res.PartialStreams == 0 {
+		t.Fatalf("degenerate run: %+v", res)
+	}
+}
+
+func TestSelectiveCatchingChannelValidation(t *testing.T) {
+	if _, err := SelectiveCatching(tapCfg(10, 1), 0); err == nil {
+		t.Fatal("zero channels should error")
+	}
+}
+
+func TestSelectiveCatchingSharesCatchUps(t *testing.T) {
+	// At very high rates many requests fall into the same broadcast gap
+	// and share one catch-up stream.
+	res, err := SelectiveCatching(tapCfg(1000, 19), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartialStreams >= res.Requests {
+		t.Fatalf("no catch-up sharing: %d streams for %d requests", res.PartialStreams, res.Requests)
+	}
+}
+
+func TestMergingLowerBound(t *testing.T) {
+	if got := MergingLowerBound(0, 7200); got != 0 {
+		t.Fatalf("bound at rate 0 = %v, want 0", got)
+	}
+	// ln(1 + 2) for 1 request/hour on a 2-hour video.
+	want := math.Log(3)
+	if got := MergingLowerBound(1, 7200); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("bound = %v, want %v", got, want)
+	}
+	if MergingLowerBound(100, 7200) <= MergingLowerBound(10, 7200) {
+		t.Fatal("bound must grow with the request rate")
+	}
+}

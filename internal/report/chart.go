@@ -1,0 +1,148 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) sample of a chart series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// ChartOptions shape RenderChart's canvas.
+type ChartOptions struct {
+	// Width and Height are the plot area in characters (defaults 64x20).
+	Width  int
+	Height int
+	// LogX plots a logarithmic x axis, the paper's request-rate scaling.
+	LogX bool
+}
+
+// RenderChart draws the series as an ASCII scatter/line chart, giving each
+// series a marker letter and a legend — enough to see the crossovers of
+// Figure 7 in a terminal without leaving the CLI.
+func RenderChart(w io.Writer, title string, series []Series, opts ChartOptions) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: chart %q has no series", title)
+	}
+	width, height := opts.Width, opts.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1)
+	total := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			x := p.X
+			if opts.LogX {
+				if x <= 0 {
+					return fmt.Errorf("report: chart %q: log x axis with x = %v", title, x)
+				}
+				x = math.Log10(x)
+			}
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymax = math.Max(ymax, p.Y)
+			total++
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("report: chart %q has no points", title)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	col := func(x float64) int {
+		if opts.LogX {
+			x = math.Log10(x)
+		}
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((y - ymin) / (ymax - ymin) * float64(height-1)))
+		return clamp(height-1-r, 0, height-1)
+	}
+	markers := []rune("*+ox#@%&")
+	for i, s := range series {
+		m := markers[i%len(markers)]
+		for _, p := range s.Points {
+			grid[row(p.Y)][col(p.X)] = m
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, line := range grid {
+		// Y labels at the top, middle and bottom rows.
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", ymax)
+		case height / 2:
+			label = fmt.Sprintf("%7.1f ", ymin+(ymax-ymin)/2)
+		case height - 1:
+			label = fmt.Sprintf("%7.1f ", ymin)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	lo, hi := xmin, xmax
+	if opts.LogX {
+		lo, hi = math.Pow(10, xmin), math.Pow(10, xmax)
+	}
+	axis := "x"
+	if opts.LogX {
+		axis = "x (log)"
+	}
+	fmt.Fprintf(&b, "%s%-10.4g%s%10.4g  %s\n", strings.Repeat(" ", 9), lo,
+		strings.Repeat(" ", maxInt(1, width-22)), hi, axis)
+	for i, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[i%len(markers)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

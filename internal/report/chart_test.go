@@ -1,0 +1,74 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderChartBasics(t *testing.T) {
+	series := []Series{
+		{Name: "flat", Points: []Point{{X: 1, Y: 6}, {X: 10, Y: 6}, {X: 100, Y: 6}}},
+		{Name: "rising", Points: []Point{{X: 1, Y: 1}, {X: 10, Y: 3}, {X: 100, Y: 9}}},
+	}
+	var buf bytes.Buffer
+	err := RenderChart(&buf, "demo chart", series, ChartOptions{Width: 40, Height: 10, LogX: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo chart", "flat", "rising", "x (log)", "*", "+"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The y-axis top label must be the maximum (9).
+	if !strings.Contains(out, "9.0") {
+		t.Fatalf("missing y max label:\n%s", out)
+	}
+}
+
+func TestRenderChartMarkerPositions(t *testing.T) {
+	series := []Series{{Name: "s", Points: []Point{{X: 0, Y: 0}, {X: 1, Y: 10}}}}
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, "pos", series, ChartOptions{Width: 11, Height: 11}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	// Line 1 is the top plot row (y = 10): marker at the right edge.
+	top := lines[1]
+	if top[len(top)-1] != '*' {
+		t.Fatalf("top-right marker missing: %q", top)
+	}
+	// Line 11 is the bottom plot row (y = 0): marker just after the axis.
+	bottom := lines[11]
+	if !strings.HasPrefix(strings.TrimLeft(bottom[9:], ""), "*") {
+		t.Fatalf("bottom-left marker missing: %q", bottom)
+	}
+}
+
+func TestRenderChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, "t", nil, ChartOptions{}); err == nil {
+		t.Error("empty series accepted")
+	}
+	if err := RenderChart(&buf, "t", []Series{{Name: "e"}}, ChartOptions{}); err == nil {
+		t.Error("empty points accepted")
+	}
+	bad := []Series{{Name: "b", Points: []Point{{X: 0, Y: 1}}}}
+	if err := RenderChart(&buf, "t", bad, ChartOptions{LogX: true}); err == nil {
+		t.Error("log axis with x=0 accepted")
+	}
+}
+
+func TestRenderChartDegenerateRanges(t *testing.T) {
+	// A single point must not divide by zero.
+	series := []Series{{Name: "dot", Points: []Point{{X: 5, Y: 5}}}}
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, "dot", series, ChartOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("marker not drawn")
+	}
+}

@@ -1,0 +1,207 @@
+package report
+
+import (
+	"vodcast/internal/core"
+	"vodcast/internal/experiments"
+)
+
+// Fig7 builds the Figure 7 table (average bandwidth in streams).
+func Fig7(rows []experiments.SweepRow) Table {
+	t := Table{
+		Title:   "Figure 7 — average bandwidth (data streams), 99 segments, 2 h video",
+		Columns: []string{"req/h", "tapping", "UD", "DHB", "NPB"},
+	}
+	for _, r := range rows {
+		t.AddRow(F(r.RatePerHour, 0), F(r.TappingAvg, 2), F(r.UDAvg, 2), F(r.DHBAvg, 2), F(r.NPB, 0))
+	}
+	return t
+}
+
+// Fig8 builds the Figure 8 table (maximum bandwidth in streams).
+func Fig8(rows []experiments.SweepRow) Table {
+	t := Table{
+		Title:   "Figure 8 — maximum bandwidth (data streams), 99 segments, 2 h video",
+		Columns: []string{"req/h", "UD", "DHB", "NPB"},
+	}
+	for _, r := range rows {
+		t.AddRow(F(r.RatePerHour, 0), F(r.UDMax, 0), F(r.DHBMax, 0), F(r.NPB, 0))
+	}
+	return t
+}
+
+// Fig9 builds the Figure 9 tables: the plan parameters and the bandwidth
+// sweep in MB/s.
+func Fig9(rows []experiments.Fig9Row, plans map[core.VBRVariant]core.VBRSolution) []Table {
+	planTable := Table{
+		Title:   "Figure 9 — distribution plans for the synthetic Matrix-calibrated trace",
+		Columns: []string{"plan", "rate B/s", "segments", "saturated MB/s", "buffer MB"},
+	}
+	for _, v := range []core.VBRVariant{core.VariantA, core.VariantB, core.VariantC, core.VariantD} {
+		p := plans[v]
+		planTable.AddRow(v.String(), F(p.Rate, 0), I(p.Segments),
+			F(p.SaturatedBandwidth()/1e6, 2), F(p.WorkAheadBuffer/1e6, 1))
+	}
+	sweep := Table{
+		Title:   "Figure 9 — average bandwidth (MB/s)",
+		Columns: []string{"req/h", "UD", "DHB-a", "DHB-b", "DHB-c", "DHB-d"},
+	}
+	for _, r := range rows {
+		sweep.AddRow(F(r.RatePerHour, 0), F(r.UD, 2), F(r.DHBA, 2), F(r.DHBB, 2), F(r.DHBC, 2), F(r.DHBD, 2))
+	}
+	return []Table{planTable, sweep}
+}
+
+// Ablation builds the Section 3 dynamic-pagoda table.
+func Ablation(rows []experiments.SweepRow) Table {
+	t := Table{
+		Title:   "Section 3 ablation — average bandwidth (data streams)",
+		Columns: []string{"req/h", "UD", "dyn-pagoda", "DHB"},
+	}
+	for _, r := range rows {
+		t.AddRow(F(r.RatePerHour, 0), F(r.UDAvg, 2), F(r.DNPBAvg, 2), F(r.DHBAvg, 2))
+	}
+	return t
+}
+
+// Peaks builds the naive-versus-heuristic peak table.
+func Peaks(res experiments.PeaksResult) Table {
+	t := Table{
+		Title:   "Section 3 — bandwidth peaks under saturation, " + I(res.Segments) + " segments",
+		Columns: []string{"policy", "max load", "avg load"},
+	}
+	t.AddRow("naive latest-slot", I(res.NaiveMax), F(res.NaiveAvg, 2))
+	t.AddRow("DHB heuristic", I(res.HeuristicMax), F(res.HeuristicAvg, 2))
+	return t
+}
+
+// VBRPlan builds the Section 4 plan table with a measured saturation column.
+func VBRPlan(plans map[core.VBRVariant]core.VBRSolution, measured map[core.VBRVariant]float64) Table {
+	t := Table{
+		Title:   "Section 4 — the four DHB plans for the synthetic Matrix trace",
+		Columns: []string{"plan", "rate B/s", "segments", "saturated MB/s", "buffer MB", "measured MB/s"},
+	}
+	for _, v := range []core.VBRVariant{core.VariantA, core.VariantB, core.VariantC, core.VariantD} {
+		p := plans[v]
+		t.AddRow(v.String(), F(p.Rate, 0), I(p.Segments),
+			F(p.SaturatedBandwidth()/1e6, 2), F(p.WorkAheadBuffer/1e6, 1), F(measured[v], 2))
+	}
+	return t
+}
+
+// ClientCap builds the Section 5 client-bandwidth table.
+func ClientCap(rows []experiments.ClientCapRow) Table {
+	t := Table{
+		Title:   "Section 5 extension — DHB with limited client bandwidth (avg streams)",
+		Columns: []string{"req/h", "cap 1", "cap 2", "cap 3", "unlimited"},
+	}
+	for _, r := range rows {
+		t.AddRow(F(r.RatePerHour, 0), F(r.Cap1, 2), F(r.Cap2, 2), F(r.Cap3, 2), F(r.Unlimited, 2))
+	}
+	return t
+}
+
+// ReactiveZoo builds the related-work reactive comparison.
+func ReactiveZoo(rows []experiments.ReactiveZooRow) Table {
+	t := Table{
+		Title:   "Related work — reactive protocols (avg streams; bound = ln(1+lambda*D))",
+		Columns: []string{"req/h", "bound", "HMSM", "tapping", "piggyback", "batching", "catching"},
+	}
+	for _, r := range rows {
+		t.AddRow(F(r.RatePerHour, 0), F(r.MergingBound, 2), F(r.HMSM, 2), F(r.Tapping, 2),
+			F(r.Piggyback, 2), F(r.Batching, 2), F(r.Catching, 2))
+	}
+	return t
+}
+
+// DSB builds the dynamic skyscraper comparison.
+func DSB(rows []experiments.DSBRow) Table {
+	t := Table{
+		Title:   "Related work — dynamic skyscraper vs UD vs DHB (avg streams)",
+		Columns: []string{"req/h", "DSB", "UD", "DHB"},
+	}
+	for _, r := range rows {
+		t.AddRow(F(r.RatePerHour, 0), F(r.DSB, 2), F(r.UD, 2), F(r.DHB, 2))
+	}
+	return t
+}
+
+// Models builds the model-versus-simulation table.
+func Models(rows []experiments.ModelRow) Table {
+	t := Table{
+		Title:   "Closed-form models vs simulation (avg streams)",
+		Columns: []string{"req/h", "DHB sim", "DHB model", "UD sim", "UD model", "tap sim", "tap model"},
+	}
+	for _, r := range rows {
+		t.AddRow(F(r.RatePerHour, 0), F(r.DHBSim, 2), F(r.DHBModel, 2),
+			F(r.UDSim, 2), F(r.UDModel, 2), F(r.TappingSim, 2), F(r.TappingModel, 2))
+	}
+	return t
+}
+
+// Confidence builds the replicated Figure 7 table with half-widths.
+func Confidence(rows []experiments.CIRow) Table {
+	t := Table{
+		Title:   "Figure 7 with 95% confidence intervals",
+		Columns: []string{"req/h", "DHB", "±", "UD", "±", "tapping", "±"},
+	}
+	for _, r := range rows {
+		t.AddRow(F(r.RatePerHour, 0), F(r.DHBMean, 3), F(r.DHBHalf, 3),
+			F(r.UDMean, 3), F(r.UDHalf, 3), F(r.TappingMean, 3), F(r.TappingHalf, 3))
+	}
+	return t
+}
+
+// Capacity builds the provisioning curve table.
+func Capacity(rows []experiments.CapacityRow) Table {
+	t := Table{
+		Title:   "Channel-pool provisioning with deferral admission control",
+		Columns: []string{"pool", "avg streams", "avg wait s", "max wait s", "deferred/admitted", "max queue"},
+	}
+	for _, r := range rows {
+		t.AddRow(F(r.Capacity, 0), F(r.AvgBandwidth, 2), F(r.AvgWaitSeconds, 1),
+			F(r.MaxWaitSeconds, 1), F(r.DeferredShare, 3), I(r.MaxQueue))
+	}
+	return t
+}
+
+// Buffer builds the STB buffer-sizing table.
+func Buffer(rows []experiments.BufferRow) Table {
+	t := Table{
+		Title:   "STB buffer occupancy (segments held before consumption)",
+		Columns: []string{"req/h", "DHB mean", "DHB max", "UD mean", "UD max", "max minutes"},
+	}
+	for _, r := range rows {
+		maxSegs := r.DHBMax
+		if r.UDMax > maxSegs {
+			maxSegs = r.UDMax
+		}
+		t.AddRow(F(r.RatePerHour, 0), F(r.DHBMean, 2), I(r.DHBMax),
+			F(r.UDMean, 2), I(r.UDMax), F(float64(maxSegs)*r.MinutesPerSegment, 0))
+	}
+	return t
+}
+
+// Storage builds the disk-provisioning table.
+func Storage(rows []experiments.StorageRow) Table {
+	t := Table{
+		Title:   "Disk provisioning — striped array needed per scheduling policy",
+		Columns: []string{"policy", "peak load", "disks", "floor", "max busy", "mean busy"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Policy, I(r.PeakLoad), I(r.DisksNeeded), I(r.MinDiskBound),
+			F(r.MaxBusy, 2), F(r.MeanBusy, 2))
+	}
+	return t
+}
+
+// WaitTradeoff builds the segment-count trade table.
+func WaitTradeoff(rows []experiments.WaitTradeoffRow) Table {
+	t := Table{
+		Title:   "Waiting-time / bandwidth trade (2 h video)",
+		Columns: []string{"segments", "max wait s", "DHB avg", "DHB max", "H(n) ceiling"},
+	}
+	for _, r := range rows {
+		t.AddRow(I(r.Segments), F(r.MaxWaitSecs, 1), F(r.DHBAvg, 2), F(r.DHBMax, 0), F(r.Saturation, 2))
+	}
+	return t
+}

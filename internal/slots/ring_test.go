@@ -1,0 +1,206 @@
+package slots
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(4, 0, false)
+	if r.Base() != 0 || r.End() != 3 || r.Horizon() != 4 {
+		t.Fatalf("window = [%d, %d] horizon %d", r.Base(), r.End(), r.Horizon())
+	}
+	r.Add(1, 5)
+	r.Add(1, 6)
+	r.Add(3, 7)
+	if got := r.Load(1); got != 2 {
+		t.Fatalf("Load(1) = %d, want 2", got)
+	}
+	if got := r.Load(0); got != 0 {
+		t.Fatalf("Load(0) = %d, want 0", got)
+	}
+}
+
+func TestRingRetireAdvancesWindow(t *testing.T) {
+	r := NewRing(3, 0, false)
+	r.Add(0, 1)
+	r.Add(2, 2)
+	abs, load, _ := r.Retire()
+	if abs != 0 || load != 1 {
+		t.Fatalf("Retire = (%d, %d), want (0, 1)", abs, load)
+	}
+	if r.Base() != 1 || r.End() != 3 {
+		t.Fatalf("window = [%d, %d], want [1, 3]", r.Base(), r.End())
+	}
+	// The freshly exposed slot 3 must start empty.
+	if got := r.Load(3); got != 0 {
+		t.Fatalf("Load(3) = %d, want 0 (recycled slot not cleared)", got)
+	}
+	if got := r.Load(2); got != 1 {
+		t.Fatalf("Load(2) = %d, want 1 (existing load lost)", got)
+	}
+}
+
+func TestRingSegmentTracking(t *testing.T) {
+	r := NewRing(3, 10, true)
+	r.Add(11, 4)
+	r.Add(11, 9)
+	got := r.Segments(11)
+	if len(got) != 2 || got[0] != 4 || got[1] != 9 {
+		t.Fatalf("Segments(11) = %v, want [4 9]", got)
+	}
+	// Mutating the returned slice must not affect the ring.
+	got[0] = 99
+	if r.Segments(11)[0] != 4 {
+		t.Fatal("Segments exposed internal state")
+	}
+}
+
+func TestRingSegmentsUntracked(t *testing.T) {
+	r := NewRing(3, 0, false)
+	r.Add(0, 1)
+	if r.Segments(0) != nil {
+		t.Fatal("untracked ring should return nil segments")
+	}
+}
+
+func TestRingRetireReturnsSegments(t *testing.T) {
+	r := NewRing(2, 0, true)
+	r.Add(0, 7)
+	r.Add(0, 8)
+	_, _, segs := r.Retire()
+	if len(segs) != 2 || segs[0] != 7 || segs[1] != 8 {
+		t.Fatalf("retired segs = %v, want [7 8]", segs)
+	}
+	// Slot 2 (recycled position) must be empty.
+	if got := r.Segments(2); len(got) != 0 {
+		t.Fatalf("recycled slot has stale segments %v", got)
+	}
+}
+
+func TestRingOutOfWindowPanics(t *testing.T) {
+	r := NewRing(3, 5, false)
+	for _, abs := range []int{4, 8} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("access to slot %d outside [5,7] did not panic", abs)
+				}
+			}()
+			r.Load(abs)
+		}()
+	}
+}
+
+func TestRingBadHorizonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero horizon did not panic")
+		}
+	}()
+	NewRing(0, 0, false)
+}
+
+func TestMinLoadLatestPrefersLatestTie(t *testing.T) {
+	r := NewRing(6, 0, false)
+	// loads: slot0=1 slot1=0 slot2=2 slot3=0 slot4=3
+	r.Add(0, 1)
+	r.Add(2, 1)
+	r.Add(2, 2)
+	r.Add(4, 1)
+	r.Add(4, 2)
+	r.Add(4, 3)
+	slot, load := r.MinLoadLatest(0, 4)
+	if slot != 3 || load != 0 {
+		t.Fatalf("MinLoadLatest = (%d, %d), want (3, 0): ties must pick the latest slot", slot, load)
+	}
+}
+
+func TestMinLoadLatestSingleSlot(t *testing.T) {
+	r := NewRing(3, 0, false)
+	r.Add(1, 9)
+	slot, load := r.MinLoadLatest(1, 1)
+	if slot != 1 || load != 1 {
+		t.Fatalf("MinLoadLatest = (%d, %d), want (1, 1)", slot, load)
+	}
+}
+
+func TestMinLoadLatestEmptyRangePanics(t *testing.T) {
+	r := NewRing(3, 0, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty scan range did not panic")
+		}
+	}()
+	r.MinLoadLatest(2, 1)
+}
+
+func TestRingLongRunConsistency(t *testing.T) {
+	// Drive the ring through many retire cycles and verify conservation:
+	// everything added is eventually retired exactly once.
+	r := NewRing(5, 0, false)
+	added, retired := 0, 0
+	for step := 0; step < 1000; step++ {
+		slot := r.Base() + 1 + step%4
+		if slot <= r.End() {
+			r.Add(slot, step)
+			added++
+		}
+		_, load, _ := r.Retire()
+		retired += load
+	}
+	for i := 0; i < 5; i++ {
+		_, load, _ := r.Retire()
+		retired += load
+	}
+	if added != retired {
+		t.Fatalf("added %d instances but retired %d", added, retired)
+	}
+}
+
+func TestRingConservationProperty(t *testing.T) {
+	f := func(offsets []uint8) bool {
+		r := NewRing(8, 0, false)
+		added, retired := 0, 0
+		for _, o := range offsets {
+			slot := r.Base() + int(o)%8
+			r.Add(slot, 1)
+			added++
+			_, load, _ := r.Retire()
+			retired += load
+		}
+		for i := 0; i < 8; i++ {
+			_, load, _ := r.Retire()
+			retired += load
+		}
+		return added == retired
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinLoadEarliestPrefersEarliestTie(t *testing.T) {
+	r := NewRing(6, 0, false)
+	r.Add(0, 1)
+	r.Add(2, 1)
+	r.Add(4, 1)
+	slot, load := r.MinLoadEarliest(0, 4)
+	if slot != 1 || load != 0 {
+		t.Fatalf("MinLoadEarliest = (%d, %d), want (1, 0)", slot, load)
+	}
+	slot, load = r.MinLoadEarliest(4, 4)
+	if slot != 4 || load != 1 {
+		t.Fatalf("single-slot MinLoadEarliest = (%d, %d), want (4, 1)", slot, load)
+	}
+}
+
+func TestMinLoadEarliestEmptyRangePanics(t *testing.T) {
+	r := NewRing(3, 0, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty scan range did not panic")
+		}
+	}()
+	r.MinLoadEarliest(2, 1)
+}

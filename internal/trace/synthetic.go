@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+
+	"vodcast/internal/sim"
+)
+
+// SyntheticConfig parameterizes the MPEG-like synthetic trace generator. The
+// generator produces a raw activity series (scene-level AR(1) modulation,
+// GOP-periodic ripple, rare action bursts) and then calibrates it with an
+// affine map so the resulting trace matches the requested mean and peak
+// exactly.
+type SyntheticConfig struct {
+	// Seconds is the playback duration in whole seconds.
+	Seconds int
+	// MeanRate is the target average rate in bytes per second.
+	MeanRate float64
+	// PeakRate is the target maximum one-second rate in bytes per second.
+	PeakRate float64
+	// SceneMeanLength is the mean scene duration in seconds.
+	SceneMeanLength float64
+	// BurstProbability is the per-second chance that an action burst starts.
+	BurstProbability float64
+}
+
+// MatrixConfig returns the configuration calibrated to the published
+// statistics of the paper's trace: 8170 s, 636 KB/s mean, 951 KB/s peak
+// (KB = 1000 bytes, as in the paper).
+func MatrixConfig() SyntheticConfig {
+	return SyntheticConfig{
+		Seconds:          8170,
+		MeanRate:         636e3,
+		PeakRate:         951e3,
+		SceneMeanLength:  40,
+		BurstProbability: 0.004,
+	}
+}
+
+// Synthetic generates a VBR trace from cfg using the deterministic seed.
+// The returned trace satisfies Mean() == cfg.MeanRate and
+// Peak() == cfg.PeakRate up to floating-point rounding.
+func Synthetic(cfg SyntheticConfig, seed int64) (*Trace, error) {
+	if cfg.Seconds <= 0 {
+		return nil, fmt.Errorf("trace: duration %d must be positive", cfg.Seconds)
+	}
+	if cfg.MeanRate <= 0 || cfg.PeakRate <= cfg.MeanRate {
+		return nil, fmt.Errorf("trace: need 0 < mean (%v) < peak (%v)", cfg.MeanRate, cfg.PeakRate)
+	}
+	if cfg.SceneMeanLength <= 1 {
+		return nil, fmt.Errorf("trace: scene mean length %v must exceed 1 s", cfg.SceneMeanLength)
+	}
+
+	rng := sim.NewRNG(seed)
+	raw := make([]float64, cfg.Seconds)
+
+	var (
+		sceneLevel float64 // base activity of the current scene, in [0.25, 1]
+		sceneLeft  int     // seconds remaining in the current scene
+		ar         float64 // within-scene AR(1) fluctuation
+		burstLeft  int     // seconds remaining in the current action burst
+	)
+	for i := range raw {
+		if sceneLeft == 0 {
+			sceneLeft = 1 + int(rng.Exp(cfg.SceneMeanLength))
+			sceneLevel = 0.25 + 0.75*rng.Float64()
+		}
+		sceneLeft--
+		ar = 0.85*ar + 0.15*rng.NormFloat64()
+		if burstLeft == 0 && rng.Float64() < cfg.BurstProbability {
+			burstLeft = 2 + rng.Intn(8)
+		}
+		burst := 0.0
+		if burstLeft > 0 {
+			burstLeft--
+			burst = 0.6
+		}
+		// GOP-periodic ripple: large I-frames roughly every half second
+		// show up as a mild periodic component at 1-second granularity.
+		gop := 0.05 * gopRipple(i)
+		v := sceneLevel + 0.12*ar + burst + gop
+		if v < 0.05 {
+			v = 0.05
+		}
+		raw[i] = v
+	}
+
+	// Affine calibration rate = c0 + c1*raw matching the sample mean and
+	// maximum to the requested statistics exactly.
+	var sum, max, min float64
+	min = raw[0]
+	for _, v := range raw {
+		sum += v
+		if v > max {
+			max = v
+		}
+		if v < min {
+			min = v
+		}
+	}
+	mean := sum / float64(len(raw))
+	if max <= mean {
+		return nil, fmt.Errorf("trace: degenerate raw series (max %v <= mean %v)", max, mean)
+	}
+	c1 := (cfg.PeakRate - cfg.MeanRate) / (max - mean)
+	c0 := cfg.MeanRate - c1*mean
+	if c0+c1*min <= 0 {
+		return nil, fmt.Errorf("trace: calibration produced non-positive minimum rate %v; widen mean/peak gap", c0+c1*min)
+	}
+	rates := make([]float64, len(raw))
+	for i, v := range raw {
+		rates[i] = c0 + c1*v
+	}
+	return New(rates)
+}
+
+// SyntheticMatrix generates the Matrix-calibrated trace used by the Figure 9
+// reproduction.
+func SyntheticMatrix(seed int64) (*Trace, error) {
+	return Synthetic(MatrixConfig(), seed)
+}
+
+// gopRipple is a cheap deterministic periodic component standing in for the
+// I/P/B frame cadence visible at coarse granularity.
+func gopRipple(i int) float64 {
+	switch i % 4 {
+	case 0:
+		return 1
+	case 2:
+		return -1
+	default:
+		return 0
+	}
+}

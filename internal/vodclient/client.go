@@ -1,0 +1,155 @@
+// Package vodclient is the set-top-box side of the networked DHB system: it
+// requests a video from a vodserver, receives the broadcast segment frames,
+// verifies every payload byte and every delivery deadline with the STB
+// oracle of internal/client, and reports what it observed.
+package vodclient
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"time"
+
+	"vodcast/internal/client"
+	"vodcast/internal/wire"
+)
+
+// Result describes one completed fetch.
+type Result struct {
+	// VideoID and Segments echo the schedule the server granted.
+	VideoID  uint32
+	Segments int
+	// AdmitSlot is the slot the request was admitted in.
+	AdmitSlot uint64
+	// PayloadBytes counts verified video bytes received.
+	PayloadBytes int64
+	// SharedFrames counts segment frames that arrived for segments the
+	// client already held (broadcast transmissions scheduled for other
+	// overlapping customers).
+	SharedFrames int
+	// MaxBuffered is the peak number of segments held before consumption.
+	MaxBuffered int
+	// Elapsed is the wall-clock duration of the session.
+	Elapsed time.Duration
+}
+
+// Fetch requests videoID from the server at addr, receives until every
+// segment has arrived and every deadline has been checked, and returns the
+// session summary. The timeout bounds the whole session.
+func Fetch(addr string, videoID uint32, timeout time.Duration) (Result, error) {
+	return FetchFrom(addr, videoID, 1, timeout)
+}
+
+// FetchFrom is Fetch for an interactive customer resuming playback at
+// segment from (1 = the beginning).
+func FetchFrom(addr string, videoID, from uint32, timeout time.Duration) (Result, error) {
+	if timeout <= 0 {
+		return Result{}, fmt.Errorf("vodclient: timeout %v must be positive", timeout)
+	}
+	if from < 1 {
+		return Result{}, fmt.Errorf("vodclient: resume segment %d must be at least 1", from)
+	}
+	start := time.Now()
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return Result{}, fmt.Errorf("vodclient: dial: %w", err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(start.Add(timeout)); err != nil {
+		return Result{}, fmt.Errorf("vodclient: set deadline: %w", err)
+	}
+
+	if err := wire.WriteFrame(conn, wire.Request{VideoID: videoID, FromSegment: from}); err != nil {
+		return Result{}, fmt.Errorf("vodclient: send request: %w", err)
+	}
+	msg, err := wire.ReadFrame(conn)
+	if err != nil {
+		return Result{}, fmt.Errorf("vodclient: read schedule: %w", err)
+	}
+	var info wire.ScheduleInfo
+	switch m := msg.(type) {
+	case wire.ScheduleInfo:
+		info = m
+	case wire.ErrorMsg:
+		return Result{}, fmt.Errorf("vodclient: server rejected request: %s", m.Text)
+	default:
+		return Result{}, fmt.Errorf("vodclient: unexpected %T before schedule", msg)
+	}
+	if info.VideoID != videoID {
+		return Result{}, fmt.Errorf("vodclient: schedule for video %d, requested %d", info.VideoID, videoID)
+	}
+
+	if from > info.Segments {
+		return Result{}, fmt.Errorf("vodclient: resume segment %d beyond %d", from, info.Segments)
+	}
+
+	// Rebuild the 1-based period vector and arm the STB oracle.
+	periods := make([]int, info.Segments+1)
+	for j := uint32(1); j <= info.Segments; j++ {
+		periods[j] = int(info.Periods[j-1])
+	}
+	stb, err := client.NewFrom(int(info.AdmitSlot), periods, int(from))
+	if err != nil {
+		return Result{}, fmt.Errorf("vodclient: %w", err)
+	}
+
+	res := Result{
+		VideoID:   info.VideoID,
+		Segments:  int(info.Segments),
+		AdmitSlot: info.AdmitSlot,
+	}
+	// The session ends when the shifted suffix's last deadline passes.
+	lastSlot := int(info.AdmitSlot) + maxPeriod(periods[:int(info.Segments)-int(from)+2])
+	var slotSegments []int
+	for {
+		msg, err := wire.ReadFrame(conn)
+		if err != nil {
+			return Result{}, fmt.Errorf("vodclient: read frame: %w", err)
+		}
+		switch m := msg.(type) {
+		case wire.Segment:
+			if m.VideoID != videoID {
+				return Result{}, fmt.Errorf("vodclient: frame for video %d on a video-%d subscription", m.VideoID, videoID)
+			}
+			if m.Segment < 1 || m.Segment > info.Segments {
+				return Result{}, fmt.Errorf("vodclient: frame for unknown segment %d", m.Segment)
+			}
+			want := wire.SegmentPayload(m.VideoID, m.Segment, info.SizeOf(m.Segment))
+			if !bytes.Equal(m.Payload, want) {
+				return Result{}, fmt.Errorf("vodclient: corrupt payload for segment %d", m.Segment)
+			}
+			if stb.Received(int(m.Segment)) {
+				res.SharedFrames++
+			}
+			res.PayloadBytes += int64(len(m.Payload))
+			slotSegments = append(slotSegments, int(m.Segment))
+		case wire.SlotEnd:
+			if err := stb.ObserveSlot(int(m.Slot), slotSegments); err != nil {
+				return Result{}, fmt.Errorf("vodclient: %w", err)
+			}
+			slotSegments = slotSegments[:0]
+			if int(m.Slot) >= lastSlot {
+				if !stb.Complete() {
+					return Result{}, fmt.Errorf("vodclient: stream ended with segments missing")
+				}
+				res.MaxBuffered = stb.MaxBuffered()
+				res.Elapsed = time.Since(start)
+				return res, nil
+			}
+		case wire.ErrorMsg:
+			return Result{}, fmt.Errorf("vodclient: server error: %s", m.Text)
+		default:
+			return Result{}, fmt.Errorf("vodclient: unexpected frame %T", msg)
+		}
+	}
+}
+
+func maxPeriod(periods []int) int {
+	max := 0
+	for _, p := range periods[1:] {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}

@@ -1,0 +1,449 @@
+// Package vodserver is the networked realization of the DHB protocol: a
+// video server that admits customer requests over TCP, schedules segment
+// transmissions with the DHB scheduler in real time, and pushes the segment
+// payloads of every broadcast instance to the subscribed set-top boxes.
+//
+// The data plane models broadcast channels: each scheduled instance is
+// produced (and counted) exactly once per slot and the encoded frames are
+// fanned out to every subscriber of the video, standing in for the IP
+// multicast a production deployment would use (see DESIGN.md §3). Video
+// bytes are generated deterministically per (video, segment) so the client
+// can verify every byte without the server storing real footage.
+package vodserver
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"vodcast/internal/core"
+	"vodcast/internal/wire"
+)
+
+// VideoConfig describes one servable video.
+type VideoConfig struct {
+	// ID is the catalogue identifier clients request.
+	ID uint32
+	// Segments is the DHB segment count.
+	Segments int
+	// Periods optionally carries a DHB-d period vector (nil = CBR default).
+	Periods []int
+	// SegmentBytes is the payload size of one segment.
+	SegmentBytes int
+	// SegmentSizes optionally carries per-segment payload sizes for
+	// variable-bit-rate videos (it must have Segments entries and
+	// overrides SegmentBytes). Build one from a Section 4 plan with
+	// NewVBRVideo.
+	SegmentSizes []int
+}
+
+// sizeOf reports the payload size of 1-based segment j.
+func (vc VideoConfig) sizeOf(j int) int {
+	if len(vc.SegmentSizes) == 0 {
+		return vc.SegmentBytes
+	}
+	return vc.SegmentSizes[j-1]
+}
+
+// Config parameterizes a server.
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// Videos is the catalogue.
+	Videos []VideoConfig
+	// SlotDuration is the real-time slot length (the paper's d, scaled
+	// down for testing).
+	SlotDuration time.Duration
+	// SubscriberBuffer is the per-client queue of encoded slot batches; a
+	// client that falls further behind is disconnected so one slow STB
+	// cannot stall the broadcast. Zero selects a sensible default.
+	SubscriberBuffer int
+	// StatsAddr optionally binds an HTTP monitoring endpoint serving the
+	// Stats counters as JSON on GET /statsz.
+	StatsAddr string
+}
+
+// Stats is a snapshot of server counters.
+type Stats struct {
+	// Requests counts admitted customers.
+	Requests int64
+	// Instances counts segment transmissions (the broadcast cost).
+	Instances int64
+	// BroadcastBytes counts payload bytes transmitted, one count per
+	// instance regardless of subscriber fan-out.
+	BroadcastBytes int64
+	// ActiveSubscribers counts clients currently receiving.
+	ActiveSubscribers int
+	// Dropped counts subscribers disconnected for falling behind.
+	Dropped int64
+}
+
+type video struct {
+	cfg       VideoConfig
+	sched     *core.Scheduler
+	maxPeriod int
+	subs      map[*subscriber]struct{}
+}
+
+type subscriber struct {
+	conn net.Conn
+	// batches carries one encoded byte batch per slot; closed when the
+	// subscription ends.
+	batches chan []byte
+	// lastSlot is the final slot this subscriber needs.
+	lastSlot int
+}
+
+// Server is a running VOD server. Create with Start, stop with Close.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	statsLn net.Listener
+
+	mu     sync.Mutex
+	videos map[uint32]*video
+	conns  map[net.Conn]struct{}
+	stats  Stats
+	closed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Start validates cfg, binds the listener and launches the slot ticker.
+func Start(cfg Config) (*Server, error) {
+	if len(cfg.Videos) == 0 {
+		return nil, fmt.Errorf("vodserver: empty catalogue")
+	}
+	if cfg.SlotDuration <= 0 {
+		return nil, fmt.Errorf("vodserver: slot duration %v must be positive", cfg.SlotDuration)
+	}
+	if cfg.SubscriberBuffer <= 0 {
+		cfg.SubscriberBuffer = 64
+	}
+	videos := make(map[uint32]*video, len(cfg.Videos))
+	for _, vc := range cfg.Videos {
+		if len(vc.SegmentSizes) == 0 && vc.SegmentBytes <= 0 {
+			return nil, fmt.Errorf("vodserver: video %d: segment bytes %d must be positive", vc.ID, vc.SegmentBytes)
+		}
+		if len(vc.SegmentSizes) != 0 {
+			if len(vc.SegmentSizes) != vc.Segments {
+				return nil, fmt.Errorf("vodserver: video %d: %d segment sizes for %d segments",
+					vc.ID, len(vc.SegmentSizes), vc.Segments)
+			}
+			for j, sz := range vc.SegmentSizes {
+				if sz <= 0 {
+					return nil, fmt.Errorf("vodserver: video %d: segment %d size %d must be positive", vc.ID, j+1, sz)
+				}
+			}
+		}
+		if _, dup := videos[vc.ID]; dup {
+			return nil, fmt.Errorf("vodserver: duplicate video id %d", vc.ID)
+		}
+		sched, err := core.New(core.Config{
+			Segments:      vc.Segments,
+			Periods:       vc.Periods,
+			TrackSegments: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("vodserver: video %d: %w", vc.ID, err)
+		}
+		maxP := 0
+		for j := 1; j <= vc.Segments; j++ {
+			if p := sched.Period(j); p > maxP {
+				maxP = p
+			}
+		}
+		videos[vc.ID] = &video{
+			cfg:       vc,
+			sched:     sched,
+			maxPeriod: maxP,
+			subs:      make(map[*subscriber]struct{}),
+		}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("vodserver: listen: %w", err)
+	}
+	s := &Server{
+		cfg:    cfg,
+		ln:     ln,
+		videos: videos,
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
+	if cfg.StatsAddr != "" {
+		statsLn, err := s.serveStats(cfg.StatsAddr)
+		if err != nil {
+			ln.Close()
+			s.wg.Wait()
+			return nil, err
+		}
+		s.statsLn = statsLn
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.tickLoop()
+	return s, nil
+}
+
+// StatsAddr reports the bound monitoring address, or "" when disabled.
+func (s *Server) StatsAddr() string {
+	if s.statsLn == nil {
+		return ""
+	}
+	return s.statsLn.Addr().String()
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	for _, v := range s.videos {
+		st.Instances += v.sched.Instances()
+		st.ActiveSubscribers += len(v.subs)
+	}
+	return st
+}
+
+// Close stops accepting, terminates every subscription and waits for all
+// server goroutines to exit. It is safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.done)
+	err := s.ln.Close()
+	if s.statsLn != nil {
+		s.statsLn.Close()
+	}
+	for _, v := range s.videos {
+		for sub := range v.subs {
+			close(sub.batches)
+			delete(v.subs, sub)
+		}
+	}
+	// Unblock handlers parked in reads or writes.
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// track registers a connection for shutdown; it reports false when the
+// server is already closing.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn admits one request and streams its subscription.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	if !s.track(conn) {
+		return
+	}
+	defer s.untrack(conn)
+
+	msg, err := wire.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	req, ok := msg.(wire.Request)
+	if !ok {
+		_ = wire.WriteFrame(conn, wire.ErrorMsg{Text: "expected a request frame"})
+		return
+	}
+
+	sub, info, err := s.admit(req.VideoID, req.FromSegment, conn)
+	if err != nil {
+		_ = wire.WriteFrame(conn, wire.ErrorMsg{Text: err.Error()})
+		return
+	}
+	if err := wire.WriteFrame(conn, info); err != nil {
+		s.unsubscribe(req.VideoID, sub)
+		return
+	}
+	for batch := range sub.batches {
+		if _, err := conn.Write(batch); err != nil {
+			s.unsubscribe(req.VideoID, sub)
+			// Drain so the ticker never blocks on this subscriber.
+			for range sub.batches {
+			}
+			return
+		}
+	}
+}
+
+// admit registers a subscription under the scheduler lock. fromSegment
+// above 1 resumes interactive playback there (0 and 1 mean a full viewing).
+func (s *Server) admit(videoID, fromSegment uint32, conn net.Conn) (*subscriber, wire.ScheduleInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, wire.ScheduleInfo{}, fmt.Errorf("server shutting down")
+	}
+	v, ok := s.videos[videoID]
+	if !ok {
+		return nil, wire.ScheduleInfo{}, fmt.Errorf("unknown video %d", videoID)
+	}
+	from := int(fromSegment)
+	if from == 0 {
+		from = 1
+	}
+	if from > v.cfg.Segments {
+		return nil, wire.ScheduleInfo{}, fmt.Errorf("resume segment %d beyond %d", from, v.cfg.Segments)
+	}
+	admitSlot := v.sched.CurrentSlot()
+	if _, err := v.sched.AdmitFrom(from); err != nil {
+		return nil, wire.ScheduleInfo{}, err
+	}
+	s.stats.Requests++
+
+	// The subscription ends once the customer's last deadline passes: the
+	// largest shifted period of the remaining suffix.
+	suffixMax := 0
+	for k := 1; k <= v.cfg.Segments-from+1; k++ {
+		if p := v.sched.Period(k); p > suffixMax {
+			suffixMax = p
+		}
+	}
+	sub := &subscriber{
+		conn:     conn,
+		batches:  make(chan []byte, s.cfg.SubscriberBuffer),
+		lastSlot: admitSlot + suffixMax,
+	}
+	v.subs[sub] = struct{}{}
+
+	periods := make([]uint32, v.cfg.Segments)
+	for j := 1; j <= v.cfg.Segments; j++ {
+		periods[j-1] = uint32(v.sched.Period(j))
+	}
+	info := wire.ScheduleInfo{
+		VideoID:      videoID,
+		Segments:     uint32(v.cfg.Segments),
+		SlotMillis:   uint32(s.cfg.SlotDuration / time.Millisecond),
+		SegmentBytes: uint32(v.cfg.SegmentBytes),
+		AdmitSlot:    uint64(admitSlot),
+		Periods:      periods,
+	}
+	if len(v.cfg.SegmentSizes) != 0 {
+		info.SegmentSizes = make([]uint32, len(v.cfg.SegmentSizes))
+		for j, sz := range v.cfg.SegmentSizes {
+			info.SegmentSizes[j] = uint32(sz)
+		}
+	}
+	return sub, info, nil
+}
+
+// unsubscribe removes the subscription and closes its channel if the ticker
+// has not already done so, which lets the caller drain without blocking.
+func (s *Server) unsubscribe(videoID uint32, sub *subscriber) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.videos[videoID]
+	if !ok {
+		return
+	}
+	if _, live := v.subs[sub]; live {
+		delete(v.subs, sub)
+		close(sub.batches)
+	}
+}
+
+func (s *Server) tickLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.SlotDuration)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			s.tick()
+		}
+	}
+}
+
+// tick finishes the current slot of every video: it encodes the slot's
+// broadcast instances once and fans the batch out to the subscribers.
+func (s *Server) tick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for id, v := range s.videos {
+		rep := v.sched.AdvanceSlot()
+		var buf bytes.Buffer
+		for _, seg := range rep.Segments {
+			payload := wire.SegmentPayload(id, uint32(seg), uint32(v.cfg.sizeOf(seg)))
+			frame := wire.Segment{
+				VideoID: id,
+				Segment: uint32(seg),
+				Slot:    uint64(rep.Slot),
+				Payload: payload,
+			}
+			if err := wire.WriteFrame(&buf, frame); err != nil {
+				continue // unreachable: in-memory write
+			}
+			s.stats.BroadcastBytes += int64(len(payload))
+		}
+		if err := wire.WriteFrame(&buf, wire.SlotEnd{Slot: uint64(rep.Slot)}); err != nil {
+			continue
+		}
+		batch := buf.Bytes()
+		for sub := range v.subs {
+			select {
+			case sub.batches <- batch:
+			default:
+				// The subscriber fell a full buffer behind: disconnect it
+				// rather than stall the broadcast.
+				delete(v.subs, sub)
+				close(sub.batches)
+				s.stats.Dropped++
+				continue
+			}
+			if rep.Slot >= sub.lastSlot {
+				delete(v.subs, sub)
+				close(sub.batches)
+			}
+		}
+	}
+}

@@ -1,0 +1,511 @@
+package vodserver
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"vodcast/internal/core"
+	"vodcast/internal/trace"
+	"vodcast/internal/vodclient"
+	"vodcast/internal/wire"
+)
+
+func startTestServer(t *testing.T, videos ...VideoConfig) *Server {
+	t.Helper()
+	if len(videos) == 0 {
+		videos = []VideoConfig{{ID: 1, Segments: 10, SegmentBytes: 512}}
+	}
+	s, err := Start(Config{
+		Addr:         "127.0.0.1:0",
+		Videos:       videos,
+		SlotDuration: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStartValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "empty catalogue", cfg: Config{SlotDuration: time.Millisecond}},
+		{
+			name: "zero slot",
+			cfg: Config{
+				Videos: []VideoConfig{{ID: 1, Segments: 5, SegmentBytes: 64}},
+			},
+		},
+		{
+			name: "zero segment bytes",
+			cfg: Config{
+				Videos:       []VideoConfig{{ID: 1, Segments: 5}},
+				SlotDuration: time.Millisecond,
+			},
+		},
+		{
+			name: "duplicate ids",
+			cfg: Config{
+				Videos: []VideoConfig{
+					{ID: 1, Segments: 5, SegmentBytes: 64},
+					{ID: 1, Segments: 6, SegmentBytes: 64},
+				},
+				SlotDuration: time.Millisecond,
+			},
+		},
+		{
+			name: "bad segments",
+			cfg: Config{
+				Videos:       []VideoConfig{{ID: 1, Segments: 0, SegmentBytes: 64}},
+				SlotDuration: time.Millisecond,
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tt.cfg.Addr = "127.0.0.1:0"
+			if _, err := Start(tt.cfg); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+// TestEndToEndSingleClient is the canonical session: one client requests the
+// video and must receive every segment, byte-perfect, by its deadline.
+func TestEndToEndSingleClient(t *testing.T) {
+	s := startTestServer(t)
+	res, err := vodclient.Fetch(s.Addr(), 1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Segments != 10 {
+		t.Fatalf("segments = %d, want 10", res.Segments)
+	}
+	if res.PayloadBytes < 10*512 {
+		t.Fatalf("payload bytes = %d, want >= %d", res.PayloadBytes, 10*512)
+	}
+	st := s.Stats()
+	if st.Requests != 1 {
+		t.Fatalf("requests = %d, want 1", st.Requests)
+	}
+	if st.Instances != 10 {
+		t.Fatalf("instances = %d, want 10 for an isolated request", st.Instances)
+	}
+}
+
+// TestEndToEndConcurrentClientsShare verifies the whole point of the
+// protocol over the real network: simultaneous customers share broadcast
+// instances, so the server transmits far fewer than clients x segments.
+func TestEndToEndConcurrentClientsShare(t *testing.T) {
+	s := startTestServer(t, VideoConfig{ID: 1, Segments: 12, SegmentBytes: 256})
+	const clients = 6
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := vodclient.Fetch(s.Addr(), 1, 10*time.Second); err != nil {
+				mu.Lock()
+				errs = append(errs, err)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		t.Fatalf("client errors: %v", errs)
+	}
+	st := s.Stats()
+	if st.Requests != clients {
+		t.Fatalf("requests = %d, want %d", st.Requests, clients)
+	}
+	// Without sharing the server would transmit 6*12 = 72 instances; the
+	// clients arrive within a slot or two of each other, so sharing must
+	// cut that down substantially.
+	if st.Instances >= clients*12 {
+		t.Fatalf("instances = %d: no sharing happened", st.Instances)
+	}
+	if st.Instances < 12 {
+		t.Fatalf("instances = %d below one full video", st.Instances)
+	}
+}
+
+func TestStaggeredClients(t *testing.T) {
+	s := startTestServer(t, VideoConfig{ID: 1, Segments: 8, SegmentBytes: 128})
+	for c := 0; c < 3; c++ {
+		res, err := vodclient.Fetch(s.Addr(), 1, 10*time.Second)
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+		if res.MaxBuffered < 1 {
+			t.Fatalf("client %d buffered nothing", c)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func TestMultipleVideos(t *testing.T) {
+	s := startTestServer(t,
+		VideoConfig{ID: 1, Segments: 6, SegmentBytes: 128},
+		VideoConfig{ID: 2, Segments: 9, SegmentBytes: 64},
+	)
+	var wg sync.WaitGroup
+	results := make([]vodclient.Result, 2)
+	errs := make([]error, 2)
+	for i, id := range []uint32{1, 2} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = vodclient.Fetch(s.Addr(), id, 10*time.Second)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("video %d: %v", i+1, err)
+		}
+	}
+	if results[0].Segments != 6 || results[1].Segments != 9 {
+		t.Fatalf("segments = %d, %d; want 6, 9", results[0].Segments, results[1].Segments)
+	}
+}
+
+func TestUnknownVideoRejected(t *testing.T) {
+	s := startTestServer(t)
+	_, err := vodclient.Fetch(s.Addr(), 99, 5*time.Second)
+	if err == nil {
+		t.Fatal("unknown video accepted")
+	}
+}
+
+func TestBadFirstFrameRejected(t *testing.T) {
+	s := startTestServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, wire.SlotEnd{Slot: 1}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(wire.ErrorMsg); !ok {
+		t.Fatalf("want ErrorMsg, got %T", msg)
+	}
+}
+
+func TestCloseTerminatesCleanly(t *testing.T) {
+	s := startTestServer(t)
+	// A parked connection that never sends a request must not block Close.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not terminate")
+	}
+	// Idempotent.
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := vodclient.Fetch(s.Addr(), 1, time.Second); err == nil {
+		t.Fatal("fetch succeeded after Close")
+	}
+}
+
+func TestDHBDPeriodsOverTheWire(t *testing.T) {
+	// A stretched DHB-d style period vector must flow through the wire
+	// protocol and still satisfy the client's deadline oracle.
+	s := startTestServer(t, VideoConfig{
+		ID:           7,
+		Segments:     6,
+		Periods:      []int{0, 1, 3, 3, 5, 6, 8},
+		SegmentBytes: 256,
+	})
+	res, err := vodclient.Fetch(s.Addr(), 7, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Segments != 6 {
+		t.Fatalf("segments = %d, want 6", res.Segments)
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	// A listener that accepts but never answers must trip the client's
+	// deadline, not hang.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			defer conn.Close()
+			time.Sleep(2 * time.Second)
+		}
+	}()
+	start := time.Now()
+	_, err = vodclient.Fetch(ln.Addr().String(), 1, 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("fetch succeeded against a mute server")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("client did not respect its timeout")
+	}
+}
+
+func TestVBRVideoOverTheWire(t *testing.T) {
+	// The full Section 4 pipeline served over sockets: synthesize the
+	// trace, derive the DHB-d plan, scale it to test size, and verify a
+	// customer receives every variable-size unit by its relaxed deadline.
+	tr, err := trace.SyntheticMatrix(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := core.PlanVBR(tr, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := NewVBRVideo(9, tr, plans[core.VariantD], 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Start(Config{
+		Addr:         "127.0.0.1:0",
+		Videos:       []VideoConfig{vc},
+		SlotDuration: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := vodclient.Fetch(s.Addr(), 9, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Segments != plans[core.VariantD].Segments {
+		t.Fatalf("segments = %d, want %d", res.Segments, plans[core.VariantD].Segments)
+	}
+	// Work-ahead delivery runs early, so the client buffer holds many
+	// units at once — the behaviour Section 4's smoothing relies on.
+	if res.MaxBuffered < 2 {
+		t.Fatalf("max buffered = %d, want work-ahead buffering", res.MaxBuffered)
+	}
+}
+
+func TestVBRVideoVariantB(t *testing.T) {
+	tr, err := trace.SyntheticMatrix(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := core.PlanVBR(tr, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := NewVBRVideo(3, tr, plans[core.VariantB], 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Variant B sizes track the trace: they must vary.
+	min, max := vc.SegmentSizes[0], vc.SegmentSizes[0]
+	for _, sz := range vc.SegmentSizes {
+		if sz < min {
+			min = sz
+		}
+		if sz > max {
+			max = sz
+		}
+	}
+	if min == max {
+		t.Fatal("variant B segment sizes are uniform")
+	}
+	s, err := Start(Config{
+		Addr:         "127.0.0.1:0",
+		Videos:       []VideoConfig{vc},
+		SlotDuration: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := vodclient.Fetch(s.Addr(), 3, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewVBRVideoValidation(t *testing.T) {
+	tr, err := trace.SyntheticMatrix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := core.PlanVBR(tr, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewVBRVideo(1, nil, plans[core.VariantA], 1); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := NewVBRVideo(1, tr, plans[core.VariantA], 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	bad := plans[core.VariantA]
+	bad.Segments = 0
+	if _, err := NewVBRVideo(1, tr, bad, 1); err == nil {
+		t.Error("empty plan accepted")
+	}
+}
+
+func TestStartRejectsBadSegmentSizes(t *testing.T) {
+	base := Config{Addr: "127.0.0.1:0", SlotDuration: time.Millisecond}
+	base.Videos = []VideoConfig{{ID: 1, Segments: 3, SegmentSizes: []int{1, 2}}}
+	if _, err := Start(base); err == nil {
+		t.Error("mismatched size count accepted")
+	}
+	base.Videos = []VideoConfig{{ID: 1, Segments: 2, SegmentSizes: []int{1, 0}}}
+	if _, err := Start(base); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestResumeOverTheWire(t *testing.T) {
+	s := startTestServer(t, VideoConfig{ID: 1, Segments: 12, SegmentBytes: 256})
+	// A full viewing and a resume from segment 9 share the suffix.
+	full, err := vodclient.Fetch(s.Addr(), 1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := vodclient.FetchFrom(s.Addr(), 1, 9, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Segments != 12 || resumed.Segments != 12 {
+		t.Fatalf("segments: full %d, resumed %d", full.Segments, resumed.Segments)
+	}
+	// The resumed session only waits for 4 segments, so it finishes much
+	// faster than a full viewing (12 slots vs at most 5).
+	if resumed.Elapsed >= full.Elapsed {
+		t.Fatalf("resume took %v, full viewing %v", resumed.Elapsed, full.Elapsed)
+	}
+}
+
+func TestResumeBeyondVideoRejected(t *testing.T) {
+	s := startTestServer(t, VideoConfig{ID: 1, Segments: 5, SegmentBytes: 64})
+	if _, err := vodclient.FetchFrom(s.Addr(), 1, 6, 5*time.Second); err == nil {
+		t.Fatal("resume beyond the video accepted")
+	}
+}
+
+func TestConcurrentResumesShare(t *testing.T) {
+	s := startTestServer(t, VideoConfig{ID: 1, Segments: 10, SegmentBytes: 128})
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			_, errs[id] = vodclient.FetchFrom(s.Addr(), 1, 6, 10*time.Second)
+		}(c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("resume %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	// Four resumes of the 5-segment suffix share instances: far below 20.
+	if st.Instances >= 20 {
+		t.Fatalf("instances = %d: resumes did not share", st.Instances)
+	}
+}
+
+func TestStatszEndpoint(t *testing.T) {
+	s, err := Start(Config{
+		Addr:         "127.0.0.1:0",
+		Videos:       []VideoConfig{{ID: 1, Segments: 6, SegmentBytes: 64}},
+		SlotDuration: 10 * time.Millisecond,
+		StatsAddr:    "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.StatsAddr() == "" {
+		t.Fatal("stats endpoint not bound")
+	}
+	if _, err := vodclient.Fetch(s.Addr(), 1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.StatsAddr() + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 1 || st.Instances != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Non-GET is rejected.
+	post, err := http.Post("http://"+s.StatsAddr()+"/statsz", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d", post.StatusCode)
+	}
+}
+
+func TestStatszDisabledByDefault(t *testing.T) {
+	s := startTestServer(t)
+	if s.StatsAddr() != "" {
+		t.Fatal("stats endpoint bound without configuration")
+	}
+}
+
+func TestUnsubscribeIdempotent(t *testing.T) {
+	s := startTestServer(t)
+	sub := &subscriber{batches: make(chan []byte, 1)}
+	s.mu.Lock()
+	s.videos[1].subs[sub] = struct{}{}
+	s.mu.Unlock()
+	s.unsubscribe(1, sub)
+	// The channel must be closed exactly once; a second call is a no-op.
+	s.unsubscribe(1, sub)
+	s.unsubscribe(99, sub) // unknown video: no-op
+	if _, open := <-sub.batches; open {
+		t.Fatal("channel not closed by unsubscribe")
+	}
+}

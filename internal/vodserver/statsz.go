@@ -1,0 +1,51 @@
+package vodserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// statsHandler serves the operational counters as JSON on GET /statsz, the
+// monitoring hook a deployed server needs.
+type statsHandler struct {
+	server *Server
+}
+
+func (h statsHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(h.server.Stats()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// serveStats binds the monitoring endpoint and returns its listener so
+// Close can tear it down. It is called from Start when Config.StatsAddr is
+// set.
+func (s *Server) serveStats(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("vodserver: stats listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/statsz", statsHandler{server: s})
+	httpSrv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		// Serve returns once the listener closes during shutdown.
+		_ = httpSrv.Serve(ln)
+	}()
+	return ln, nil
+}

@@ -1,0 +1,64 @@
+package vodserver
+
+import (
+	"fmt"
+	"math"
+
+	"vodcast/internal/core"
+	"vodcast/internal/trace"
+)
+
+// NewVBRVideo turns a Section 4 distribution plan into a servable video:
+// the DHB-d periods flow into the scheduler and each transmission unit gets
+// its plan-derived size. scale converts video bytes to wire payload bytes
+// (use 1 to serve full-size segments, or something like 1e-5 to exercise the
+// identical schedule at test-friendly sizes; every size is floored at 16
+// bytes so payloads stay verifiable).
+func NewVBRVideo(id uint32, tr *trace.Trace, plan core.VBRSolution, scale float64) (VideoConfig, error) {
+	if tr == nil {
+		return VideoConfig{}, fmt.Errorf("vodserver: nil trace")
+	}
+	if scale <= 0 {
+		return VideoConfig{}, fmt.Errorf("vodserver: scale %v must be positive", scale)
+	}
+	if plan.Segments <= 0 {
+		return VideoConfig{}, fmt.Errorf("vodserver: plan has %d segments", plan.Segments)
+	}
+	sizes := make([]int, plan.Segments)
+	switch plan.Variant {
+	case core.VariantA, core.VariantB:
+		// Just-in-time variants carry each video segment's actual bytes.
+		segBytes, err := tr.SegmentBytes(plan.Segments)
+		if err != nil {
+			return VideoConfig{}, fmt.Errorf("vodserver: %w", err)
+		}
+		for j, b := range segBytes {
+			sizes[j] = scaledSize(b, scale)
+		}
+	case core.VariantC, core.VariantD:
+		// Work-ahead variants pack data into full-rate units; the last
+		// unit carries the remainder.
+		unit := plan.Rate * plan.SlotDuration
+		for j := 0; j < plan.Segments-1; j++ {
+			sizes[j] = scaledSize(unit, scale)
+		}
+		remainder := tr.TotalBytes() - unit*float64(plan.Segments-1)
+		sizes[plan.Segments-1] = scaledSize(remainder, scale)
+	default:
+		return VideoConfig{}, fmt.Errorf("vodserver: unknown plan variant %v", plan.Variant)
+	}
+	return VideoConfig{
+		ID:           id,
+		Segments:     plan.Segments,
+		Periods:      plan.Periods,
+		SegmentSizes: sizes,
+	}, nil
+}
+
+func scaledSize(bytes, scale float64) int {
+	sz := int(math.Round(bytes * scale))
+	if sz < 16 {
+		return 16
+	}
+	return sz
+}

@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the frame decoder: it must never
+// panic, never allocate unboundedly, and round-trip anything it accepts.
+func FuzzReadFrame(f *testing.F) {
+	// Seed with one valid frame of each type.
+	seeds := []any{
+		Request{VideoID: 1},
+		ScheduleInfo{VideoID: 1, Segments: 2, SlotMillis: 10, SegmentBytes: 64,
+			AdmitSlot: 5, Periods: []uint32{1, 2}},
+		Segment{VideoID: 1, Segment: 2, Slot: 3, Payload: []byte("abc")},
+		SlotEnd{Slot: 9},
+		ErrorMsg{Text: "boom"},
+	}
+	for _, msg := range seeds {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, msg); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		msg, err := ReadFrame(bytes.NewReader(raw))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything accepted must re-encode and decode to the same value.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, msg); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		back, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		checkEqualFrames(t, msg, back)
+	})
+}
+
+func checkEqualFrames(t *testing.T, a, b any) {
+	t.Helper()
+	switch am := a.(type) {
+	case Segment:
+		bm, ok := b.(Segment)
+		if !ok || am.VideoID != bm.VideoID || am.Segment != bm.Segment ||
+			am.Slot != bm.Slot || !bytes.Equal(am.Payload, bm.Payload) {
+			t.Fatalf("segment round trip mismatch: %+v vs %+v", a, b)
+		}
+	case ScheduleInfo:
+		bm, ok := b.(ScheduleInfo)
+		if !ok || am.VideoID != bm.VideoID || am.Segments != bm.Segments ||
+			len(am.Periods) != len(bm.Periods) {
+			t.Fatalf("schedule round trip mismatch: %+v vs %+v", a, b)
+		}
+	default:
+		if a != b {
+			t.Fatalf("round trip mismatch: %+v vs %+v", a, b)
+		}
+	}
+}
+
+// FuzzReadFrameStream verifies the decoder's framing discipline: after a
+// valid frame it must resume exactly at the next frame boundary.
+func FuzzReadFrameStream(f *testing.F) {
+	f.Add(uint32(3), []byte("xyz"))
+	f.Fuzz(func(t *testing.T, video uint32, payload []byte) {
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		var buf bytes.Buffer
+		first := Segment{VideoID: video, Segment: 1, Slot: 2, Payload: payload}
+		second := SlotEnd{Slot: 7}
+		if err := WriteFrame(&buf, first); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFrame(&buf, second); err != nil {
+			t.Fatal(err)
+		}
+		r := bytes.NewReader(buf.Bytes())
+		got1, err := ReadFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEqualFrames(t, first, got1)
+		got2, err := ReadFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEqualFrames(t, second, got2)
+		if _, err := ReadFrame(r); err != io.EOF {
+			t.Fatalf("want EOF after last frame, got %v", err)
+		}
+	})
+}

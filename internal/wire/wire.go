@@ -1,0 +1,256 @@
+// Package wire defines the binary protocol between the networked DHB video
+// server (internal/vodserver) and its set-top-box client
+// (internal/vodclient).
+//
+// Every message is a frame:
+//
+//	1 byte  type
+//	4 bytes big-endian body length
+//	body
+//
+// The control flow is minimal, mirroring the paper's protocol: the client
+// sends one Request for a video; the server answers with ScheduleInfo
+// (segment count, slot length, the slot the request was admitted in, and the
+// maximum-period vector so the client knows every deadline); from then on
+// the server pushes Segment frames carrying the actual video bytes and a
+// SlotEnd frame at every slot boundary until the client's last deadline has
+// passed.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MsgType identifies a frame.
+type MsgType uint8
+
+// Message types.
+const (
+	TypeRequest MsgType = iota + 1
+	TypeScheduleInfo
+	TypeSegment
+	TypeSlotEnd
+	TypeError
+)
+
+// MaxBody bounds a frame body; anything larger is rejected as corrupt
+// before allocation.
+const MaxBody = 16 << 20
+
+// Request asks the server to admit one customer for a video. A FromSegment
+// above 1 resumes interactive playback at that segment; 0 and 1 both mean a
+// full viewing.
+type Request struct {
+	VideoID     uint32
+	FromSegment uint32
+}
+
+// ScheduleInfo tells the admitted customer everything it needs to verify
+// timely delivery.
+type ScheduleInfo struct {
+	VideoID      uint32
+	Segments     uint32
+	SlotMillis   uint32
+	SegmentBytes uint32
+	// AdmitSlot is the slot during which the request was admitted; segment
+	// j arrives by slot AdmitSlot + Periods[j-1].
+	AdmitSlot uint64
+	// Periods is the maximum-period vector, 0-indexed by segment-1.
+	Periods []uint32
+	// SegmentSizes optionally carries per-segment payload sizes for
+	// variable-bit-rate videos (Section 4); empty means every segment is
+	// SegmentBytes long. When present its length must equal Segments.
+	SegmentSizes []uint32
+}
+
+// SizeOf reports the payload size of 1-based segment j under the schedule.
+func (s ScheduleInfo) SizeOf(j uint32) uint32 {
+	if len(s.SegmentSizes) == 0 {
+		return s.SegmentBytes
+	}
+	return s.SegmentSizes[j-1]
+}
+
+// Segment carries the payload of one broadcast segment instance.
+type Segment struct {
+	VideoID uint32
+	Segment uint32
+	Slot    uint64
+	Payload []byte
+}
+
+// SlotEnd marks a slot boundary on the data stream.
+type SlotEnd struct {
+	Slot uint64
+}
+
+// ErrorMsg reports a server-side rejection.
+type ErrorMsg struct {
+	Text string
+}
+
+// WriteFrame serializes one message to w.
+func WriteFrame(w io.Writer, msg any) error {
+	var (
+		t    MsgType
+		body []byte
+	)
+	switch m := msg.(type) {
+	case Request:
+		t = TypeRequest
+		body = binary.BigEndian.AppendUint32(nil, m.VideoID)
+		body = binary.BigEndian.AppendUint32(body, m.FromSegment)
+	case ScheduleInfo:
+		t = TypeScheduleInfo
+		body = make([]byte, 0, 24+4*len(m.Periods))
+		body = binary.BigEndian.AppendUint32(body, m.VideoID)
+		body = binary.BigEndian.AppendUint32(body, m.Segments)
+		body = binary.BigEndian.AppendUint32(body, m.SlotMillis)
+		body = binary.BigEndian.AppendUint32(body, m.SegmentBytes)
+		body = binary.BigEndian.AppendUint64(body, m.AdmitSlot)
+		if uint32(len(m.Periods)) != m.Segments {
+			return fmt.Errorf("wire: schedule info has %d periods for %d segments", len(m.Periods), m.Segments)
+		}
+		if len(m.SegmentSizes) != 0 && uint32(len(m.SegmentSizes)) != m.Segments {
+			return fmt.Errorf("wire: schedule info has %d sizes for %d segments", len(m.SegmentSizes), m.Segments)
+		}
+		for _, p := range m.Periods {
+			body = binary.BigEndian.AppendUint32(body, p)
+		}
+		for _, sz := range m.SegmentSizes {
+			body = binary.BigEndian.AppendUint32(body, sz)
+		}
+	case Segment:
+		t = TypeSegment
+		body = make([]byte, 0, 16+len(m.Payload))
+		body = binary.BigEndian.AppendUint32(body, m.VideoID)
+		body = binary.BigEndian.AppendUint32(body, m.Segment)
+		body = binary.BigEndian.AppendUint64(body, m.Slot)
+		body = append(body, m.Payload...)
+	case SlotEnd:
+		t = TypeSlotEnd
+		body = binary.BigEndian.AppendUint64(nil, m.Slot)
+	case ErrorMsg:
+		t = TypeError
+		body = []byte(m.Text)
+	default:
+		return fmt.Errorf("wire: unknown message type %T", msg)
+	}
+	if len(body) > MaxBody {
+		return fmt.Errorf("wire: body of %d bytes exceeds limit", len(body))
+	}
+	header := make([]byte, 5)
+	header[0] = byte(t)
+	binary.BigEndian.PutUint32(header[1:], uint32(len(body)))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads and decodes the next message from r.
+func ReadFrame(r io.Reader) (any, error) {
+	header := make([]byte, 5)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	t := MsgType(header[0])
+	n := binary.BigEndian.Uint32(header[1:])
+	if n > MaxBody {
+		return nil, fmt.Errorf("wire: frame body of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	switch t {
+	case TypeRequest:
+		if len(body) != 8 {
+			return nil, fmt.Errorf("wire: request body has %d bytes, want 8", len(body))
+		}
+		return Request{
+			VideoID:     binary.BigEndian.Uint32(body),
+			FromSegment: binary.BigEndian.Uint32(body[4:]),
+		}, nil
+	case TypeScheduleInfo:
+		if len(body) < 24 {
+			return nil, fmt.Errorf("wire: schedule info body has %d bytes, want >= 24", len(body))
+		}
+		info := ScheduleInfo{
+			VideoID:      binary.BigEndian.Uint32(body[0:]),
+			Segments:     binary.BigEndian.Uint32(body[4:]),
+			SlotMillis:   binary.BigEndian.Uint32(body[8:]),
+			SegmentBytes: binary.BigEndian.Uint32(body[12:]),
+			AdmitSlot:    binary.BigEndian.Uint64(body[16:]),
+		}
+		rest := body[24:]
+		// Compare in 64 bits: a forged segment count must not wrap the
+		// expected byte length around uint32. The tail carries either the
+		// period vector alone or periods followed by per-segment sizes.
+		nSeg := uint64(info.Segments)
+		switch uint64(len(rest)) {
+		case 4 * nSeg:
+		case 8 * nSeg:
+			if nSeg == 0 {
+				break
+			}
+			info.SegmentSizes = make([]uint32, info.Segments)
+			sizes := rest[4*nSeg:]
+			for i := range info.SegmentSizes {
+				info.SegmentSizes[i] = binary.BigEndian.Uint32(sizes[4*i:])
+			}
+		default:
+			return nil, fmt.Errorf("wire: schedule info carries %d tail bytes for %d segments", len(rest), info.Segments)
+		}
+		info.Periods = make([]uint32, info.Segments)
+		for i := range info.Periods {
+			info.Periods[i] = binary.BigEndian.Uint32(rest[4*i:])
+		}
+		return info, nil
+	case TypeSegment:
+		if len(body) < 16 {
+			return nil, fmt.Errorf("wire: segment body has %d bytes, want >= 16", len(body))
+		}
+		payload := make([]byte, len(body)-16)
+		copy(payload, body[16:])
+		return Segment{
+			VideoID: binary.BigEndian.Uint32(body[0:]),
+			Segment: binary.BigEndian.Uint32(body[4:]),
+			Slot:    binary.BigEndian.Uint64(body[8:]),
+			Payload: payload,
+		}, nil
+	case TypeSlotEnd:
+		if len(body) != 8 {
+			return nil, fmt.Errorf("wire: slot end body has %d bytes, want 8", len(body))
+		}
+		return SlotEnd{Slot: binary.BigEndian.Uint64(body)}, nil
+	case TypeError:
+		return ErrorMsg{Text: string(body)}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown frame type %d", t)
+	}
+}
+
+// SegmentPayload deterministically generates the bytes of one video segment
+// so that the server never stores real video data and the client can verify
+// every byte it receives. The generator is a seeded xorshift over the
+// (video, segment) pair.
+func SegmentPayload(videoID, segment, size uint32) []byte {
+	out := make([]byte, size)
+	state := (uint64(videoID)<<32 ^ uint64(segment)) * 0x9E3779B97F4A7C15
+	if state == 0 {
+		state = 0x9E3779B97F4A7C15
+	}
+	for i := range out {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		out[i] = byte(state)
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, msg any) any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, msg); err != nil {
+		t.Fatalf("write %T: %v", msg, err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("read %T: %v", msg, err)
+	}
+	return got
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	msgs := []any{
+		Request{VideoID: 7},
+		ScheduleInfo{
+			VideoID:      1,
+			Segments:     3,
+			SlotMillis:   50,
+			SegmentBytes: 4096,
+			AdmitSlot:    123456789,
+			Periods:      []uint32{1, 2, 3},
+		},
+		Segment{VideoID: 2, Segment: 9, Slot: 42, Payload: []byte("hello segment")},
+		SlotEnd{Slot: 99},
+		ErrorMsg{Text: "no such video"},
+	}
+	for _, msg := range msgs {
+		got := roundTrip(t, msg)
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("round trip %T:\n got %+v\nwant %+v", msg, got, msg)
+		}
+	}
+}
+
+func TestRoundTripEmptyPayload(t *testing.T) {
+	got := roundTrip(t, Segment{VideoID: 1, Segment: 1, Slot: 1, Payload: []byte{}})
+	seg, ok := got.(Segment)
+	if !ok || len(seg.Payload) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(video, segment uint32, slot uint64, payload []byte) bool {
+		if len(payload) > 1<<16 {
+			payload = payload[:1<<16]
+		}
+		msg := Segment{VideoID: video, Segment: segment, Slot: slot, Payload: payload}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, msg); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		seg, ok := got.(Segment)
+		if !ok {
+			return false
+		}
+		return seg.VideoID == video && seg.Segment == segment && seg.Slot == slot &&
+			bytes.Equal(seg.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleFramesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := uint64(0); i < 10; i++ {
+		if err := WriteFrame(&buf, SlotEnd{Slot: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 10; i++ {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.(SlotEnd).Slot != i {
+			t.Fatalf("frame %d out of order: %+v", i, got)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestWriteRejects(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, struct{}{}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if err := WriteFrame(&buf, ScheduleInfo{Segments: 2, Periods: []uint32{1}}); err == nil {
+		t.Error("mismatched periods accepted")
+	}
+	if err := WriteFrame(&buf, Segment{Payload: make([]byte, MaxBody+1)}); err == nil {
+		t.Error("oversized body accepted")
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		raw  []byte
+	}{
+		{name: "unknown type", raw: []byte{0xFF, 0, 0, 0, 0}},
+		{name: "oversized", raw: []byte{byte(TypeSegment), 0xFF, 0xFF, 0xFF, 0xFF}},
+		{name: "short request", raw: []byte{byte(TypeRequest), 0, 0, 0, 2, 1, 2}},
+		{name: "short segment", raw: []byte{byte(TypeSegment), 0, 0, 0, 3, 1, 2, 3}},
+		{name: "short slot end", raw: []byte{byte(TypeSlotEnd), 0, 0, 0, 2, 1, 2}},
+		{name: "short schedule", raw: []byte{byte(TypeScheduleInfo), 0, 0, 0, 4, 1, 2, 3, 4}},
+		{name: "truncated body", raw: []byte{byte(TypeSlotEnd), 0, 0, 0, 8, 1, 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadFrame(bytes.NewReader(tt.raw)); err == nil {
+				t.Fatal("malformed frame accepted")
+			}
+		})
+	}
+}
+
+func TestReadRejectsBadPeriodCount(t *testing.T) {
+	var buf bytes.Buffer
+	info := ScheduleInfo{Segments: 2, Periods: []uint32{1, 2}}
+	if err := WriteFrame(&buf, info); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the segment count so it disagrees with the period bytes.
+	raw[5+4+3] = 9
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil ||
+		!strings.Contains(err.Error(), "tail bytes") {
+		t.Fatalf("corrupted schedule accepted: %v", err)
+	}
+}
+
+func TestSegmentPayloadDeterministic(t *testing.T) {
+	a := SegmentPayload(1, 2, 1024)
+	b := SegmentPayload(1, 2, 1024)
+	if !bytes.Equal(a, b) {
+		t.Fatal("payload not deterministic")
+	}
+	c := SegmentPayload(1, 3, 1024)
+	if bytes.Equal(a, c) {
+		t.Fatal("different segments produced identical payloads")
+	}
+	d := SegmentPayload(2, 2, 1024)
+	if bytes.Equal(a, d) {
+		t.Fatal("different videos produced identical payloads")
+	}
+}
+
+func TestSegmentPayloadLooksRandom(t *testing.T) {
+	p := SegmentPayload(5, 7, 4096)
+	counts := make(map[byte]int)
+	for _, b := range p {
+		counts[b]++
+	}
+	if len(counts) < 200 {
+		t.Fatalf("payload uses only %d distinct byte values", len(counts))
+	}
+}
+
+func TestReadRejectsOverflowingSegmentCount(t *testing.T) {
+	// Regression: a forged ScheduleInfo whose segment count makes
+	// 4*Segments wrap around uint32 must be rejected, not crash.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, ScheduleInfo{
+		Segments: 2,
+		Periods:  []uint32{1, 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Body layout: 4 video, 4 segments, ... Patch segments to 0x80000002 so
+	// that 4*segments == 8 (mod 2^32), matching the 8 period bytes present.
+	raw[5+4+0] = 0x80
+	raw[5+4+3] = 0x02
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("overflowing segment count accepted")
+	}
+}
+
+func TestScheduleInfoWithSizesRoundTrip(t *testing.T) {
+	info := ScheduleInfo{
+		VideoID:      4,
+		Segments:     3,
+		SlotMillis:   25,
+		SegmentBytes: 0,
+		AdmitSlot:    11,
+		Periods:      []uint32{1, 3, 3},
+		SegmentSizes: []uint32{100, 250, 80},
+	}
+	got := roundTrip(t, info)
+	back, ok := got.(ScheduleInfo)
+	if !ok || !reflect.DeepEqual(back, info) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, info)
+	}
+	if back.SizeOf(2) != 250 {
+		t.Fatalf("SizeOf(2) = %d, want 250", back.SizeOf(2))
+	}
+}
+
+func TestScheduleInfoSizeOfUniform(t *testing.T) {
+	info := ScheduleInfo{Segments: 2, SegmentBytes: 512, Periods: []uint32{1, 2}}
+	if info.SizeOf(1) != 512 || info.SizeOf(2) != 512 {
+		t.Fatal("uniform SizeOf broken")
+	}
+}
+
+func TestWriteRejectsMismatchedSizes(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteFrame(&buf, ScheduleInfo{
+		Segments:     2,
+		Periods:      []uint32{1, 2},
+		SegmentSizes: []uint32{7},
+	})
+	if err == nil {
+		t.Fatal("mismatched sizes accepted")
+	}
+}

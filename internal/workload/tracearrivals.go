@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ArrivalTrace replays a recorded sequence of request timestamps — for
+// example a production VOD request log — instead of drawing synthetic
+// Poisson arrivals. Timestamps are seconds from the start of the trace.
+type ArrivalTrace struct {
+	times []float64
+}
+
+// NewArrivalTrace validates and wraps a timestamp series. Times must be
+// non-negative; they are sorted if needed.
+func NewArrivalTrace(times []float64) (*ArrivalTrace, error) {
+	if len(times) == 0 {
+		return nil, fmt.Errorf("workload: empty arrival trace")
+	}
+	own := make([]float64, len(times))
+	copy(own, times)
+	for i, t := range own {
+		if t < 0 {
+			return nil, fmt.Errorf("workload: arrival %d at negative time %v", i, t)
+		}
+	}
+	sort.Float64s(own)
+	return &ArrivalTrace{times: own}, nil
+}
+
+// ReadArrivalTrace parses one timestamp per line (blank lines and lines
+// starting with '#' are skipped), the format WriteArrivalTrace emits.
+func ReadArrivalTrace(r io.Reader) (*ArrivalTrace, error) {
+	sc := bufio.NewScanner(r)
+	var times []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		t, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		times = append(times, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: scan: %w", err)
+	}
+	return NewArrivalTrace(times)
+}
+
+// WriteArrivalTrace emits one timestamp per line.
+func WriteArrivalTrace(w io.Writer, tr *ArrivalTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("# request arrival times in seconds\n"); err != nil {
+		return fmt.Errorf("workload: write header: %w", err)
+	}
+	for _, t := range tr.times {
+		if _, err := fmt.Fprintf(bw, "%s\n", strconv.FormatFloat(t, 'f', -1, 64)); err != nil {
+			return fmt.Errorf("workload: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Count reports the number of recorded arrivals.
+func (a *ArrivalTrace) Count() int { return len(a.times) }
+
+// Duration reports the time of the last arrival.
+func (a *ArrivalTrace) Duration() float64 { return a.times[len(a.times)-1] }
+
+// MeanRatePerHour reports the trace's empirical arrival rate.
+func (a *ArrivalTrace) MeanRatePerHour() float64 {
+	if a.Duration() == 0 {
+		return 0
+	}
+	return float64(len(a.times)) / a.Duration() * 3600
+}
+
+// Slotted converts the trace into per-slot arrival counts for a slotted
+// protocol simulation with the given slot duration.
+func (a *ArrivalTrace) Slotted(slotSeconds float64) ([]int, error) {
+	if slotSeconds <= 0 {
+		return nil, fmt.Errorf("workload: slot duration %v must be positive", slotSeconds)
+	}
+	slots := int(a.Duration()/slotSeconds) + 1
+	counts := make([]int, slots)
+	for _, t := range a.times {
+		counts[int(t/slotSeconds)]++
+	}
+	return counts, nil
+}

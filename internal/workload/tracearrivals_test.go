@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"vodcast/internal/sim"
+)
+
+func TestNewArrivalTraceValidation(t *testing.T) {
+	if _, err := NewArrivalTrace(nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := NewArrivalTrace([]float64{1, -2}); err == nil {
+		t.Fatal("negative time accepted")
+	}
+}
+
+func TestNewArrivalTraceSortsAndCopies(t *testing.T) {
+	times := []float64{30, 10, 20}
+	tr, err := NewArrivalTrace(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Duration() != 30 || tr.Count() != 3 {
+		t.Fatalf("duration=%v count=%d", tr.Duration(), tr.Count())
+	}
+	times[0] = 999 // must not affect the trace
+	if tr.Duration() != 30 {
+		t.Fatal("trace aliased caller slice")
+	}
+}
+
+func TestMeanRatePerHour(t *testing.T) {
+	tr, err := NewArrivalTrace([]float64{0, 1800, 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.MeanRatePerHour(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("rate = %v, want 3/h", got)
+	}
+}
+
+func TestSlotted(t *testing.T) {
+	tr, err := NewArrivalTrace([]float64{0, 5, 5.5, 19, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := tr.Slotted(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 1, 1}
+	if len(counts) != len(want) {
+		t.Fatalf("slots = %v, want %v", counts, want)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("slots = %v, want %v", counts, want)
+		}
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != tr.Count() {
+		t.Fatalf("slotted counts sum to %d, want %d", total, tr.Count())
+	}
+	if _, err := tr.Slotted(0); err == nil {
+		t.Fatal("zero slot accepted")
+	}
+}
+
+func TestArrivalTraceRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(3)
+	proc := sim.NewPoissonProcess(rng, 0.01)
+	var times []float64
+	for i := 0; i < 200; i++ {
+		times = append(times, proc.Next())
+	}
+	orig, err := NewArrivalTrace(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteArrivalTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArrivalTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != orig.Count() || back.Duration() != orig.Duration() {
+		t.Fatalf("round trip changed the trace: %d/%v vs %d/%v",
+			back.Count(), back.Duration(), orig.Count(), orig.Duration())
+	}
+}
+
+func TestReadArrivalTraceSkipsCommentsAndErrors(t *testing.T) {
+	tr, err := ReadArrivalTrace(strings.NewReader("# header\n\n10\n20\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != 2 {
+		t.Fatalf("count = %d, want 2", tr.Count())
+	}
+	if _, err := ReadArrivalTrace(strings.NewReader("abc\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if _, err := ReadArrivalTrace(strings.NewReader("# only comments\n")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

@@ -1,0 +1,443 @@
+// Package vodcast is a from-scratch Go implementation of the Dynamic
+// Heuristic Broadcasting (DHB) protocol for video-on-demand (Carter, Pâris,
+// Mohan, Long — ICDCS 2001), together with every protocol and substrate its
+// evaluation depends on: fast broadcasting, pagoda/NPB and skyscraper
+// mappings, the universal distribution protocol, stream tapping/patching,
+// batching, selective catching, a discrete-event simulator, a VBR-video
+// substrate with work-ahead smoothing, and a multi-video server.
+//
+// This file is the public facade: it re-exports the pieces a downstream user
+// needs without reaching into internal packages. The three entry points most
+// users want:
+//
+//   - NewDHB builds the paper's scheduler (DHBConfig selects segment count,
+//     period vector and placement policy).
+//   - Measure drives any slotted protocol under Poisson load and reports its
+//     average/maximum bandwidth.
+//   - PlanVBR turns a variable-bit-rate trace into the four Section 4
+//     distribution plans (DHB-a through DHB-d).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package vodcast
+
+import (
+	"time"
+
+	"vodcast/internal/analysis"
+	"vodcast/internal/broadcast"
+	"vodcast/internal/core"
+	"vodcast/internal/dynamic"
+	"vodcast/internal/experiments"
+	"vodcast/internal/reactive"
+	"vodcast/internal/server"
+	"vodcast/internal/storage"
+	"vodcast/internal/trace"
+	"vodcast/internal/vodclient"
+	"vodcast/internal/vodserver"
+	"vodcast/internal/wire"
+	"vodcast/internal/workload"
+)
+
+// ---- The DHB protocol (the paper's contribution) ----
+
+// DHBConfig parameterizes a DHB scheduler; see NewDHB.
+type DHBConfig = core.Config
+
+// DHB is the dynamic heuristic broadcasting scheduler of Figure 6.
+type DHB = core.Scheduler
+
+// SlotReport describes one transmitted slot of a DHB schedule.
+type SlotReport = core.SlotReport
+
+// Policy selects the placement rule of a DHB scheduler.
+type Policy = core.Policy
+
+// Placement policies: the published min-load heuristic, the naive
+// latest-slot strawman it improves on, and the earliest-tie-break ablation.
+const (
+	PolicyHeuristic       = core.PolicyHeuristic
+	PolicyNaive           = core.PolicyNaive
+	PolicyMinLoadEarliest = core.PolicyMinLoadEarliest
+)
+
+// NewDHB builds a DHB scheduler.
+func NewDHB(cfg DHBConfig) (*DHB, error) { return core.New(cfg) }
+
+// ---- Compressed (VBR) video support: Section 4 ----
+
+// VBRVariant identifies one of the DHB-a .. DHB-d solutions.
+type VBRVariant = core.VBRVariant
+
+// The four Section 4 solutions.
+const (
+	VariantA = core.VariantA
+	VariantB = core.VariantB
+	VariantC = core.VariantC
+	VariantD = core.VariantD
+)
+
+// VBRSolution is a ready-to-schedule plan for one VBR video.
+type VBRSolution = core.VBRSolution
+
+// PlanVBR derives the four Section 4 plans for distributing the traced video
+// with the given maximum waiting time in seconds.
+func PlanVBR(tr *Trace, maxWaitSeconds float64) (map[VBRVariant]VBRSolution, error) {
+	return core.PlanVBR(tr, maxWaitSeconds)
+}
+
+// ---- VBR traces ----
+
+// Trace is a per-second bit-rate series of a compressed video.
+type Trace = trace.Trace
+
+// NewTrace builds a trace from a per-second byte series.
+func NewTrace(rates []float64) (*Trace, error) { return trace.New(rates) }
+
+// CBRTrace returns a constant-bit-rate trace.
+func CBRTrace(seconds int, rate float64) (*Trace, error) { return trace.CBR(seconds, rate) }
+
+// SyntheticMatrix generates the seeded synthetic trace calibrated to the
+// published statistics of the paper's movie (8170 s, 636 KB/s mean,
+// 951 KB/s peak).
+func SyntheticMatrix(seed int64) (*Trace, error) { return trace.SyntheticMatrix(seed) }
+
+// ---- Static broadcasting protocols (related work) ----
+
+// Mapping is a static segment-to-stream broadcast schedule.
+type Mapping = broadcast.Mapping
+
+// FastBroadcast builds Juhn and Tseng's FB mapping (Figure 1).
+func FastBroadcast(n int) (*Mapping, error) { return broadcast.FastBroadcast(n) }
+
+// Skyscraper builds Hua and Sheu's SB mapping (Figure 3).
+func Skyscraper(n int) (*Mapping, error) { return broadcast.Skyscraper(n) }
+
+// Pagoda builds the pagoda-family mapping standing in for NPB (Figure 2).
+func Pagoda(n int) (*Mapping, error) { return broadcast.Pagoda(n) }
+
+// NPBFigure2 returns the canonical three-stream NPB mapping of Figure 2.
+func NPBFigure2() (*Mapping, error) { return broadcast.NPBFigure2() }
+
+// ---- Dynamic (on-demand) broadcasting protocols ----
+
+// OnDemand is a dynamic broadcasting protocol over a static mapping.
+type OnDemand = dynamic.OnDemand
+
+// NewUD builds the universal distribution protocol for n segments.
+func NewUD(n int) (*OnDemand, error) { return dynamic.UD(n) }
+
+// NewDynamicPagoda builds the on-demand pagoda protocol of Section 3's
+// ablation.
+func NewDynamicPagoda(n int) (*OnDemand, error) { return dynamic.DynamicPagoda(n) }
+
+// NewDSB builds Eager and Vernon's dynamic skyscraper broadcasting.
+func NewDSB(n int) (*OnDemand, error) { return dynamic.DSB(n) }
+
+// ---- Reactive protocols ----
+
+// ReactiveConfig parameterizes a reactive-protocol simulation.
+type ReactiveConfig = reactive.Config
+
+// ReactiveResult summarizes a reactive-protocol run.
+type ReactiveResult = reactive.Result
+
+// Tapping simulates stream tapping / patching with unlimited client buffers.
+func Tapping(cfg ReactiveConfig) (ReactiveResult, error) { return reactive.Tapping(cfg) }
+
+// HMSM simulates Eager and Vernon's hierarchical multicast stream merging.
+func HMSM(cfg ReactiveConfig) (ReactiveResult, error) { return reactive.HMSM(cfg) }
+
+// Piggybacking simulates adaptive piggybacking with the given display-rate
+// alteration (classically 0.05).
+func Piggybacking(cfg ReactiveConfig, delta float64) (ReactiveResult, error) {
+	return reactive.Piggybacking(cfg, delta)
+}
+
+// Batching simulates request batching with the given window.
+func Batching(cfg ReactiveConfig, windowSeconds float64) (ReactiveResult, error) {
+	return reactive.Batching(cfg, windowSeconds)
+}
+
+// SelectiveCatching simulates the hybrid of dedicated staggered broadcasts
+// plus shared catch-up streams.
+func SelectiveCatching(cfg ReactiveConfig, channels int) (ReactiveResult, error) {
+	return reactive.SelectiveCatching(cfg, channels)
+}
+
+// MergingLowerBound is the ln(1 + lambda D) bound on any zero-delay reactive
+// protocol's average bandwidth.
+func MergingLowerBound(ratePerHour, videoSeconds float64) float64 {
+	return reactive.MergingLowerBound(ratePerHour, videoSeconds)
+}
+
+// ---- Measurement and experiments ----
+
+// Slotted is any slotted protocol Measure can drive.
+type Slotted = experiments.Slotted
+
+// Measurement summarizes a Measure run.
+type Measurement = experiments.Measurement
+
+// AdaptDHB exposes a DHB scheduler through the Slotted interface.
+func AdaptDHB(s *DHB) Slotted { return experiments.AdaptDHB(s) }
+
+// AdaptOnDemand exposes a dynamic protocol through the Slotted interface.
+func AdaptOnDemand(o *OnDemand) Slotted { return experiments.AdaptOnDemand(o) }
+
+// Measure drives a slotted protocol under constant Poisson arrivals.
+func Measure(proto Slotted, ratePerHour, slotSeconds float64, horizonSlots, warmupSlots int, seed int64) (Measurement, error) {
+	return experiments.Measure(proto, ratePerHour, slotSeconds, horizonSlots, warmupSlots, seed)
+}
+
+// ArrivalTrace is a recorded request-timestamp series (e.g. a production
+// log) that Replay can feed to any slotted protocol.
+type ArrivalTrace = workload.ArrivalTrace
+
+// NewArrivalTrace wraps a timestamp series (seconds from trace start).
+func NewArrivalTrace(times []float64) (*ArrivalTrace, error) {
+	return workload.NewArrivalTrace(times)
+}
+
+// Replay drives a slotted protocol with a recorded arrival trace.
+func Replay(proto Slotted, arrivals *ArrivalTrace, slotSeconds float64, drainSlots int) (Measurement, error) {
+	return experiments.Replay(proto, arrivals, slotSeconds, drainSlots)
+}
+
+// SweepConfig parameterizes the Figures 7-8 reproduction.
+type SweepConfig = experiments.Config
+
+// SweepRow is one rate's measurements in a sweep.
+type SweepRow = experiments.SweepRow
+
+// DefaultSweepConfig reproduces the paper's setup at publication quality;
+// QuickSweepConfig is the reduced variant for smoke tests.
+func DefaultSweepConfig() SweepConfig { return experiments.DefaultConfig() }
+
+// QuickSweepConfig returns the reduced sweep setup.
+func QuickSweepConfig() SweepConfig { return experiments.QuickConfig() }
+
+// Sweep runs the Figures 7-8 experiment.
+func Sweep(cfg SweepConfig) ([]SweepRow, error) { return experiments.Sweep(cfg) }
+
+// VBRSweepConfig parameterizes the Figure 9 reproduction.
+type VBRSweepConfig = experiments.VBRConfig
+
+// Fig9Row is one rate's measurements in the Figure 9 sweep.
+type Fig9Row = experiments.Fig9Row
+
+// DefaultVBRSweepConfig reproduces the paper's Figure 9 setup.
+func DefaultVBRSweepConfig() VBRSweepConfig { return experiments.DefaultVBRConfig() }
+
+// QuickVBRSweepConfig returns the reduced Figure 9 setup.
+func QuickVBRSweepConfig() VBRSweepConfig { return experiments.QuickVBRConfig() }
+
+// Fig9 runs the compressed-video experiment.
+func Fig9(cfg VBRSweepConfig) ([]Fig9Row, map[VBRVariant]VBRSolution, error) {
+	return experiments.Fig9(cfg)
+}
+
+// PeaksResult compares naive and heuristic placement under saturation.
+type PeaksResult = experiments.PeaksResult
+
+// Peaks runs Section 3's peak-bandwidth comparison.
+func Peaks(segments, horizonSlots int) (PeaksResult, error) {
+	return experiments.Peaks(segments, horizonSlots)
+}
+
+// ClientCapRow is one rate's measurements in the client-bandwidth sweep.
+type ClientCapRow = experiments.ClientCapRow
+
+// ClientCap sweeps the Section 5 client-bandwidth-limited DHB variants.
+func ClientCap(cfg SweepConfig) ([]ClientCapRow, error) { return experiments.ClientCap(cfg) }
+
+// ReactiveZooRow is one rate's measurements in the reactive-protocol sweep.
+type ReactiveZooRow = experiments.ReactiveZooRow
+
+// ReactiveZoo sweeps every reactive protocol in the repository.
+func ReactiveZoo(cfg SweepConfig) ([]ReactiveZooRow, error) { return experiments.ReactiveZoo(cfg) }
+
+// WaitTradeoffRow relates segment count, waiting-time guarantee and DHB
+// bandwidth.
+type WaitTradeoffRow = experiments.WaitTradeoffRow
+
+// WaitTradeoff sweeps the segment count at cfg.Rates[0].
+func WaitTradeoff(cfg SweepConfig, segmentCounts []int) ([]WaitTradeoffRow, error) {
+	return experiments.WaitTradeoff(cfg, segmentCounts)
+}
+
+// CapacityRow describes one channel-pool size under deferral admission
+// control.
+type CapacityRow = experiments.CapacityRow
+
+// CapacityConfig parameterizes the provisioning study.
+type CapacityConfig = experiments.CapacityConfig
+
+// DefaultCapacityConfig returns the reference provisioning setup.
+func DefaultCapacityConfig() CapacityConfig { return experiments.DefaultCapacityConfig() }
+
+// Capacity sweeps channel-pool sizes with deferral admission control.
+func Capacity(cfg CapacityConfig, pools []float64) ([]CapacityRow, error) {
+	return experiments.Capacity(cfg, pools)
+}
+
+// BufferRow reports STB buffer occupancy per protocol at one rate.
+type BufferRow = experiments.BufferRow
+
+// BufferStudy measures client buffer needs for DHB and UD.
+func BufferStudy(cfg SweepConfig) ([]BufferRow, error) { return experiments.BufferStudy(cfg) }
+
+// CIRow is one rate's replicate means with confidence half-widths.
+type CIRow = experiments.CIRow
+
+// ConfidenceSweep repeats the Figure 7 measurement with independent seeds
+// and reports 95% confidence intervals.
+func ConfidenceSweep(cfg SweepConfig, replicates int) ([]CIRow, error) {
+	return experiments.ConfidenceSweep(cfg, replicates)
+}
+
+// DSBRow is one rate's measurements in the DSB comparison.
+type DSBRow = experiments.DSBRow
+
+// DSBComparison sweeps dynamic skyscraper broadcasting against UD and DHB.
+func DSBComparison(cfg SweepConfig) ([]DSBRow, error) { return experiments.DSBComparison(cfg) }
+
+// ---- Multi-video server ----
+
+// ServerConfig parameterizes a multi-video DHB server simulation.
+type ServerConfig = server.Config
+
+// VideoSpec describes one catalogue entry of a server.
+type VideoSpec = server.VideoSpec
+
+// ServerReport summarizes a server run.
+type ServerReport = server.Report
+
+// Server is a configured multi-video simulation.
+type Server = server.Server
+
+// NewServer validates cfg and prepares the per-video schedulers.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// ---- The networked system ----
+
+// ServeConfig parameterizes the networked DHB video server.
+type ServeConfig = vodserver.Config
+
+// ServeVideo describes one servable video of the networked server.
+type ServeVideo = vodserver.VideoConfig
+
+// ServeStats is a snapshot of the networked server's counters.
+type ServeStats = vodserver.Stats
+
+// VODServer is a running networked DHB server.
+type VODServer = vodserver.Server
+
+// StartServer binds and runs the networked DHB server.
+func StartServer(cfg ServeConfig) (*VODServer, error) { return vodserver.Start(cfg) }
+
+// NewVBRVideo turns a Section 4 plan into a servable video.
+func NewVBRVideo(id uint32, tr *Trace, plan VBRSolution, scale float64) (ServeVideo, error) {
+	return vodserver.NewVBRVideo(id, tr, plan, scale)
+}
+
+// FetchResult describes one completed client session.
+type FetchResult = vodclient.Result
+
+// Fetch requests a video from a running server, verifying every byte and
+// every delivery deadline.
+func Fetch(addr string, videoID uint32, timeout time.Duration) (FetchResult, error) {
+	return vodclient.Fetch(addr, videoID, timeout)
+}
+
+// FetchFrom is Fetch for an interactive customer resuming at a segment.
+func FetchFrom(addr string, videoID, from uint32, timeout time.Duration) (FetchResult, error) {
+	return vodclient.FetchFrom(addr, videoID, from, timeout)
+}
+
+// SegmentPayloadForBench exposes the deterministic payload generator of the
+// data plane for benchmarking and external verification tools.
+func SegmentPayloadForBench(videoID, segment, size uint32) []byte {
+	return wire.SegmentPayload(videoID, segment, size)
+}
+
+// ---- Storage provisioning ----
+
+// Disk models one drive of the server's striped array.
+type Disk = storage.Disk
+
+// DiskSchedule is a recorded transmission plan for disk evaluation.
+type DiskSchedule = storage.Schedule
+
+// DiskRead identifies one segment read.
+type DiskRead = storage.Read
+
+// DiskReport describes how a schedule runs on a striped array.
+type DiskReport = storage.Report
+
+// CommodityDisk2001 returns era-typical drive parameters.
+func CommodityDisk2001() Disk { return storage.CommodityDisk2001() }
+
+// DisksNeeded reports the smallest striped array serving the schedule.
+func DisksNeeded(d Disk, s DiskSchedule, maxDisks int) (int, error) {
+	return storage.DisksNeeded(d, s, maxDisks)
+}
+
+// EvaluateDisks runs a schedule on an array of the given size.
+func EvaluateDisks(d Disk, s DiskSchedule, disks int) (DiskReport, error) {
+	return storage.Evaluate(d, s, disks)
+}
+
+// StorageRow compares disk provisioning across scheduling policies.
+type StorageRow = experiments.StorageRow
+
+// StorageConfig parameterizes the disk-provisioning study.
+type StorageConfig = experiments.StorageConfig
+
+// DefaultStorageConfig returns the reference disk study setup.
+func DefaultStorageConfig() StorageConfig { return experiments.DefaultStorageConfig() }
+
+// StorageStudy records each policy's schedule and sizes its disk array.
+func StorageStudy(cfg StorageConfig) ([]StorageRow, error) { return experiments.Storage(cfg) }
+
+// ---- Closed-form performance models ----
+
+// ModelOnDemandMean predicts the average load of an on-demand protocol over
+// a static mapping at the given Poisson rate.
+func ModelOnDemandMean(m *Mapping, ratePerHour, slotSeconds float64) (float64, error) {
+	return analysis.OnDemandMean(m, ratePerHour, slotSeconds)
+}
+
+// ModelDHBMean predicts DHB's average load with the renewal model.
+func ModelDHBMean(periods []int, ratePerHour, slotSeconds float64) (float64, error) {
+	return analysis.DHBMean(periods, ratePerHour, slotSeconds)
+}
+
+// ModelDHBSaturated returns DHB's saturation bandwidth, sum of 1/T[s].
+func ModelDHBSaturated(periods []int) (float64, error) {
+	return analysis.DHBSaturated(periods)
+}
+
+// ModelPatchingMean returns optimal threshold patching's bandwidth,
+// sqrt(1 + 2 lambda D) - 1.
+func ModelPatchingMean(ratePerHour, videoSeconds float64) (float64, error) {
+	return analysis.PatchingMean(ratePerHour, videoSeconds)
+}
+
+// HarmonicBandwidth returns H(n), the bandwidth of harmonic broadcasting
+// and DHB's saturation level for CBR video.
+func HarmonicBandwidth(n int) (float64, error) { return analysis.HarmonicBandwidth(n) }
+
+// ---- Workload shaping ----
+
+// RateFunc reports an instantaneous arrival rate (requests/second) at a
+// simulated instant.
+type RateFunc = workload.RateFunc
+
+// ConstantRate returns a fixed hourly request rate.
+func ConstantRate(requestsPerHour float64) RateFunc { return workload.Constant(requestsPerHour) }
+
+// DayNightRate returns a 24-hour-periodic rate peaking at peakHour.
+func DayNightRate(peakPerHour, offPeakPerHour, peakHour float64) RateFunc {
+	return workload.DayNight(peakPerHour, offPeakPerHour, peakHour)
+}

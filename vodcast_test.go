@@ -1,0 +1,181 @@
+package vodcast_test
+
+import (
+	"testing"
+	"time"
+
+	"vodcast"
+)
+
+// TestPublicAPIDHB exercises the facade the way the quickstart example does.
+func TestPublicAPIDHB(t *testing.T) {
+	dhb, err := vodcast.NewDHB(vodcast.DHBConfig{Segments: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vodcast.Measure(vodcast.AdaptDHB(dhb), 50 /* req/h */, 7200.0/99, 5000, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AvgBandwidth <= 0 || m.AvgBandwidth > 6 {
+		t.Fatalf("DHB at 50 req/h: avg bandwidth = %.2f, want within (0, 6)", m.AvgBandwidth)
+	}
+	if m.MaxBandwidth < m.AvgBandwidth {
+		t.Fatal("max below mean")
+	}
+}
+
+func TestPublicAPIProtocolZoo(t *testing.T) {
+	if _, err := vodcast.FastBroadcast(99); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vodcast.Skyscraper(99); err != nil {
+		t.Fatal(err)
+	}
+	p, err := vodcast.Pagoda(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Streams() != 6 {
+		t.Fatalf("Pagoda(99) = %d streams, want 6", p.Streams())
+	}
+	if _, err := vodcast.NPBFigure2(); err != nil {
+		t.Fatal(err)
+	}
+	ud, err := vodcast.NewUD(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ud.Streams() != 7 {
+		t.Fatalf("UD(99) = %d streams, want 7", ud.Streams())
+	}
+	if _, err := vodcast.NewDynamicPagoda(99); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIVBRPipeline(t *testing.T) {
+	tr, err := vodcast.SyntheticMatrix(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := vodcast.PlanVBR(tr, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 4 {
+		t.Fatalf("got %d plans, want 4", len(plans))
+	}
+	sched, err := vodcast.NewDHB(plans[vodcast.VariantD].SchedulerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Admit()
+	if sched.Requests() != 1 {
+		t.Fatal("scheduler did not admit")
+	}
+}
+
+func TestPublicAPIReactive(t *testing.T) {
+	res, err := vodcast.Tapping(vodcast.ReactiveConfig{
+		RatePerHour:    10,
+		VideoSeconds:   7200,
+		HorizonSeconds: 50 * 3600,
+		WarmupSeconds:  3600,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgBandwidth < vodcast.MergingLowerBound(10, 7200) {
+		t.Fatalf("tapping %.2f below the merging lower bound", res.AvgBandwidth)
+	}
+}
+
+func TestPublicAPIServer(t *testing.T) {
+	srv, err := vodcast.NewServer(vodcast.ServerConfig{
+		Videos: []vodcast.VideoSpec{
+			{Name: "blockbuster", Segments: 99, Rate: 1},
+			{Name: "documentary", Segments: 99, Rate: 1},
+		},
+		ZipfSkew:     1,
+		Arrivals:     vodcast.DayNightRate(100, 5, 20),
+		SlotSeconds:  72.7,
+		HorizonSlots: 2000,
+		WarmupSlots:  100,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := srv.Run()
+	if rep.Requests == 0 || rep.AvgBandwidth <= 0 {
+		t.Fatalf("degenerate server run: %+v", rep)
+	}
+}
+
+func TestPublicAPINetworked(t *testing.T) {
+	srv, err := vodcast.StartServer(vodcast.ServeConfig{
+		Addr:         "127.0.0.1:0",
+		Videos:       []vodcast.ServeVideo{{ID: 1, Segments: 8, SegmentBytes: 128}},
+		SlotDuration: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := vodcast.Fetch(srv.Addr(), 1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Segments != 8 {
+		t.Fatalf("segments = %d, want 8", res.Segments)
+	}
+	resumed, err := vodcast.FetchFrom(srv.Addr(), 1, 5, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Segments != 8 {
+		t.Fatalf("resume segments = %d, want 8", resumed.Segments)
+	}
+	if srv.Stats().Requests != 2 {
+		t.Fatalf("requests = %d, want 2", srv.Stats().Requests)
+	}
+}
+
+func TestPublicAPIStorage(t *testing.T) {
+	sched := vodcast.DiskSchedule{
+		SlotSeconds: 10,
+		Slots: [][]vodcast.DiskRead{
+			{{Segment: 1, Bytes: 30e6}, {Segment: 2, Bytes: 30e6}},
+		},
+	}
+	disks, err := vodcast.DisksNeeded(vodcast.CommodityDisk2001(), sched, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disks != 1 {
+		t.Fatalf("disks = %d, want 1 (3 s of reads in a 10 s slot)", disks)
+	}
+	rep, err := vodcast.EvaluateDisks(vodcast.CommodityDisk2001(), sched, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxBusyFraction <= 0 || rep.MaxBusyFraction > 1 {
+		t.Fatalf("busy = %v", rep.MaxBusyFraction)
+	}
+}
+
+func TestPublicAPIResume(t *testing.T) {
+	dhb, err := vodcast.NewDHB(vodcast.DHBConfig{Segments: 10, StartSlot: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := dhb.AdmitFrom(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 4 {
+		t.Fatalf("resume scheduled %d instances, want 4", added)
+	}
+}
