@@ -9,16 +9,25 @@
 //	schedviz -proto pagoda -n 99          # our greedy pagoda packing
 //	schedviz -proto dhb -n 6              # Figure 4 (one request in slot 1)
 //	schedviz -proto dhb -n 6 -second 3    # Figure 5 (second request in slot 3)
+//	schedviz -trace run.jsonl -slots 40   # replay a captured trace (vodsim -experiment trace)
+//
+// With -trace the diagram is not re-simulated: it is reconstructed from the
+// instance_stop events of a captured qlog-style JSONL trace, so the drawing
+// reflects exactly what a real run transmitted.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"vodcast/internal/broadcast"
 	"vodcast/internal/core"
+	"vodcast/internal/obs"
 )
 
 func main() {
@@ -27,12 +36,96 @@ func main() {
 		n      = flag.Int("n", 7, "segment count")
 		slots  = flag.Int("slots", 6, "slots to draw")
 		second = flag.Int("second", 0, "for dhb: slot of a second request (0 = none)")
+		trace  = flag.String("trace", "", "JSONL trace file to replay instead of re-running a scheduler")
 	)
 	flag.Parse()
-	if err := run(*proto, *n, *slots, *second); err != nil {
+	var err error
+	if *trace != "" {
+		err = runTraceFile(os.Stdout, *trace, *slots)
+	} else {
+		err = run(*proto, *n, *slots, *second)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedviz:", err)
 		os.Exit(1)
 	}
+}
+
+// runTraceFile reconstructs the slot diagram of a captured run from its
+// transmitted instances. maxSlots <= 0 draws every retired slot.
+func runTraceFile(w *os.File, path string, maxSlots int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	type slotRow struct {
+		segments []int
+		load     int
+	}
+	rows := make(map[int]*slotRow)
+	videos := make(map[uint32]struct{})
+	events := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return fmt.Errorf("%s line %d: %w", path, events+1, err)
+		}
+		events++
+		videos[ev.Video] = struct{}{}
+		switch ev.Type {
+		case obs.EventInstanceStop:
+			row := rows[ev.Slot]
+			if row == nil {
+				row = &slotRow{}
+				rows[ev.Slot] = row
+			}
+			row.segments = append(row.segments, ev.Segment)
+		case obs.EventSlotRetire:
+			row := rows[ev.Slot]
+			if row == nil {
+				row = &slotRow{}
+				rows[ev.Slot] = row
+			}
+			row.load = ev.Load
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("%s: no instance_stop/slot_retire events (%d events read)", path, events)
+	}
+	slots := make([]int, 0, len(rows))
+	for slot := range rows {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	if maxSlots > 0 && len(slots) > maxSlots {
+		slots = slots[:maxSlots]
+	}
+	fmt.Fprintf(w, "trace %s: %d events, %d videos, %d retired slots\n",
+		path, events, len(videos), len(rows))
+	for _, slot := range slots {
+		row := rows[slot]
+		labels := make([]string, len(row.segments))
+		for i, seg := range row.segments {
+			labels[i] = fmt.Sprintf("S%d", seg)
+		}
+		line := strings.Join(labels, " ")
+		if line == "" {
+			line = "--"
+		}
+		fmt.Fprintf(w, "slot %4d [%2d]: %s\n", slot, row.load, line)
+	}
+	return nil
 }
 
 func run(proto string, n, slots, second int) error {

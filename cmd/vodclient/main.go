@@ -57,9 +57,9 @@ func run(addr string, video, from uint32, count int, timeout time.Duration) erro
 				return
 			}
 			fmt.Printf("customer %d: video %d complete — %d segments, %.1f KB verified, "+
-				"%d shared frames, peak buffer %d segments, %.2fs\n",
+				"%d shared frames, peak buffer %d segments, first byte %.2fs, %.2fs\n",
 				id, res.VideoID, res.Segments, float64(res.PayloadBytes)/1e3,
-				res.SharedFrames, res.MaxBuffered, res.Elapsed.Seconds())
+				res.SharedFrames, res.MaxBuffered, res.FirstByte.Seconds(), res.Elapsed.Seconds())
 		}(c)
 	}
 	wg.Wait()

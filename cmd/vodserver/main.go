@@ -28,16 +28,17 @@ func main() {
 		segments     = flag.Int("segments", 99, "segments per video")
 		slotMillis   = flag.Int("slot-ms", 500, "slot duration in milliseconds")
 		segmentBytes = flag.Int("segment-bytes", 4096, "payload bytes per segment")
-		statsAddr    = flag.String("stats-addr", "", "optional HTTP monitoring address serving /statsz")
+		statsAddr    = flag.String("stats-addr", "", "optional HTTP monitoring address serving /statsz, /healthz, /metricsz, /tracez and /debug/pprof")
+		tracePath    = flag.String("trace", "", "optional JSONL file capturing every scheduler event")
 	)
 	flag.Parse()
-	if err := run(*addr, *statsAddr, *videos, *segments, *slotMillis, *segmentBytes); err != nil {
+	if err := run(*addr, *statsAddr, *tracePath, *videos, *segments, *slotMillis, *segmentBytes); err != nil {
 		fmt.Fprintln(os.Stderr, "vodserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, statsAddr string, videos, segments, slotMillis, segmentBytes int) error {
+func run(addr, statsAddr, tracePath string, videos, segments, slotMillis, segmentBytes int) error {
 	if videos <= 0 {
 		return fmt.Errorf("video count %d must be positive", videos)
 	}
@@ -49,12 +50,25 @@ func run(addr, statsAddr string, videos, segments, slotMillis, segmentBytes int)
 			SegmentBytes: segmentBytes,
 		}
 	}
-	srv, err := vodserver.Start(vodserver.Config{
+	var traceFile *os.File
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+		traceFile = f
+		defer traceFile.Close()
+	}
+	cfg := vodserver.Config{
 		Addr:         addr,
 		Videos:       catalogue,
 		SlotDuration: time.Duration(slotMillis) * time.Millisecond,
 		StatsAddr:    statsAddr,
-	})
+	}
+	if traceFile != nil {
+		cfg.TraceWriter = traceFile
+	}
+	srv, err := vodserver.Start(cfg)
 	if err != nil {
 		return err
 	}
@@ -62,7 +76,10 @@ func run(addr, statsAddr string, videos, segments, slotMillis, segmentBytes int)
 	fmt.Printf("vodserver listening on %s (%d videos, %d segments, %d ms slots)\n",
 		srv.Addr(), videos, segments, slotMillis)
 	if srv.StatsAddr() != "" {
-		fmt.Printf("stats on http://%s/statsz\n", srv.StatsAddr())
+		fmt.Printf("introspection on http://%s/{statsz,healthz,metricsz,tracez,debug/pprof}\n", srv.StatsAddr())
+	}
+	if tracePath != "" {
+		fmt.Printf("tracing scheduler events to %s\n", tracePath)
 	}
 
 	interrupt := make(chan os.Signal, 1)

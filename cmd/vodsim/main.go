@@ -19,10 +19,14 @@
 //	vodsim -experiment capacity        # channel-pool provisioning curve
 //	vodsim -experiment storage         # disk-array provisioning per policy
 //	vodsim -experiment buffer          # STB buffer sizing per protocol
+//	vodsim -experiment trace -trace out.jsonl   # traced DHB run (qlog-style JSONL)
 //
 // Add -full for publication-length horizons (the default quick preset runs
 // in seconds and preserves every qualitative shape) and -json for
-// machine-readable output.
+// machine-readable output. The trace experiment captures every scheduler
+// decision of one DHB run — admissions, per-segment slot decisions,
+// instance starts/stops, slot retires — as one JSON object per line, for
+// offline analysis and for cmd/schedviz -trace.
 package main
 
 import (
@@ -43,15 +47,20 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit JSON instead of text tables")
 		chart      = flag.Bool("chart", false, "additionally draw an ASCII chart (fig7, fig8, ablation, dsb)")
 		seed       = flag.Int64("seed", 1, "base RNG seed")
+		tracePath  = flag.String("trace", "", "JSONL file capturing the event stream of the trace experiment")
+		rate       = flag.Float64("rate", 100, "arrival rate in requests/hour for the trace experiment")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *experiment, *full, *asJSON, *chart, *seed); err != nil {
+	if err := run(os.Stdout, *experiment, *full, *asJSON, *chart, *seed, *tracePath, *rate); err != nil {
 		fmt.Fprintln(os.Stderr, "vodsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, experiment string, full, asJSON, chart bool, seed int64) error {
+func run(w io.Writer, experiment string, full, asJSON, chart bool, seed int64, tracePath string, rate float64) error {
+	if experiment == "trace" {
+		return runTrace(w, full, asJSON, seed, tracePath, rate)
+	}
 	tables, err := buildTables(experiment, full, seed)
 	if err != nil {
 		return err
@@ -66,6 +75,50 @@ func run(w io.Writer, experiment string, full, asJSON, chart bool, seed int64) e
 		return renderChart(w, experiment, full, seed)
 	}
 	return nil
+}
+
+// runTrace runs the traced DHB experiment: one run under Poisson arrivals
+// with every scheduler event streamed to tracePath as JSONL, reporting the
+// run's bandwidth statistics alongside the trace inventory.
+func runTrace(w io.Writer, full, asJSON bool, seed int64, tracePath string, rate float64) error {
+	if tracePath == "" {
+		return fmt.Errorf("the trace experiment needs -trace out.jsonl")
+	}
+	cfg := experiments.DefaultTraceConfig()
+	cfg.Seed = seed
+	cfg.RatePerHour = rate
+	if full {
+		cfg.HorizonSlots = 20000
+		cfg.WarmupSlots = 500
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return fmt.Errorf("trace file: %w", err)
+	}
+	res, runErr := experiments.TraceDHB(cfg, f)
+	if closeErr := f.Close(); runErr == nil {
+		runErr = closeErr
+	}
+	if runErr != nil {
+		return runErr
+	}
+	table := report.Table{
+		Title: fmt.Sprintf("Traced DHB run — n = %d, %.0f req/h, trace: %s",
+			cfg.Segments, cfg.RatePerHour, tracePath),
+		Columns: []string{"slots", "requests", "instances", "events", "avg bw", "max bw"},
+	}
+	table.AddRow(
+		fmt.Sprint(res.Slots),
+		fmt.Sprint(res.Requests),
+		fmt.Sprint(res.Instances),
+		fmt.Sprint(res.Events),
+		fmt.Sprintf("%.3f", res.AvgBandwidth),
+		fmt.Sprintf("%.0f", res.MaxBandwidth),
+	)
+	if asJSON {
+		return report.RenderJSON(w, table)
+	}
+	return report.RenderText(w, table)
 }
 
 // renderChart draws the sweep experiments as ASCII curves.

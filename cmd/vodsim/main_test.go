@@ -3,9 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"vodcast/internal/obs"
 	"vodcast/internal/report"
 )
 
@@ -19,14 +22,14 @@ func TestEveryExperimentRuns(t *testing.T) {
 	for _, id := range ids {
 		t.Run(id, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := run(&buf, id, false /* full */, false /* json */, false /* chart */, 1); err != nil {
+			if err := run(&buf, id, false /* full */, false /* json */, false /* chart */, 1, "", 100); err != nil {
 				t.Fatalf("text: %v", err)
 			}
 			if buf.Len() == 0 {
 				t.Fatal("no text output")
 			}
 			buf.Reset()
-			if err := run(&buf, id, false, true /* json */, false, 1); err != nil {
+			if err := run(&buf, id, false, true /* json */, false, 1, "", 100); err != nil {
 				t.Fatalf("json: %v", err)
 			}
 			var tables []report.Table
@@ -40,16 +43,57 @@ func TestEveryExperimentRuns(t *testing.T) {
 	}
 }
 
+// TestTraceExperiment drives the CLI trace path: the run reports its table
+// and the JSONL file decodes line by line with a sane event mix.
+func TestTraceExperiment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	var buf bytes.Buffer
+	if err := run(&buf, "trace", false, false, false, 3, path, 150); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Traced DHB run") {
+		t.Fatalf("missing trace table:\n%s", buf.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := make(map[string]int)
+	for i, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		types[ev.Type]++
+	}
+	for _, want := range []string{
+		obs.EventAdmit, obs.EventSlotDecision, obs.EventInstanceStart,
+		obs.EventInstanceStop, obs.EventSlotRetire,
+	} {
+		if types[want] == 0 {
+			t.Fatalf("trace lacks %q events: %v", want, types)
+		}
+	}
+	if types[obs.EventInstanceStart] != types[obs.EventInstanceStop] {
+		t.Fatalf("unbalanced instances: %v", types)
+	}
+
+	// Without -trace the experiment must refuse rather than run silently.
+	if err := run(&buf, "trace", false, false, false, 3, "", 150); err == nil {
+		t.Fatal("trace experiment without -trace accepted")
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", false, false, false, 1); err == nil {
+	if err := run(&buf, "nope", false, false, false, 1, "", 100); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestFig7TextShape(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig7", false, false, false, 1); err != nil {
+	if err := run(&buf, "fig7", false, false, false, 1, "", 100); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -62,10 +106,10 @@ func TestFig7TextShape(t *testing.T) {
 
 func TestDeterministicPerSeed(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := run(&a, "fig7", false, false, false, 7); err != nil {
+	if err := run(&a, "fig7", false, false, false, 7, "", 100); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "fig7", false, false, false, 7); err != nil {
+	if err := run(&b, "fig7", false, false, false, 7, "", 100); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -75,7 +119,7 @@ func TestDeterministicPerSeed(t *testing.T) {
 
 func TestChartOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig7", false, false, true /* chart */, 1); err != nil {
+	if err := run(&buf, "fig7", false, false, true /* chart */, 1, "", 100); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -85,7 +129,7 @@ func TestChartOutput(t *testing.T) {
 		}
 	}
 	// No chart defined for vbrplan: the flag must error rather than lie.
-	if err := run(&buf, "vbrplan", false, false, true, 1); err == nil {
+	if err := run(&buf, "vbrplan", false, false, true, 1, "", 100); err == nil {
 		t.Fatal("chart for vbrplan accepted")
 	}
 }

@@ -31,6 +31,7 @@ func (s *Scheduler) admitCapped(assignment []int) []int {
 	for j := 1; j <= s.n; j++ {
 		hi := i + s.periods[j]
 		chosen := -1
+		shared := true
 
 		// Try to share an already-scheduled instance; prefer the latest
 		// feasible one so earlier slots keep capacity for tighter windows.
@@ -47,6 +48,7 @@ func (s *Scheduler) admitCapped(assignment []int) []int {
 		}
 
 		if chosen < 0 {
+			shared = false
 			// Schedule a new instance in the minimum-load slot among the
 			// window slots with client capacity, ties toward the latest.
 			bestLoad := int(^uint(0) >> 1)
@@ -75,6 +77,12 @@ func (s *Scheduler) admitCapped(assignment []int) []int {
 		if assignment != nil {
 			assignment[j] = chosen
 		}
+		if s.obs != nil {
+			s.obs.ObserveDecision(i, j, chosen, i+1, hi, s.ring.Load(chosen), shared)
+		}
+	}
+	if s.obs != nil {
+		s.obs.ObserveAdmit(i, 1, len(placed))
 	}
 	return placed
 }

@@ -1,0 +1,31 @@
+package core
+
+// Observer receives a callback at every scheduling decision, the
+// instrumentation hook the observability layer (internal/obs) plugs into.
+// All methods take plain integers so implementations outside this package
+// need no core types; vodcast/internal/obs.SchedObserver satisfies the
+// interface structurally.
+//
+// The scheduler guards every invocation with a nil check, so a scheduler
+// built without an observer pays one predictable branch per decision and
+// allocates nothing extra (see BenchmarkSchedulerObserverOff). Observers run
+// synchronously on the scheduling path and must not call back into the
+// scheduler.
+type Observer interface {
+	// ObserveAdmit fires once per admitted request, after its per-segment
+	// decisions: slot is the admission slot, from the first consumed
+	// segment (1 for a full viewing, >1 for an interactive resume), placed
+	// the number of new instances the request forced.
+	ObserveAdmit(slot, from, placed int)
+	// ObserveDecision fires for every per-segment placement decision of
+	// Figure 6: segment's serving instance is at slot, chosen within the
+	// feasible window [windowLo, windowHi]; load is the chosen slot's
+	// instance count after the decision; shared reports that an existing
+	// instance satisfied the window (no new transmission).
+	ObserveDecision(reqSlot, segment, slot, windowLo, windowHi, load int, shared bool)
+	// ObserveRetire fires when a slot finishes transmitting, with its
+	// final load. segments lists the transmitted segment ids when the
+	// scheduler was built with TrackSegments (nil otherwise) and must not
+	// be retained or mutated.
+	ObserveRetire(slot, load int, segments []int)
+}

@@ -50,6 +50,9 @@ func (s *Scheduler) admitFrom(from int, assignment []int) (int, error) {
 			if assignment != nil {
 				assignment[j] = s.lastSched[j]
 			}
+			if s.obs != nil {
+				s.obs.ObserveDecision(i, j, s.lastSched[j], i+1, i+deadline, s.ring.Load(s.lastSched[j]), true)
+			}
 			continue
 		}
 		var slot int
@@ -70,6 +73,12 @@ func (s *Scheduler) admitFrom(from int, assignment []int) (int, error) {
 		if assignment != nil {
 			assignment[j] = slot
 		}
+		if s.obs != nil {
+			s.obs.ObserveDecision(i, j, slot, i+1, i+deadline, s.ring.Load(slot), false)
+		}
+	}
+	if s.obs != nil {
+		s.obs.ObserveAdmit(i, from, placed)
 	}
 	return placed, nil
 }
@@ -85,6 +94,7 @@ func (s *Scheduler) admitFromCapped(from int, assignment []int) int {
 	for j := from; j <= s.n; j++ {
 		hi := i + s.periods[j-from+1]
 		chosen := -1
+		shared := true
 		inst := s.pruneInstances(j)
 		for k := len(inst) - 1; k >= 0; k-- {
 			slot := inst[k]
@@ -97,6 +107,7 @@ func (s *Scheduler) admitFromCapped(from int, assignment []int) int {
 			}
 		}
 		if chosen < 0 {
+			shared = false
 			bestLoad := int(^uint(0) >> 1)
 			for slot := hi; slot >= i+1; slot-- {
 				if s.clientLoad[slot-i-1] >= s.cap {
@@ -121,6 +132,12 @@ func (s *Scheduler) admitFromCapped(from int, assignment []int) int {
 		if assignment != nil {
 			assignment[j] = chosen
 		}
+		if s.obs != nil {
+			s.obs.ObserveDecision(i, j, chosen, i+1, hi, s.ring.Load(chosen), shared)
+		}
+	}
+	if s.obs != nil {
+		s.obs.ObserveAdmit(i, from, placed)
 	}
 	return placed
 }

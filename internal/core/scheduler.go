@@ -66,6 +66,10 @@ type Config struct {
 	// figures number slots from 1). The scheduler begins with this slot
 	// current.
 	StartSlot int
+	// Observer optionally receives a callback at every scheduling
+	// decision (see the Observer interface). Nil disables observation at
+	// the cost of one branch per decision.
+	Observer Observer
 }
 
 // SlotReport describes one retired (transmitted) slot.
@@ -101,6 +105,8 @@ type Scheduler struct {
 
 	requests  int64
 	instances int64
+
+	obs Observer
 }
 
 // New validates cfg and returns a scheduler whose current slot is
@@ -146,6 +152,7 @@ func New(cfg Config) (*Scheduler, error) {
 		policy:  policy,
 		ring:    slots.NewRing(maxP+1, cfg.StartSlot, cfg.TrackSegments),
 		current: cfg.StartSlot,
+		obs:     cfg.Observer,
 	}
 	s.lastSched = make([]int, cfg.Segments+1)
 	for j := range s.lastSched {
@@ -212,6 +219,9 @@ func (s *Scheduler) admit(assignment []int) []int {
 			if assignment != nil {
 				assignment[j] = s.lastSched[j]
 			}
+			if s.obs != nil {
+				s.obs.ObserveDecision(i, j, s.lastSched[j], i+1, i+s.periods[j], s.ring.Load(s.lastSched[j]), true)
+			}
 			continue
 		}
 		var slot int
@@ -230,6 +240,12 @@ func (s *Scheduler) admit(assignment []int) []int {
 		if assignment != nil {
 			assignment[j] = slot
 		}
+		if s.obs != nil {
+			s.obs.ObserveDecision(i, j, slot, i+1, i+s.periods[j], s.ring.Load(slot), false)
+		}
+	}
+	if s.obs != nil {
+		s.obs.ObserveAdmit(i, 1, len(placed))
 	}
 	return placed
 }
@@ -250,5 +266,8 @@ func (s *Scheduler) LoadAt(slot int) int { return s.ring.Load(slot) }
 func (s *Scheduler) AdvanceSlot() SlotReport {
 	abs, load, segs := s.ring.Retire()
 	s.current++
+	if s.obs != nil {
+		s.obs.ObserveRetire(abs, load, segs)
+	}
 	return SlotReport{Slot: abs, Load: load, Segments: segs}
 }

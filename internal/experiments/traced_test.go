@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vodcast/internal/metrics"
+	"vodcast/internal/obs"
+)
+
+// decodeTrace parses every JSONL line of a trace.
+func decodeTrace(t *testing.T, raw string) []obs.Event {
+	t.Helper()
+	var evs []obs.Event
+	for i, line := range strings.Split(strings.TrimSpace(raw), "\n") {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d %q: %v", i+1, line, err)
+		}
+		if ev.Type == "" {
+			t.Fatalf("line %d lacks a type: %q", i+1, line)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// TestTraceRoundTrip is the end-to-end contract of the trace format: a
+// short traced run decodes line by line, events honour slot ordering, every
+// instance_start pairs with exactly one instance_stop, and re-aggregating
+// the per-slot load series reproduces the run's reported bandwidth mean and
+// max exactly.
+func TestTraceRoundTrip(t *testing.T) {
+	cfg := TraceConfig{
+		Segments:     30,
+		RatePerHour:  200,
+		SlotSeconds:  20,
+		HorizonSlots: 400,
+		WarmupSlots:  50,
+		Seed:         7,
+	}
+	var buf bytes.Buffer
+	res, err := TraceDHB(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, buf.String())
+	if uint64(len(evs)) != res.Events {
+		t.Fatalf("decoded %d events, tracer reports %d", len(evs), res.Events)
+	}
+
+	// Ordering: slots retire consecutively from 0; every decision made
+	// while slot i is current places into the future window starting at
+	// i+1; admits are stamped with the current slot.
+	current := 0
+	admits := int64(0)
+	starts := make(map[[2]int]int) // (slot, segment) -> count
+	stopsPerSlot := make(map[int]int)
+	var retired []obs.Event
+	for _, ev := range evs {
+		switch ev.Type {
+		case obs.EventSlotRetire:
+			if ev.Slot != current {
+				t.Fatalf("retired slot %d while slot %d is current", ev.Slot, current)
+			}
+			if ev.Load != stopsPerSlot[ev.Slot] {
+				t.Fatalf("slot %d retired load %d but %d instance_stops", ev.Slot, ev.Load, stopsPerSlot[ev.Slot])
+			}
+			retired = append(retired, ev)
+			current++
+		case obs.EventInstanceStop:
+			if ev.Slot != current {
+				t.Fatalf("instance_stop for slot %d while slot %d is current", ev.Slot, current)
+			}
+			key := [2]int{ev.Slot, ev.Segment}
+			if starts[key] == 0 {
+				t.Fatalf("instance_stop without start: %+v", ev)
+			}
+			starts[key]--
+			if starts[key] == 0 {
+				delete(starts, key)
+			}
+			stopsPerSlot[ev.Slot]++
+		case obs.EventInstanceStart:
+			if ev.Slot <= current {
+				t.Fatalf("instance_start at slot %d not after current slot %d", ev.Slot, current)
+			}
+			starts[[2]int{ev.Slot, ev.Segment}]++
+		case obs.EventSlotDecision:
+			if ev.WindowLo != current+1 || ev.Slot < ev.WindowLo || ev.Slot > ev.WindowHi {
+				t.Fatalf("decision outside window while slot %d is current: %+v", current, ev)
+			}
+		case obs.EventAdmit:
+			if ev.Slot != current {
+				t.Fatalf("admit stamped slot %d while slot %d is current", ev.Slot, current)
+			}
+			admits++
+		default:
+			t.Fatalf("unexpected event type %q in a simulation trace", ev.Type)
+		}
+	}
+
+	// Completeness: the drain retired every scheduled instance.
+	if len(starts) != 0 {
+		t.Fatalf("%d instance_starts without a matching instance_stop: %v", len(starts), starts)
+	}
+	if admits != res.Requests {
+		t.Fatalf("trace has %d admits, scheduler admitted %d", admits, res.Requests)
+	}
+	totalStops := 0
+	for _, n := range stopsPerSlot {
+		totalStops += n
+	}
+	if int64(totalStops) != res.Instances {
+		t.Fatalf("trace stopped %d instances, scheduler scheduled %d", totalStops, res.Instances)
+	}
+	if len(retired) != cfg.HorizonSlots+res.DrainSlots {
+		t.Fatalf("retired %d slots, want %d + %d drain", len(retired), cfg.HorizonSlots, res.DrainSlots)
+	}
+
+	// Exactness: re-aggregating the measured window of the slot_retire
+	// load series through the same accumulator reproduces the reported
+	// bandwidth statistics bit for bit.
+	bw := metrics.NewBandwidth()
+	for _, ev := range retired {
+		if ev.Slot >= cfg.WarmupSlots && ev.Slot < cfg.HorizonSlots {
+			bw.Record(float64(ev.Load), cfg.SlotSeconds)
+		}
+	}
+	if bw.Mean() != res.AvgBandwidth || bw.Max() != res.MaxBandwidth {
+		t.Fatalf("re-aggregated mean/max = %v/%v, reported %v/%v",
+			bw.Mean(), bw.Max(), res.AvgBandwidth, res.MaxBandwidth)
+	}
+	if res.AvgBandwidth <= 0 || res.MaxBandwidth <= 0 {
+		t.Fatalf("degenerate run: %+v", res.Measurement)
+	}
+}
+
+// TestTraceDeterministic: equal configs produce byte-identical traces (the
+// trace clock is simulated time, not wall time).
+func TestTraceDeterministic(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.HorizonSlots = 300
+	cfg.WarmupSlots = 30
+	var a, b bytes.Buffer
+	if _, err := TraceDHB(cfg, &a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TraceDHB(cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same config produced different traces")
+	}
+}
+
+// TestTraceConfigValidation rejects degenerate configs.
+func TestTraceConfigValidation(t *testing.T) {
+	for name, mutate := range map[string]func(*TraceConfig){
+		"segments": func(c *TraceConfig) { c.Segments = 0 },
+		"rate":     func(c *TraceConfig) { c.RatePerHour = 0 },
+		"slot":     func(c *TraceConfig) { c.SlotSeconds = 0 },
+		"horizon":  func(c *TraceConfig) { c.HorizonSlots = c.WarmupSlots },
+		"warmup":   func(c *TraceConfig) { c.WarmupSlots = -1 },
+	} {
+		cfg := DefaultTraceConfig()
+		mutate(&cfg)
+		if _, err := TraceDHB(cfg, nil); err == nil {
+			t.Fatalf("%s: bad config accepted", name)
+		}
+	}
+}

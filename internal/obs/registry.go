@@ -1,0 +1,448 @@
+// Package obs is the observability layer of the repository: a
+// dependency-free metrics registry with Prometheus text exposition and a
+// qlog-style structured event tracer for scheduler decisions.
+//
+// The paper's whole evaluation is phrased in observed quantities — per-slot
+// bandwidth, peaks, waiting time — so every production-facing component
+// (vodserver, the simulators) publishes those quantities through this
+// package: counters and gauges for instantaneous state, time-weighted
+// histograms for distributions, and a JSONL event stream that captures every
+// heuristic decision of Figure 6 for offline replay and diffing.
+//
+// The package deliberately imports nothing beyond the standard library so
+// that core scheduling code can feed it without dependency cycles, and every
+// hook is nil-safe so disabled observability costs one predictable branch.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates the exposition TYPE of a family.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Labels is one metric child's label set. Keys and values are exposed in
+// sorted key order so exposition is deterministic.
+type Labels map[string]string
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format (version 0.0.4). All methods are safe for concurrent
+// use. Metric registration panics on invalid or conflicting names: those are
+// programming errors, caught by the first test that touches the registry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family // registration order
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	buckets []float64 // histogram families only
+
+	mu       sync.Mutex
+	children []*child // creation order
+	byKey    map[string]*child
+}
+
+type child struct {
+	labels    string // pre-rendered {k="v",...} or ""
+	mu        sync.Mutex
+	value     float64   // counter/gauge
+	fn        func() float64
+	counts    []float64 // histogram: per-bucket (non-cumulative) weights
+	inf       float64   // histogram: weight above the last bucket
+	sum       float64
+	count     float64
+}
+
+// validName matches the Prometheus metric and label name charset.
+func validName(s string, label bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(!label && r == ':') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLabelValue applies the exposition escaping rules for label values.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp applies the exposition escaping rules for HELP text.
+func escapeHelp(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// renderLabels serializes a label set as {k="v",...} in sorted key order,
+// or "" for an empty set. Invalid label names panic.
+func renderLabels(ls Labels) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(ls))
+	for k := range ls {
+		if !validName(k, true) {
+			panic(fmt.Sprintf("obs: invalid label name %q", k))
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(ls[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup returns the family with the given name, creating it on first use
+// and panicking when a previous registration disagrees on kind.
+func (r *Registry) lookup(name, help string, kind metricKind, buckets []float64) *family {
+	if !validName(name, false) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, f.kind))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, buckets: buckets, byKey: make(map[string]*child)}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// childFor returns the child with the given label set, creating it on first
+// use.
+func (f *family) childFor(ls Labels) *child {
+	key := renderLabels(ls)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.byKey[key]; ok {
+		return c
+	}
+	c := &child{labels: key}
+	if f.kind == kindHistogram {
+		c.counts = make([]float64, len(f.buckets))
+	}
+	f.children = append(f.children, c)
+	f.byKey[key] = c
+	return c
+}
+
+// Counter is a monotonically non-decreasing metric.
+type Counter struct{ c *child }
+
+// Counter returns the unlabelled counter with the given name, registering it
+// on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterWith(name, help, nil)
+}
+
+// CounterWith returns the counter child with the given label set.
+func (r *Registry) CounterWith(name, help string, ls Labels) *Counter {
+	return &Counter{c: r.lookup(name, help, kindCounter, nil).childFor(ls)}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter. Negative deltas panic: counters only go up.
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		panic("obs: counter decreased")
+	}
+	c.c.mu.Lock()
+	c.c.value += delta
+	c.c.mu.Unlock()
+}
+
+// Value reports the current total.
+func (c *Counter) Value() float64 {
+	c.c.mu.Lock()
+	defer c.c.mu.Unlock()
+	return c.c.value
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ c *child }
+
+// Gauge returns the unlabelled gauge with the given name, registering it on
+// first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeWith(name, help, nil)
+}
+
+// GaugeWith returns the gauge child with the given label set.
+func (r *Registry) GaugeWith(name, help string, ls Labels) *Gauge {
+	return &Gauge{c: r.lookup(name, help, kindGauge, nil).childFor(ls)}
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition
+// time, for quantities the owner already tracks (uptime, live subscriber
+// counts).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	c := r.lookup(name, help, kindGauge, nil).childFor(nil)
+	c.mu.Lock()
+	c.fn = fn
+	c.mu.Unlock()
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	g.c.mu.Lock()
+	g.c.value = v
+	g.c.mu.Unlock()
+}
+
+// Add shifts the gauge value.
+func (g *Gauge) Add(delta float64) {
+	g.c.mu.Lock()
+	g.c.value += delta
+	g.c.mu.Unlock()
+}
+
+// Value reports the current gauge value.
+func (g *Gauge) Value() float64 {
+	g.c.mu.Lock()
+	defer g.c.mu.Unlock()
+	if g.c.fn != nil {
+		return g.c.fn()
+	}
+	return g.c.value
+}
+
+// Histogram accumulates a distribution in cumulative Prometheus buckets.
+// Observations carry an explicit weight so slotted protocols can record
+// time-weighted load distributions (one observation per slot, weighted by
+// the slot duration) alongside ordinary count-weighted latencies.
+type Histogram struct {
+	f *family
+	c *child
+}
+
+// DefBuckets are the default latency buckets in seconds, matching the
+// Prometheus client defaults.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram returns the unlabelled histogram with the given name and upper
+// bucket bounds (ascending, +Inf implicit), registering it on first use. A
+// nil bounds slice selects DefBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.HistogramWith(name, help, bounds, nil)
+}
+
+// HistogramWith returns the histogram child with the given label set.
+func (r *Registry) HistogramWith(name, help string, bounds []float64, ls Labels) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending at %v", name, bounds[i]))
+		}
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	f := r.lookup(name, help, kindHistogram, own)
+	return &Histogram{f: f, c: f.childFor(ls)}
+}
+
+// Observe records one observation with weight 1.
+func (h *Histogram) Observe(v float64) { h.ObserveWeighted(v, 1) }
+
+// ObserveWeighted records an observation with the given weight (e.g. the
+// slot duration for a time-weighted load histogram). Negative weights panic.
+func (h *Histogram) ObserveWeighted(v, weight float64) {
+	if weight < 0 {
+		panic("obs: negative observation weight")
+	}
+	h.c.mu.Lock()
+	defer h.c.mu.Unlock()
+	idx := sort.SearchFloat64s(h.f.buckets, v)
+	if idx < len(h.f.buckets) {
+		h.c.counts[idx] += weight
+	} else {
+		h.c.inf += weight
+	}
+	h.c.sum += v * weight
+	h.c.count += weight
+}
+
+// Sum reports the weighted sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.c.mu.Lock()
+	defer h.c.mu.Unlock()
+	return h.c.sum
+}
+
+// Count reports the total observation weight.
+func (h *Histogram) Count() float64 {
+	h.c.mu.Lock()
+	defer h.c.mu.Unlock()
+	return h.c.count
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every registered family in the text exposition
+// format: a HELP and TYPE line per family, then one sample line per child
+// (histograms expand to cumulative _bucket lines plus _sum and _count).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	families := make([]*family, len(r.families))
+	copy(families, r.families)
+	r.mu.Unlock()
+
+	for _, f := range families {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		children := make([]*child, len(f.children))
+		copy(children, f.children)
+		f.mu.Unlock()
+		for _, c := range children {
+			if err := f.writeChild(w, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeChild renders one child's sample lines under its family's lock-free
+// snapshot of the child state.
+func (f *family) writeChild(w io.Writer, c *child) error {
+	c.mu.Lock()
+	value := c.value
+	if c.fn != nil {
+		value = c.fn()
+	}
+	counts := append([]float64(nil), c.counts...)
+	inf := c.inf
+	sum := c.sum
+	count := c.count
+	c.mu.Unlock()
+
+	if f.kind != kindHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, c.labels, formatValue(value))
+		return err
+	}
+	// Cumulative buckets, then +Inf, _sum and _count.
+	cum := 0.0
+	for i, le := range f.buckets {
+		cum += counts[i]
+		if err := writeBucket(w, f.name, c.labels, formatValue(le), cum); err != nil {
+			return err
+		}
+	}
+	cum += inf
+	if err := writeBucket(w, f.name, c.labels, "+Inf", cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, c.labels, formatValue(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %s\n", f.name, c.labels, formatValue(count))
+	return err
+}
+
+// writeBucket renders one cumulative bucket line, splicing le into any
+// existing label set.
+func writeBucket(w io.Writer, name, labels, le string, cum float64) error {
+	var ls string
+	if labels == "" {
+		ls = fmt.Sprintf(`{le="%s"}`, le)
+	} else {
+		ls = strings.TrimSuffix(labels, "}") + fmt.Sprintf(`,le="%s"}`, le)
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%s %s\n", name, ls, formatValue(cum))
+	return err
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the full exposition of a small registry so the
+// format never drifts: HELP/TYPE lines, sorted labels, escaping, cumulative
+// histogram expansion.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vod_requests_total", "Admitted customer requests.").Add(3)
+	r.GaugeWith("vod_channel_load", "Per-video slot load.", Labels{"video": "1"}).Set(4)
+	r.GaugeWith("vod_channel_load", "Per-video slot load.", Labels{"video": "2"}).Set(0.5)
+	h := r.Histogram("vod_admit_latency_seconds", "Admission to first byte.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP vod_requests_total Admitted customer requests.
+# TYPE vod_requests_total counter
+vod_requests_total 3
+# HELP vod_channel_load Per-video slot load.
+# TYPE vod_channel_load gauge
+vod_channel_load{video="1"} 4
+vod_channel_load{video="2"} 0.5
+# HELP vod_admit_latency_seconds Admission to first byte.
+# TYPE vod_admit_latency_seconds histogram
+vod_admit_latency_seconds_bucket{le="0.1"} 1
+vod_admit_latency_seconds_bucket{le="1"} 2
+vod_admit_latency_seconds_bucket{le="+Inf"} 3
+vod_admit_latency_seconds_sum 2.55
+vod_admit_latency_seconds_count 3
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition drift:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestLabelEscaping exercises the three escaped characters of the text
+// format inside label values.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeWith("g", "", Labels{"path": "a\\b\"c\nd"}).Set(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `g{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaped label missing %q in:\n%s", want, buf.String())
+	}
+}
+
+// parseExposition is a minimal text-format parser for the consistency
+// checks: it returns sample name (with labels) -> value.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		name := line[:sp]
+		if _, dup := out[name]; dup {
+			t.Fatalf("duplicate sample %q", name)
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// TestHistogramConsistency asserts the structural invariants every
+// Prometheus scraper relies on: bucket counts are monotone in le, the +Inf
+// bucket equals _count, and _sum matches the recorded observations —
+// including weighted (time-weighted) observations.
+func TestHistogramConsistency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("load", "Per-slot load, slot-duration weighted.", []float64{1, 2, 4, 8})
+	wantSum := 0.0
+	wantCount := 0.0
+	for i := 0; i < 100; i++ {
+		v := float64(i % 10)
+		w := 0.5 + float64(i%3)
+		h.ObserveWeighted(v, w)
+		wantSum += v * w
+		wantCount += w
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, buf.String())
+
+	prev := -1.0
+	for _, le := range []string{"1", "2", "4", "8", "+Inf"} {
+		name := fmt.Sprintf(`load_bucket{le="%s"}`, le)
+		v, ok := samples[name]
+		if !ok {
+			t.Fatalf("missing bucket %s", name)
+		}
+		if v < prev {
+			t.Fatalf("bucket %s=%v below previous %v: not monotone", name, v, prev)
+		}
+		prev = v
+	}
+	if got := samples[`load_bucket{le="+Inf"}`]; got != samples["load_count"] {
+		t.Fatalf("+Inf bucket %v != _count %v", got, samples["load_count"])
+	}
+	if got := samples["load_count"]; got != wantCount {
+		t.Fatalf("_count = %v, want %v", got, wantCount)
+	}
+	if got := samples["load_sum"]; got < wantSum-1e-9 || got > wantSum+1e-9 {
+		t.Fatalf("_sum = %v, want %v", got, wantSum)
+	}
+}
+
+// TestRegistryReuseAndConflicts: same name+kind returns the same family;
+// kind conflicts and invalid names panic.
+func TestRegistryReuseAndConflicts(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "help")
+	a.Inc()
+	r.Counter("c", "help").Inc()
+	if got := a.Value(); got != 2 {
+		t.Fatalf("re-registered counter diverged: %v", got)
+	}
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("kind conflict", func() { r.Gauge("c", "") })
+	mustPanic("invalid metric name", func() { r.Counter("bad name", "") })
+	mustPanic("invalid label name", func() { r.GaugeWith("g", "", Labels{"0bad": "x"}) })
+	mustPanic("descending buckets", func() { r.Histogram("h", "", []float64{2, 1}) })
+	mustPanic("negative counter", func() { a.Add(-1) })
+}
+
+// TestGaugeFunc reads the callback at exposition time.
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 1.5
+	r.GaugeFunc("up", "seconds", func() float64 { return v })
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "up 1.5\n") {
+		t.Fatalf("gauge func not read:\n%s", buf.String())
+	}
+	v = 2
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "up 2\n") {
+		t.Fatalf("gauge func stale:\n%s", buf.String())
+	}
+}

@@ -31,6 +31,10 @@ type Result struct {
 	MaxBuffered int
 	// Elapsed is the wall-clock duration of the session.
 	Elapsed time.Duration
+	// FirstByte is the wall-clock delay from sending the request to the
+	// first broadcast payload byte, the client-side view of the server's
+	// vod_admit_first_byte_seconds histogram.
+	FirstByte time.Duration
 }
 
 // Fetch requests videoID from the server at addr, receives until every
@@ -110,6 +114,9 @@ func FetchFrom(addr string, videoID, from uint32, timeout time.Duration) (Result
 		case wire.Segment:
 			if m.VideoID != videoID {
 				return Result{}, fmt.Errorf("vodclient: frame for video %d on a video-%d subscription", m.VideoID, videoID)
+			}
+			if res.FirstByte == 0 {
+				res.FirstByte = time.Since(start)
 			}
 			if m.Segment < 1 || m.Segment > info.Segments {
 				return Result{}, fmt.Errorf("vodclient: frame for unknown segment %d", m.Segment)

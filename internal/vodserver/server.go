@@ -14,11 +14,13 @@ package vodserver
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
 	"vodcast/internal/core"
+	"vodcast/internal/obs"
 	"vodcast/internal/wire"
 )
 
@@ -60,9 +62,17 @@ type Config struct {
 	// client that falls further behind is disconnected so one slow STB
 	// cannot stall the broadcast. Zero selects a sensible default.
 	SubscriberBuffer int
-	// StatsAddr optionally binds an HTTP monitoring endpoint serving the
-	// Stats counters as JSON on GET /statsz.
+	// StatsAddr optionally binds an HTTP monitoring endpoint serving
+	// /statsz (JSON counters), /healthz (liveness + uptime), /metricsz
+	// (Prometheus text format), /tracez (recent scheduler events) and
+	// /debug/pprof/*.
 	StatsAddr string
+	// TraceWriter optionally streams every scheduler event as JSONL (the
+	// qlog-style trace of internal/obs) for offline analysis.
+	TraceWriter io.Writer
+	// TraceEvents bounds the /tracez ring buffer; zero selects
+	// obs.DefaultRingSize.
+	TraceEvents int
 }
 
 // Stats is a snapshot of server counters.
@@ -85,6 +95,9 @@ type video struct {
 	sched     *core.Scheduler
 	maxPeriod int
 	subs      map[*subscriber]struct{}
+	// load is the channel-load gauge vod_channel_load{video="..."},
+	// updated to each retired slot's instance count.
+	load *obs.Gauge
 }
 
 type subscriber struct {
@@ -94,6 +107,8 @@ type subscriber struct {
 	batches chan []byte
 	// lastSlot is the final slot this subscriber needs.
 	lastSlot int
+	// admitted stamps the admission for the first-byte latency histogram.
+	admitted time.Time
 }
 
 // Server is a running VOD server. Create with Start, stop with Close.
@@ -102,6 +117,18 @@ type Server struct {
 	ln  net.Listener
 
 	statsLn net.Listener
+	started time.Time
+
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	// Registry handles, bound once at startup so the hot paths never
+	// touch the registry's name map.
+	mRequests       *obs.Counter
+	mRejects        *obs.Counter
+	mInstances      *obs.Counter
+	mBroadcastBytes *obs.Counter
+	mDropped        *obs.Counter
+	mAdmitLatency   *obs.Histogram
 
 	mu     sync.Mutex
 	videos map[uint32]*video
@@ -124,6 +151,8 @@ func Start(cfg Config) (*Server, error) {
 	if cfg.SubscriberBuffer <= 0 {
 		cfg.SubscriberBuffer = 64
 	}
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(cfg.TraceWriter, cfg.TraceEvents)
 	videos := make(map[uint32]*video, len(cfg.Videos))
 	for _, vc := range cfg.Videos {
 		if len(vc.SegmentSizes) == 0 && vc.SegmentBytes <= 0 {
@@ -147,6 +176,7 @@ func Start(cfg Config) (*Server, error) {
 			Segments:      vc.Segments,
 			Periods:       vc.Periods,
 			TrackSegments: true,
+			Observer:      obs.SchedObserver{Video: vc.ID, T: tracer},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("vodserver: video %d: %w", vc.ID, err)
@@ -162,6 +192,9 @@ func Start(cfg Config) (*Server, error) {
 			sched:     sched,
 			maxPeriod: maxP,
 			subs:      make(map[*subscriber]struct{}),
+			load: reg.GaugeWith("vod_channel_load",
+				"Instances transmitted in the video's most recent slot (multiples of the consumption rate).",
+				obs.Labels{"video": fmt.Sprint(vc.ID)}),
 		}
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
@@ -169,12 +202,31 @@ func Start(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("vodserver: listen: %w", err)
 	}
 	s := &Server{
-		cfg:    cfg,
-		ln:     ln,
+		cfg:     cfg,
+		ln:      ln,
+		started: time.Now(),
+		reg:     reg,
+		tracer:  tracer,
+		mRequests: reg.Counter("vod_requests_total",
+			"Admitted customer requests (including interactive resumes)."),
+		mRejects: reg.Counter("vod_rejects_total",
+			"Refused customer requests (unknown video, bad resume point, shutdown)."),
+		mInstances: reg.Counter("vod_instances_total",
+			"Segment instances transmitted across all videos."),
+		mBroadcastBytes: reg.Counter("vod_broadcast_bytes_total",
+			"Payload bytes transmitted, counted once per instance regardless of fan-out."),
+		mDropped: reg.Counter("vod_dropped_subscribers_total",
+			"Subscribers disconnected for falling a full buffer behind."),
+		mAdmitLatency: reg.Histogram("vod_admit_first_byte_seconds",
+			"Latency from request admission to the first broadcast byte reaching the subscriber.", nil),
 		videos: videos,
 		conns:  make(map[net.Conn]struct{}),
 		done:   make(chan struct{}),
 	}
+	reg.GaugeFunc("vod_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	reg.GaugeFunc("vod_active_subscribers", "Clients currently receiving a broadcast.",
+		func() float64 { return float64(s.Stats().ActiveSubscribers) })
 	if cfg.StatsAddr != "" {
 		statsLn, err := s.serveStats(cfg.StatsAddr)
 		if err != nil {
@@ -200,6 +252,16 @@ func (s *Server) StatsAddr() string {
 
 // Addr reports the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Registry exposes the server's metrics registry, the source of /metricsz.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Tracer exposes the server's scheduler event tracer, the source of
+// /tracez.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Uptime reports how long the server has been running.
+func (s *Server) Uptime() time.Duration { return time.Since(s.started) }
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
@@ -293,6 +355,9 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	sub, info, err := s.admit(req.VideoID, req.FromSegment, conn)
 	if err != nil {
+		s.mRejects.Inc()
+		s.tracer.Emit(obs.Event{Type: obs.EventReject, Video: req.VideoID,
+			From: int(req.FromSegment), Detail: err.Error()})
 		_ = wire.WriteFrame(conn, wire.ErrorMsg{Text: err.Error()})
 		return
 	}
@@ -300,6 +365,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.unsubscribe(req.VideoID, sub)
 		return
 	}
+	firstByte := false
 	for batch := range sub.batches {
 		if _, err := conn.Write(batch); err != nil {
 			s.unsubscribe(req.VideoID, sub)
@@ -307,6 +373,10 @@ func (s *Server) handleConn(conn net.Conn) {
 			for range sub.batches {
 			}
 			return
+		}
+		if !firstByte {
+			firstByte = true
+			s.mAdmitLatency.Observe(time.Since(sub.admitted).Seconds())
 		}
 	}
 }
@@ -335,6 +405,7 @@ func (s *Server) admit(videoID, fromSegment uint32, conn net.Conn) (*subscriber,
 		return nil, wire.ScheduleInfo{}, err
 	}
 	s.stats.Requests++
+	s.mRequests.Inc()
 
 	// The subscription ends once the customer's last deadline passes: the
 	// largest shifted period of the remaining suffix.
@@ -348,6 +419,7 @@ func (s *Server) admit(videoID, fromSegment uint32, conn net.Conn) (*subscriber,
 		conn:     conn,
 		batches:  make(chan []byte, s.cfg.SubscriberBuffer),
 		lastSlot: admitSlot + suffixMax,
+		admitted: time.Now(),
 	}
 	v.subs[sub] = struct{}{}
 
@@ -411,6 +483,8 @@ func (s *Server) tick() {
 	}
 	for id, v := range s.videos {
 		rep := v.sched.AdvanceSlot()
+		v.load.Set(float64(rep.Load))
+		s.mInstances.Add(float64(rep.Load))
 		var buf bytes.Buffer
 		for _, seg := range rep.Segments {
 			payload := wire.SegmentPayload(id, uint32(seg), uint32(v.cfg.sizeOf(seg)))
@@ -424,6 +498,7 @@ func (s *Server) tick() {
 				continue // unreachable: in-memory write
 			}
 			s.stats.BroadcastBytes += int64(len(payload))
+			s.mBroadcastBytes.Add(float64(len(payload)))
 		}
 		if err := wire.WriteFrame(&buf, wire.SlotEnd{Slot: uint64(rep.Slot)}); err != nil {
 			continue
@@ -438,6 +513,7 @@ func (s *Server) tick() {
 				delete(v.subs, sub)
 				close(sub.batches)
 				s.stats.Dropped++
+				s.mDropped.Inc()
 				continue
 			}
 			if rep.Slot >= sub.lastSlot {

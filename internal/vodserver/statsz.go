@@ -5,8 +5,21 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"time"
 )
+
+// This file is the server's live introspection surface:
+//
+//	GET /statsz       operational counters as JSON
+//	GET /healthz      liveness probe: 200 with status and uptime
+//	GET /metricsz     the obs registry in Prometheus text format
+//	GET /tracez?n=N   the most recent N scheduler events (default: all buffered)
+//	GET /debug/pprof  the standard Go profiling endpoints
+//
+// Every handler answers only its exact path (and GET), so a probe of an
+// unregistered path is a 404 rather than a copy of /statsz.
 
 // statsHandler serves the operational counters as JSON on GET /statsz, the
 // monitoring hook a deployed server needs.
@@ -15,6 +28,13 @@ type statsHandler struct {
 }
 
 func (h statsHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Answer only the exact path: if this handler is ever mounted on a
+	// prefix pattern, sub-paths must 404 instead of masquerading as
+	// /statsz.
+	if r.URL.Path != "/statsz" {
+		http.NotFound(w, r)
+		return
+	}
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
@@ -23,6 +43,64 @@ func (h statsHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(h.server.Stats()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// healthz reports liveness and uptime for load-balancer probes.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/healthz" {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.3f}\n", s.Uptime().Seconds())
+}
+
+// metricsz renders the registry in the Prometheus text exposition format.
+func (s *Server) metricsz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/metricsz" {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// tracez serves the most recent scheduler events from the tracer's ring
+// buffer as a JSON array; ?n=N bounds the window.
+func (s *Server) tracez(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/tracez" {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	n := 0
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			http.Error(w, fmt.Sprintf("bad n %q", raw), http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.tracer.Recent(n)); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
@@ -37,6 +115,14 @@ func (s *Server) serveStats(addr string) (net.Listener, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/statsz", statsHandler{server: s})
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/metricsz", s.metricsz)
+	mux.HandleFunc("/tracez", s.tracez)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	httpSrv := &http.Server{
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
