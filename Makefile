@@ -2,23 +2,29 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-obs fuzz experiments examples cover clean
+.PHONY: all build test race bench bench-obs bench-station fuzz experiments examples cover clean
 
 all: build test
+
+test:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(GO) test -race -count=2 -run 'TestStressAdmissionsRaceClock|TestConcurrentEquivalence' ./internal/station/
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-test:
-	$(GO) vet ./...
-	$(GO) test -race ./...
-
 race:
-	$(GO) test -race ./internal/vodserver/ ./internal/vodclient/
+	$(GO) test -race ./internal/vodserver/ ./internal/vodclient/ ./internal/station/
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Sharded station versus the single-mutex whole-engine baseline; the
+# reference numbers live in BENCH_station.json.
+bench-station:
+	$(GO) test -run '^$$' -bench 'BenchmarkStation' -benchmem ./internal/station/
 
 # Proves the scheduler observer hook is free when disabled: compare the
 # ObserverOff ns/op against ObserverOn (a no-op observer wired in).

@@ -28,17 +28,18 @@ func main() {
 		segments     = flag.Int("segments", 99, "segments per video")
 		slotMillis   = flag.Int("slot-ms", 500, "slot duration in milliseconds")
 		segmentBytes = flag.Int("segment-bytes", 4096, "payload bytes per segment")
+		shards       = flag.Int("shards", 0, "station worker shards (0 = one per CPU, capped at the catalogue size)")
 		statsAddr    = flag.String("stats-addr", "", "optional HTTP monitoring address serving /statsz, /healthz, /metricsz, /tracez and /debug/pprof")
 		tracePath    = flag.String("trace", "", "optional JSONL file capturing every scheduler event")
 	)
 	flag.Parse()
-	if err := run(*addr, *statsAddr, *tracePath, *videos, *segments, *slotMillis, *segmentBytes); err != nil {
+	if err := run(*addr, *statsAddr, *tracePath, *videos, *segments, *slotMillis, *segmentBytes, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "vodserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, statsAddr, tracePath string, videos, segments, slotMillis, segmentBytes int) error {
+func run(addr, statsAddr, tracePath string, videos, segments, slotMillis, segmentBytes, shards int) error {
 	if videos <= 0 {
 		return fmt.Errorf("video count %d must be positive", videos)
 	}
@@ -63,6 +64,7 @@ func run(addr, statsAddr, tracePath string, videos, segments, slotMillis, segmen
 		Addr:         addr,
 		Videos:       catalogue,
 		SlotDuration: time.Duration(slotMillis) * time.Millisecond,
+		Shards:       shards,
 		StatsAddr:    statsAddr,
 	}
 	if traceFile != nil {
@@ -73,8 +75,8 @@ func run(addr, statsAddr, tracePath string, videos, segments, slotMillis, segmen
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("vodserver listening on %s (%d videos, %d segments, %d ms slots)\n",
-		srv.Addr(), videos, segments, slotMillis)
+	fmt.Printf("vodserver listening on %s (%d videos, %d segments, %d ms slots, %d shards)\n",
+		srv.Addr(), videos, segments, slotMillis, srv.Station().Shards())
 	if srv.StatsAddr() != "" {
 		fmt.Printf("introspection on http://%s/{statsz,healthz,metricsz,tracez,debug/pprof}\n", srv.StatsAddr())
 	}

@@ -1,0 +1,108 @@
+package core
+
+import "fmt"
+
+// This file is the scheduler's unified admission entry point. The historical
+// surface grew one method per variant — Admit, AdmitTraced, AdmitFrom,
+// AdmitFromTraced — which forced every new option into a combinatorial
+// method family. AdmitRequest collapses them into one options/result pair;
+// the old methods remain as deprecated one-line wrappers.
+
+// AdmitOptions selects what one admission should do.
+type AdmitOptions struct {
+	// From is the first segment the customer consumes: 0 and 1 both mean a
+	// full viewing; 2..n resumes interactive playback there (see resume.go).
+	From int
+	// WantAssignment requests the per-segment serving slots in
+	// AdmitResult.Assignment. It allocates one []int per admission; large
+	// simulations leave it off.
+	WantAssignment bool
+}
+
+// AdmitResult describes one admitted request.
+type AdmitResult struct {
+	// Slot is the admission slot: the request's segments are served in the
+	// window starting at Slot+1.
+	Slot int
+	// Placed is the number of new segment instances this request forced the
+	// scheduler to transmit (segments covered by shared instances add
+	// nothing).
+	Placed int
+	// Assignment, when requested, maps segment j to the slot whose instance
+	// serves it (index 0 unused; entries below the resume point are zero).
+	Assignment []int
+}
+
+// AdmitRequest processes one request arriving during the current slot. It is
+// the single admission entry point: the resume point and the assignment
+// trace are options rather than separate methods. The only error is a resume
+// point outside 1..n, reported as ErrBadResumePoint.
+func (s *Scheduler) AdmitRequest(opts AdmitOptions) (AdmitResult, error) {
+	from := opts.From
+	if from == 0 {
+		from = 1
+	}
+	var assignment []int
+	if opts.WantAssignment {
+		assignment = make([]int, s.n+1)
+	}
+	res := AdmitResult{Slot: s.current, Assignment: assignment}
+	if from == 1 {
+		res.Placed = s.admit(assignment)
+		return res, nil
+	}
+	placed, err := s.admitFrom(from, assignment)
+	if err != nil {
+		return AdmitResult{}, err
+	}
+	res.Placed = placed
+	return res, nil
+}
+
+// Admit processes one full-viewing request and reports how many new
+// instances it added.
+//
+// Deprecated: use AdmitRequest. Admit remains as a thin wrapper (and the
+// Slotted adapter surface) and will not grow new behaviour.
+func (s *Scheduler) Admit() int {
+	return s.admit(nil)
+}
+
+// AdmitTraced is Admit returning the full per-segment assignment: result[j]
+// is the slot whose instance of segment j serves this request (either newly
+// scheduled or shared). result[0] is unused. It allocates; large simulations
+// use Admit.
+//
+// Deprecated: use AdmitRequest with WantAssignment.
+func (s *Scheduler) AdmitTraced() []int {
+	assignment := make([]int, s.n+1)
+	s.admit(assignment)
+	return assignment
+}
+
+// AdmitFrom processes one request resuming playback at segment from
+// (1 <= from <= n; from == 1 is exactly Admit) and reports how many new
+// instances it scheduled.
+//
+// Deprecated: use AdmitRequest with From set.
+func (s *Scheduler) AdmitFrom(from int) (int, error) {
+	return s.admitFrom(from, nil)
+}
+
+// AdmitFromTraced is AdmitFrom returning the per-segment serving slots:
+// result[j] is the slot serving segment j for j >= from and zero below.
+//
+// Deprecated: use AdmitRequest with From and WantAssignment set.
+func (s *Scheduler) AdmitFromTraced(from int) ([]int, error) {
+	assignment := make([]int, s.n+1)
+	if _, err := s.admitFrom(from, assignment); err != nil {
+		return nil, err
+	}
+	return assignment, nil
+}
+
+// badResume builds the ErrBadResumePoint error shared by the admission
+// paths.
+func (s *Scheduler) badResume(from int) error {
+	return fmt.Errorf("%w: segment %d outside 1..%d", ErrBadResumePoint, from, s.n)
+}

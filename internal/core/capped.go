@@ -20,14 +20,14 @@ import "fmt"
 // degenerates to the sequential just-in-time schedule S_j at slot i+j).
 
 // admitCapped is the capped counterpart of admit.
-func (s *Scheduler) admitCapped(assignment []int) []int {
+func (s *Scheduler) admitCapped(assignment []int) int {
 	i := s.current
 	s.requests++
 	// clientLoad[k] counts this request's segments assigned to slot i+1+k.
 	for k := range s.clientLoad {
 		s.clientLoad[k] = 0
 	}
-	var placed []int
+	placed := 0
 	for j := 1; j <= s.n; j++ {
 		hi := i + s.periods[j]
 		chosen := -1
@@ -70,7 +70,7 @@ func (s *Scheduler) admitCapped(assignment []int) []int {
 				s.lastSched[j] = chosen
 			}
 			s.instances++
-			placed = append(placed, chosen)
+			placed++
 		}
 
 		s.clientLoad[chosen-i-1]++
@@ -82,7 +82,7 @@ func (s *Scheduler) admitCapped(assignment []int) []int {
 		}
 	}
 	if s.obs != nil {
-		s.obs.ObserveAdmit(i, 1, len(placed))
+		s.obs.ObserveAdmit(i, 1, placed)
 	}
 	return placed
 }

@@ -12,30 +12,11 @@ import "fmt"
 // resumes share instances with (and donate instances to) regular customers
 // without weakening any invariant.
 
-// AdmitFrom processes one request resuming playback at segment from
-// (1 <= from <= n; from == 1 is exactly Admit) and reports how many new
-// instances it scheduled.
-func (s *Scheduler) AdmitFrom(from int) (int, error) {
-	placed, err := s.admitFrom(from, nil)
-	if err != nil {
-		return 0, err
-	}
-	return placed, nil
-}
-
-// AdmitFromTraced is AdmitFrom returning the per-segment serving slots:
-// result[j] is the slot serving segment j for j >= from and zero below.
-func (s *Scheduler) AdmitFromTraced(from int) ([]int, error) {
-	assignment := make([]int, s.n+1)
-	if _, err := s.admitFrom(from, assignment); err != nil {
-		return nil, err
-	}
-	return assignment, nil
-}
-
+// admitFrom implements the resume path; AdmitRequest (and the deprecated
+// wrappers in admit.go) dispatch here for from != 1.
 func (s *Scheduler) admitFrom(from int, assignment []int) (int, error) {
 	if from < 1 || from > s.n {
-		return 0, fmt.Errorf("core: resume segment %d outside 1..%d", from, s.n)
+		return 0, s.badResume(from)
 	}
 	if s.cap > 0 {
 		return s.admitFromCapped(from, assignment), nil

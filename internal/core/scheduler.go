@@ -113,30 +113,30 @@ type Scheduler struct {
 // cfg.StartSlot.
 func New(cfg Config) (*Scheduler, error) {
 	if cfg.Segments <= 0 {
-		return nil, fmt.Errorf("core: segment count %d must be positive", cfg.Segments)
+		return nil, fmt.Errorf("%w: got %d", ErrBadSegmentCount, cfg.Segments)
 	}
 	periods := cfg.Periods
 	if periods == nil {
 		periods = video.DefaultPeriods(cfg.Segments)
 	}
 	if err := video.ValidatePeriods(periods, cfg.Segments); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrBadPeriods, err)
 	}
 	policy := cfg.Policy
 	if policy == 0 {
 		policy = PolicyHeuristic
 	}
 	if policy != PolicyHeuristic && policy != PolicyNaive && policy != PolicyMinLoadEarliest {
-		return nil, fmt.Errorf("core: unknown policy %d", policy)
+		return nil, fmt.Errorf("%w: %d", ErrBadPolicy, policy)
 	}
 	if cfg.StartSlot < 0 {
-		return nil, fmt.Errorf("core: start slot %d must be non-negative", cfg.StartSlot)
+		return nil, fmt.Errorf("%w: got %d", ErrBadStartSlot, cfg.StartSlot)
 	}
 	if cfg.MaxClientStreams < 0 {
-		return nil, fmt.Errorf("core: client stream cap %d must be non-negative", cfg.MaxClientStreams)
+		return nil, fmt.Errorf("%w: %d must be non-negative", ErrBadClientCap, cfg.MaxClientStreams)
 	}
 	if cfg.MaxClientStreams > 0 && policy != PolicyHeuristic {
-		return nil, fmt.Errorf("core: client stream cap requires the heuristic policy")
+		return nil, fmt.Errorf("%w: a positive cap requires the heuristic policy", ErrBadClientCap)
 	}
 	maxP := 0
 	for j := 1; j <= cfg.Segments; j++ {
@@ -186,33 +186,16 @@ func (s *Scheduler) Instances() int64 { return s.instances }
 // Period reports T[j].
 func (s *Scheduler) Period(j int) int { return s.periods[j] }
 
-// Admit processes one request arriving during the current slot, scheduling
-// whatever segment instances previous schedules do not already cover, and
-// reports how many new instances it added.
-func (s *Scheduler) Admit() int {
-	return len(s.admit(nil))
-}
-
-// AdmitTraced is Admit returning the full per-segment assignment: result[j]
-// is the slot whose instance of segment j serves this request (either newly
-// scheduled or shared). result[0] is unused. It allocates; large simulations
-// use Admit.
-func (s *Scheduler) AdmitTraced() []int {
-	assignment := make([]int, s.n+1)
-	s.admit(assignment)
-	return assignment
-}
-
 // admit implements Figure 6. When assignment is non-nil it is filled with
-// the serving slot of every segment. It returns the slots of newly scheduled
-// instances (shared segments contribute nothing).
-func (s *Scheduler) admit(assignment []int) []int {
+// the serving slot of every segment. It returns the number of newly
+// scheduled instances (shared segments contribute nothing).
+func (s *Scheduler) admit(assignment []int) int {
 	if s.cap > 0 {
 		return s.admitCapped(assignment)
 	}
 	i := s.current
 	s.requests++
-	var placed []int
+	placed := 0
 	for j := 1; j <= s.n; j++ {
 		if s.lastSched[j] >= i+1 {
 			// A timely instance is already scheduled; share it.
@@ -236,7 +219,7 @@ func (s *Scheduler) admit(assignment []int) []int {
 		s.ring.Add(slot, j)
 		s.lastSched[j] = slot
 		s.instances++
-		placed = append(placed, slot)
+		placed++
 		if assignment != nil {
 			assignment[j] = slot
 		}
@@ -245,7 +228,7 @@ func (s *Scheduler) admit(assignment []int) []int {
 		}
 	}
 	if s.obs != nil {
-		s.obs.ObserveAdmit(i, 1, len(placed))
+		s.obs.ObserveAdmit(i, 1, placed)
 	}
 	return placed
 }

@@ -1,0 +1,23 @@
+package server
+
+import "errors"
+
+// Sentinel errors returned (wrapped, with context) by New. Test code and
+// callers classify them with errors.Is; per-video scheduler problems
+// additionally match the core package's sentinels through the wrap chain.
+var (
+	// ErrEmptyCatalogue reports a Config with no videos.
+	ErrEmptyCatalogue = errors.New("server: empty catalogue")
+	// ErrNilArrivals reports a missing arrival rate function.
+	ErrNilArrivals = errors.New("server: nil arrival rate function")
+	// ErrBadSlotDuration reports a non-positive slot duration.
+	ErrBadSlotDuration = errors.New("server: slot duration must be positive")
+	// ErrBadHorizon reports a horizon that does not exceed the warmup.
+	ErrBadHorizon = errors.New("server: horizon must exceed warmup")
+	// ErrBadCapacity reports a negative channel capacity.
+	ErrBadCapacity = errors.New("server: channel capacity must be non-negative")
+	// ErrBadDeferral reports DeferRequests without a positive capacity.
+	ErrBadDeferral = errors.New("server: deferral requires a positive channel capacity")
+	// ErrBadRate reports a video with a non-positive per-stream rate.
+	ErrBadRate = errors.New("server: video rate must be positive")
+)

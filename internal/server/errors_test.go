@@ -1,0 +1,47 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"vodcast/internal/core"
+	"vodcast/internal/workload"
+)
+
+// TestNewSentinelErrors: every validation failure of New is classifiable
+// with errors.Is, including per-video scheduler failures surfacing the core
+// sentinels through the wrap chain.
+func TestNewSentinelErrors(t *testing.T) {
+	valid := Config{
+		Videos:       []VideoSpec{{Name: "a", Segments: 8, Rate: 1}},
+		Arrivals:     workload.Constant(10),
+		SlotSeconds:  1,
+		HorizonSlots: 10,
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		want   error
+	}{
+		{"empty catalogue", func(c *Config) { c.Videos = nil }, ErrEmptyCatalogue},
+		{"nil arrivals", func(c *Config) { c.Arrivals = nil }, ErrNilArrivals},
+		{"zero slot", func(c *Config) { c.SlotSeconds = 0 }, ErrBadSlotDuration},
+		{"horizon under warmup", func(c *Config) { c.WarmupSlots = 10 }, ErrBadHorizon},
+		{"negative capacity", func(c *Config) { c.ChannelCapacity = -1 }, ErrBadCapacity},
+		{"deferral without capacity", func(c *Config) { c.DeferRequests = true }, ErrBadDeferral},
+		{"zero rate", func(c *Config) { c.Videos = []VideoSpec{{Name: "a", Segments: 8}} }, ErrBadRate},
+		{"bad segments", func(c *Config) { c.Videos = []VideoSpec{{Name: "a", Segments: -1, Rate: 1}} }, core.ErrBadSegmentCount},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := valid
+			tt.mutate(&cfg)
+			if _, err := New(cfg); !errors.Is(err, tt.want) {
+				t.Fatalf("New err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+	if _, err := New(valid); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}

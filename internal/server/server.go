@@ -3,6 +3,11 @@
 // paper's introduction motivates exactly this setting: per-video demand that
 // swings with the time of day and a catalogue whose popularity is heavily
 // skewed, where a protocol must behave well at every request rate at once.
+//
+// The simulation is a thin deterministic driver over the same
+// internal/station broadcast engine the network server uses: it feeds the
+// station synthetic Zipf-skewed arrivals and advances its clock by hand, so
+// every behaviour measured here is the behaviour a live deployment ships.
 package server
 
 import (
@@ -11,6 +16,7 @@ import (
 	"vodcast/internal/core"
 	"vodcast/internal/metrics"
 	"vodcast/internal/sim"
+	"vodcast/internal/station"
 	"vodcast/internal/workload"
 )
 
@@ -55,6 +61,11 @@ type Config struct {
 	// overload degrades waiting times instead of bandwidth. It requires
 	// ChannelCapacity > 0.
 	DeferRequests bool
+	// Shards is passed through to the station engine (0 selects its
+	// default). The simulation is deterministic for every value: admissions
+	// are issued sequentially in arrival order and per-video schedules are
+	// independent.
+	Shards int
 	// Seed drives the deterministic RNG.
 	Seed int64
 }
@@ -95,52 +106,54 @@ type Report struct {
 
 // Server is a configured simulation. Build with New, execute with Run.
 type Server struct {
-	cfg    Config
-	zipf   *workload.Zipf
-	rng    *sim.RNG
-	scheds []*core.Scheduler
+	cfg     Config
+	zipf    *workload.Zipf
+	rng     *sim.RNG
+	station *station.Station
+	// loadScratch is reused across projectedNextLoad calls.
+	loadScratch []int
 }
 
-// New validates cfg and prepares the per-video schedulers.
+// New validates cfg and prepares the broadcast engine.
 func New(cfg Config) (*Server, error) {
 	if len(cfg.Videos) == 0 {
-		return nil, fmt.Errorf("server: empty catalogue")
+		return nil, ErrEmptyCatalogue
 	}
 	if cfg.Arrivals == nil {
-		return nil, fmt.Errorf("server: nil arrival rate function")
+		return nil, ErrNilArrivals
 	}
 	if cfg.SlotSeconds <= 0 {
-		return nil, fmt.Errorf("server: slot duration %v must be positive", cfg.SlotSeconds)
+		return nil, fmt.Errorf("%w: got %v", ErrBadSlotDuration, cfg.SlotSeconds)
 	}
 	if cfg.HorizonSlots <= cfg.WarmupSlots {
-		return nil, fmt.Errorf("server: horizon %d must exceed warmup %d", cfg.HorizonSlots, cfg.WarmupSlots)
+		return nil, fmt.Errorf("%w: horizon %d, warmup %d", ErrBadHorizon, cfg.HorizonSlots, cfg.WarmupSlots)
 	}
 	if cfg.ChannelCapacity < 0 {
-		return nil, fmt.Errorf("server: channel capacity %v must be non-negative", cfg.ChannelCapacity)
+		return nil, fmt.Errorf("%w: got %v", ErrBadCapacity, cfg.ChannelCapacity)
 	}
 	if cfg.DeferRequests && cfg.ChannelCapacity <= 0 {
-		return nil, fmt.Errorf("server: deferral requires a positive channel capacity")
+		return nil, ErrBadDeferral
 	}
 	zipf, err := workload.NewZipf(len(cfg.Videos), cfg.ZipfSkew)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	scheds := make([]*core.Scheduler, len(cfg.Videos))
+	videos := make([]station.VideoConfig, len(cfg.Videos))
 	for i, v := range cfg.Videos {
 		if v.Rate <= 0 {
-			return nil, fmt.Errorf("server: video %q rate %v must be positive", v.Name, v.Rate)
+			return nil, fmt.Errorf("%w: video %q has rate %v", ErrBadRate, v.Name, v.Rate)
 		}
-		s, err := core.New(core.Config{Segments: v.Segments, Periods: v.Periods})
-		if err != nil {
-			return nil, fmt.Errorf("server: video %q: %w", v.Name, err)
-		}
-		scheds[i] = s
+		videos[i] = station.VideoConfig{Name: v.Name, Segments: v.Segments, Periods: v.Periods}
+	}
+	st, err := station.New(station.Config{Videos: videos, Shards: cfg.Shards})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
 	}
 	return &Server{
-		cfg:    cfg,
-		zipf:   zipf,
-		rng:    sim.NewRNG(cfg.Seed),
-		scheds: scheds,
+		cfg:     cfg,
+		zipf:    zipf,
+		rng:     sim.NewRNG(cfg.Seed),
+		station: st,
 	}, nil
 }
 
@@ -156,9 +169,10 @@ type pendingReq struct {
 // projectedNextLoad reports the aggregate load already scheduled for the
 // next transmission slot, the quantity admission control gates on.
 func (s *Server) projectedNextLoad() float64 {
+	s.loadScratch = s.station.NextLoads(s.loadScratch)
 	load := 0.0
-	for i, sched := range s.scheds {
-		load += float64(sched.LoadAt(sched.CurrentSlot()+1)) * s.cfg.Videos[i].Rate
+	for i, l := range s.loadScratch {
+		load += float64(l) * s.cfg.Videos[i].Rate
 	}
 	return load
 }
@@ -205,7 +219,9 @@ func (s *Server) Run() Report {
 			if cfg.DeferRequests && s.projectedNextLoad() >= cfg.ChannelCapacity {
 				break
 			}
-			s.scheds[req.video].Admit()
+			// The error is impossible: the index came from the Zipf sampler
+			// and the station is never closed during Run.
+			_, _ = s.station.Admit(req.video, core.AdmitOptions{})
 			requests[req.video]++
 			admitted++
 			if req.measured {
@@ -217,9 +233,8 @@ func (s *Server) Run() Report {
 		}
 		pending = pending[admitted:]
 		aggregate := 0.0
-		for i, sched := range s.scheds {
-			load := float64(sched.AdvanceSlot().Load)
-			weighted := load * cfg.Videos[i].Rate
+		for i, rep := range s.station.AdvanceSlot() {
+			weighted := float64(rep.Load) * cfg.Videos[i].Rate
 			aggregate += weighted
 			if slot >= cfg.WarmupSlots {
 				perVideo[i].Record(weighted, cfg.SlotSeconds)

@@ -1,0 +1,494 @@
+// Package station is the concurrent multi-video broadcast engine: it owns
+// one DHB scheduler per catalogue video and partitions them across worker
+// shards so admissions for different videos proceed in parallel.
+//
+// The paper's introduction motivates a server distributing a whole catalogue
+// under per-video demand; core.Scheduler deliberately has no concurrency
+// story (one goroutine per scheduler), so catalogue-scale service is a
+// sharding problem, exactly as Viennot et al. treat distributed VoD as a
+// parallel-channel problem. The design:
+//
+//   - Sharding. Videos are assigned round-robin to S shards; each shard
+//     guards its schedulers with its own mutex. Admissions for videos on
+//     different shards never contend.
+//   - One clock. A single optional clock goroutine fans AdvanceSlot ticks
+//     out to every shard (in parallel) so all videos share the slot grid;
+//     deterministic drivers call AdvanceSlot themselves instead.
+//   - Batched admission. Enqueue appends a request to the shard's bounded
+//     pending queue and returns immediately; the batch is applied under one
+//     lock acquisition when it reaches FlushBatch requests, and always
+//     before the shard's next AdvanceSlot — a request enqueued during slot
+//     i is admitted in slot i, so batching never changes DHB semantics.
+//   - Overload. A full pending queue rejects with ErrOverloaded instead of
+//     blocking: under overload the engine degrades by shedding admissions,
+//     never by stalling the broadcast clock.
+//
+// Within one slot, admissions for the same video are identical operations,
+// so any interleaving of shard work yields the same per-video schedule as a
+// sequential run with the same per-slot arrival counts; station_test.go
+// proves this equivalence against K independent core schedulers.
+package station
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vodcast/internal/core"
+	"vodcast/internal/obs"
+)
+
+// Sentinel errors. Construction errors wrap these (and the core sentinels
+// for per-video scheduler problems) with context; runtime errors from Admit
+// and Enqueue are classifiable with errors.Is.
+var (
+	// ErrEmptyCatalogue reports a Config with no videos.
+	ErrEmptyCatalogue = errors.New("station: empty catalogue")
+	// ErrBadShards reports a negative Config.Shards.
+	ErrBadShards = errors.New("station: shard count must be non-negative")
+	// ErrBadQueueDepth reports a negative Config.QueueDepth.
+	ErrBadQueueDepth = errors.New("station: queue depth must be non-negative")
+	// ErrBadFlushBatch reports a negative Config.FlushBatch.
+	ErrBadFlushBatch = errors.New("station: flush batch must be non-negative")
+	// ErrBadSlotDuration reports a non-positive StartClock interval.
+	ErrBadSlotDuration = errors.New("station: slot duration must be positive")
+	// ErrUnknownVideo reports a video index outside the catalogue.
+	ErrUnknownVideo = errors.New("station: unknown video")
+	// ErrOverloaded reports an Enqueue against a full shard queue; the
+	// request was shed, not blocked.
+	ErrOverloaded = errors.New("station: admission queue full")
+	// ErrClosed reports an operation against a closed station.
+	ErrClosed = errors.New("station: closed")
+	// ErrClockRunning reports a second StartClock without a StopClock.
+	ErrClockRunning = errors.New("station: clock already running")
+)
+
+// VideoConfig describes one catalogue video of a station.
+type VideoConfig struct {
+	// Name labels the video in reports and metrics ("" is allowed).
+	Name string
+	// Segments is the DHB segment count n.
+	Segments int
+	// Periods optionally carries a DHB-d period vector; nil selects the CBR
+	// default T[i] = i.
+	Periods []int
+	// TrackSegments records which segment ids occupy each slot (needed when
+	// slot reports feed a data plane, as in vodserver).
+	TrackSegments bool
+	// Observer optionally receives the video's scheduling decisions. It is
+	// invoked under the owning shard's lock, possibly from clock or flush
+	// goroutines, so it must be safe for use from multiple goroutines over
+	// time (obs.SchedObserver over a Tracer is).
+	Observer core.Observer
+}
+
+// Config parameterizes a station.
+type Config struct {
+	// Videos is the catalogue. Video indices in the station API are indices
+	// into this slice.
+	Videos []VideoConfig
+	// Shards is the number of worker shards; 0 selects
+	// min(GOMAXPROCS, len(Videos)).
+	Shards int
+	// QueueDepth bounds each shard's pending (asynchronous) admission
+	// queue; an Enqueue against a full queue is rejected with
+	// ErrOverloaded. 0 selects DefaultQueueDepth.
+	QueueDepth int
+	// FlushBatch is the pending-queue length that triggers an immediate
+	// batch flush; smaller batches trade lock amortization for admission
+	// latency. 0 selects DefaultFlushBatch.
+	FlushBatch int
+	// Registry optionally receives the per-shard gauges and counters
+	// (station_shard_queue_depth, station_shard_admits_total,
+	// station_shard_rejects_total).
+	Registry *obs.Registry
+}
+
+// Defaults for the zero values of Config.
+const (
+	DefaultQueueDepth = 1024
+	DefaultFlushBatch = 64
+)
+
+// pendingReq is one asynchronously enqueued admission.
+type pendingReq struct {
+	video int
+	from  int
+}
+
+// stationVideo binds one catalogue video to its scheduler and shard.
+type stationVideo struct {
+	name  string
+	sched *core.Scheduler
+	shard int
+}
+
+// shard is one worker partition: a mutex, the videos it owns, and the
+// bounded pending queue of batched admissions.
+type shard struct {
+	mu      sync.Mutex
+	videos  []int // station video indices owned by this shard
+	pending []pendingReq
+
+	// Per-shard observability (nil without a Registry).
+	queueDepth *obs.Gauge
+	admits     *obs.Counter
+	rejects    *obs.Counter
+}
+
+// Station is a sharded multi-video DHB broadcast engine. All methods are
+// safe for concurrent use.
+type Station struct {
+	videos     []*stationVideo
+	shards     []*shard
+	queueCap   int
+	flushBatch int
+
+	closed atomic.Bool
+
+	clockMu   sync.Mutex
+	clockStop chan struct{}
+	clockWG   sync.WaitGroup
+}
+
+// New validates cfg and builds the station with every scheduler at slot 0.
+func New(cfg Config) (*Station, error) {
+	if len(cfg.Videos) == 0 {
+		return nil, ErrEmptyCatalogue
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadShards, cfg.Shards)
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadQueueDepth, cfg.QueueDepth)
+	}
+	if cfg.FlushBatch < 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadFlushBatch, cfg.FlushBatch)
+	}
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > len(cfg.Videos) {
+		shards = len(cfg.Videos)
+	}
+	st := &Station{
+		videos:     make([]*stationVideo, len(cfg.Videos)),
+		shards:     make([]*shard, shards),
+		queueCap:   cfg.QueueDepth,
+		flushBatch: cfg.FlushBatch,
+	}
+	if st.queueCap == 0 {
+		st.queueCap = DefaultQueueDepth
+	}
+	if st.flushBatch == 0 {
+		st.flushBatch = DefaultFlushBatch
+	}
+	for i := range st.shards {
+		sh := &shard{}
+		if cfg.Registry != nil {
+			ls := obs.Labels{"shard": fmt.Sprint(i)}
+			sh.queueDepth = cfg.Registry.GaugeWith("station_shard_queue_depth",
+				"Admissions batched in the shard's pending queue, waiting for the next flush.", ls)
+			sh.admits = cfg.Registry.CounterWith("station_shard_admits_total",
+				"Requests admitted through the shard (synchronous and batched).", ls)
+			sh.rejects = cfg.Registry.CounterWith("station_shard_rejects_total",
+				"Requests shed by the shard: queue overload or invalid resume points.", ls)
+		}
+		st.shards[i] = sh
+	}
+	for i, vc := range cfg.Videos {
+		sched, err := core.New(core.Config{
+			Segments:      vc.Segments,
+			Periods:       vc.Periods,
+			TrackSegments: vc.TrackSegments,
+			Observer:      vc.Observer,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("station: video %d (%q): %w", i, vc.Name, err)
+		}
+		shardIdx := i % shards
+		st.videos[i] = &stationVideo{name: vc.Name, sched: sched, shard: shardIdx}
+		sh := st.shards[shardIdx]
+		sh.videos = append(sh.videos, i)
+	}
+	return st, nil
+}
+
+// Videos reports the catalogue size.
+func (st *Station) Videos() int { return len(st.videos) }
+
+// Shards reports the number of worker shards.
+func (st *Station) Shards() int { return len(st.shards) }
+
+// ShardOf reports which shard owns the video.
+func (st *Station) ShardOf(video int) int { return st.videos[video].shard }
+
+// Name reports the video's configured label.
+func (st *Station) Name(video int) string { return st.videos[video].name }
+
+// Periods returns a copy of the video's resolved 1-based period vector
+// (CBR defaults applied).
+func (st *Station) Periods(video int) []int {
+	sched := st.videos[video].sched
+	periods := make([]int, sched.N()+1)
+	for j := 1; j <= sched.N(); j++ {
+		periods[j] = sched.Period(j)
+	}
+	return periods
+}
+
+// checkVideo validates a video index.
+func (st *Station) checkVideo(video int) error {
+	if video < 0 || video >= len(st.videos) {
+		return fmt.Errorf("%w: index %d outside 0..%d", ErrUnknownVideo, video, len(st.videos)-1)
+	}
+	return nil
+}
+
+// Admit synchronously admits one request for the video under its shard's
+// lock, flushing any batched admissions first so arrival order is
+// preserved. Admissions for videos on different shards run in parallel.
+func (st *Station) Admit(video int, opts core.AdmitOptions) (core.AdmitResult, error) {
+	if st.closed.Load() {
+		return core.AdmitResult{}, ErrClosed
+	}
+	if err := st.checkVideo(video); err != nil {
+		return core.AdmitResult{}, err
+	}
+	sh := st.shards[st.videos[video].shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.flushLocked(st)
+	res, err := st.videos[video].sched.AdmitRequest(opts)
+	if err != nil {
+		if sh.rejects != nil {
+			sh.rejects.Inc()
+		}
+		return core.AdmitResult{}, err
+	}
+	if sh.admits != nil {
+		sh.admits.Inc()
+	}
+	return res, nil
+}
+
+// Enqueue appends one full-viewing-or-resume admission (from <= 1 means a
+// full viewing) to the video's shard queue and returns without waiting for
+// it to be applied. The batch flushes when it reaches FlushBatch requests
+// and always before the shard's next AdvanceSlot, so the request is
+// admitted in the slot it arrived in. A full queue rejects with
+// ErrOverloaded.
+func (st *Station) Enqueue(video, from int) error {
+	if st.closed.Load() {
+		return ErrClosed
+	}
+	if err := st.checkVideo(video); err != nil {
+		return err
+	}
+	sched := st.videos[video].sched
+	if from > sched.N() {
+		shd := st.shards[st.videos[video].shard]
+		if shd.rejects != nil {
+			shd.rejects.Inc()
+		}
+		return fmt.Errorf("%w: segment %d outside 1..%d", core.ErrBadResumePoint, from, sched.N())
+	}
+	if from < 1 {
+		from = 1
+	}
+	sh := st.shards[st.videos[video].shard]
+	sh.mu.Lock()
+	if len(sh.pending) >= st.queueCap {
+		sh.mu.Unlock()
+		if sh.rejects != nil {
+			sh.rejects.Inc()
+		}
+		return fmt.Errorf("%w: shard %d at depth %d", ErrOverloaded, st.videos[video].shard, st.queueCap)
+	}
+	sh.pending = append(sh.pending, pendingReq{video: video, from: from})
+	if len(sh.pending) >= st.flushBatch {
+		sh.flushLocked(st)
+	} else if sh.queueDepth != nil {
+		sh.queueDepth.Set(float64(len(sh.pending)))
+	}
+	sh.mu.Unlock()
+	return nil
+}
+
+// flushLocked applies the shard's pending admissions in arrival order. The
+// caller holds sh.mu. Requests were validated at Enqueue, so admission
+// cannot fail.
+func (sh *shard) flushLocked(st *Station) {
+	if len(sh.pending) == 0 {
+		return
+	}
+	for _, r := range sh.pending {
+		// The error is impossible: from was validated against the segment
+		// count at Enqueue.
+		_, _ = st.videos[r.video].sched.AdmitRequest(core.AdmitOptions{From: r.from})
+	}
+	if sh.admits != nil {
+		sh.admits.Add(float64(len(sh.pending)))
+	}
+	sh.pending = sh.pending[:0]
+	if sh.queueDepth != nil {
+		sh.queueDepth.Set(0)
+	}
+}
+
+// AdvanceSlot finishes the current slot of every video and returns the
+// retired slot reports, indexed by video. Each shard flushes its pending
+// admissions first (they arrived during the finishing slot) and shards
+// advance in parallel.
+func (st *Station) AdvanceSlot() []core.SlotReport {
+	reports := make([]core.SlotReport, len(st.videos))
+	if len(st.shards) == 1 {
+		st.advanceShard(0, reports)
+		return reports
+	}
+	var wg sync.WaitGroup
+	for i := range st.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st.advanceShard(i, reports)
+		}(i)
+	}
+	wg.Wait()
+	return reports
+}
+
+// advanceShard flushes and advances one shard. Shards own disjoint video
+// index sets, so concurrent writes into reports never alias.
+func (st *Station) advanceShard(i int, reports []core.SlotReport) {
+	sh := st.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.flushLocked(st)
+	for _, v := range sh.videos {
+		reports[v] = st.videos[v].sched.AdvanceSlot()
+	}
+}
+
+// CurrentSlot reports the video's current transmission slot.
+func (st *Station) CurrentSlot(video int) int {
+	sh := st.shards[st.videos[video].shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return st.videos[video].sched.CurrentSlot()
+}
+
+// NextLoads fills dst (grown as needed) with each video's scheduled
+// instance count for its next transmission slot — the quantity admission
+// control gates on — taking each shard's lock once. It returns dst.
+func (st *Station) NextLoads(dst []int) []int {
+	if cap(dst) < len(st.videos) {
+		dst = make([]int, len(st.videos))
+	}
+	dst = dst[:len(st.videos)]
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		for _, v := range sh.videos {
+			sched := st.videos[v].sched
+			dst[v] = sched.LoadAt(sched.CurrentSlot() + 1)
+		}
+		sh.mu.Unlock()
+	}
+	return dst
+}
+
+// VideoTotals reports the video's admitted request and scheduled instance
+// counts.
+func (st *Station) VideoTotals(video int) (requests, instances int64) {
+	sh := st.shards[st.videos[video].shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sched := st.videos[video].sched
+	return sched.Requests(), sched.Instances()
+}
+
+// Totals reports the station-wide admitted request and scheduled instance
+// counts.
+func (st *Station) Totals() (requests, instances int64) {
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		for _, v := range sh.videos {
+			sched := st.videos[v].sched
+			requests += sched.Requests()
+			instances += sched.Instances()
+		}
+		sh.mu.Unlock()
+	}
+	return requests, instances
+}
+
+// Pending reports how many admissions are batched in the shard's queue.
+func (st *Station) Pending(shard int) int {
+	sh := st.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.pending)
+}
+
+// StartClock launches the single clock goroutine: every interval it fans an
+// AdvanceSlot tick out to all shards and, when onTick is non-nil, hands the
+// slot reports to onTick (on the clock goroutine; onTick must not call
+// StopClock or Close).
+func (st *Station) StartClock(interval time.Duration, onTick func([]core.SlotReport)) error {
+	if interval <= 0 {
+		return fmt.Errorf("%w: got %v", ErrBadSlotDuration, interval)
+	}
+	if st.closed.Load() {
+		return ErrClosed
+	}
+	st.clockMu.Lock()
+	defer st.clockMu.Unlock()
+	if st.clockStop != nil {
+		return ErrClockRunning
+	}
+	stop := make(chan struct{})
+	st.clockStop = stop
+	st.clockWG.Add(1)
+	go func() {
+		defer st.clockWG.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				reports := st.AdvanceSlot()
+				if onTick != nil {
+					onTick(reports)
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// StopClock stops the clock goroutine and waits for it to exit (including
+// any in-flight onTick). It is a no-op when no clock is running.
+func (st *Station) StopClock() {
+	st.clockMu.Lock()
+	stop := st.clockStop
+	st.clockStop = nil
+	st.clockMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	st.clockWG.Wait()
+}
+
+// Close stops the clock and marks the station closed: subsequent Admit and
+// Enqueue calls fail with ErrClosed. It is safe to call more than once.
+func (st *Station) Close() {
+	st.closed.Store(true)
+	st.StopClock()
+}

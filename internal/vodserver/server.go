@@ -3,6 +3,12 @@
 // transmissions with the DHB scheduler in real time, and pushes the segment
 // payloads of every broadcast instance to the subscribed set-top boxes.
 //
+// Scheduling is delegated to the internal/station engine: one DHB scheduler
+// per video, partitioned across worker shards, so admissions for different
+// videos proceed in parallel instead of serializing on the server's
+// subscription lock. The station's clock goroutine drives the slot grid and
+// hands each retired slot to the fan-out path.
+//
 // The data plane models broadcast channels: each scheduled instance is
 // produced (and counted) exactly once per slot and the encoded frames are
 // fanned out to every subscriber of the video, standing in for the IP
@@ -15,12 +21,14 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"time"
 
 	"vodcast/internal/core"
 	"vodcast/internal/obs"
+	"vodcast/internal/station"
 	"vodcast/internal/wire"
 )
 
@@ -58,6 +66,9 @@ type Config struct {
 	// SlotDuration is the real-time slot length (the paper's d, scaled
 	// down for testing).
 	SlotDuration time.Duration
+	// Shards is the station worker shard count; 0 selects the station
+	// default of min(GOMAXPROCS, len(Videos)).
+	Shards int
 	// SubscriberBuffer is the per-client queue of encoded slot batches; a
 	// client that falls further behind is disconnected so one slow STB
 	// cannot stall the broadcast. Zero selects a sensible default.
@@ -91,21 +102,33 @@ type Stats struct {
 }
 
 type video struct {
-	cfg       VideoConfig
-	sched     *core.Scheduler
-	maxPeriod int
-	subs      map[*subscriber]struct{}
+	cfg VideoConfig
+	// idx is the video's index in the station catalogue.
+	idx int
+	// periods is the resolved 1-based period vector.
+	periods []int
+	subs    map[*subscriber]struct{}
 	// load is the channel-load gauge vod_channel_load{video="..."},
 	// updated to each retired slot's instance count.
 	load *obs.Gauge
 }
 
+// slotBatch is one slot's encoded broadcast, tagged with its slot so a
+// subscriber admitted concurrently with the clock can discard slots from
+// before its admission.
+type slotBatch struct {
+	slot int
+	data []byte
+}
+
 type subscriber struct {
 	conn net.Conn
-	// batches carries one encoded byte batch per slot; closed when the
+	// batches carries one encoded batch per slot; closed when the
 	// subscription ends.
-	batches chan []byte
-	// lastSlot is the final slot this subscriber needs.
+	batches chan slotBatch
+	// lastSlot is the final slot this subscriber needs. It starts at
+	// math.MaxInt (registration precedes admission) and is fixed, under the
+	// server mutex, once the admit slot is known.
 	lastSlot int
 	// admitted stamps the admission for the first-byte latency histogram.
 	admitted time.Time
@@ -113,8 +136,9 @@ type subscriber struct {
 
 // Server is a running VOD server. Create with Start, stop with Close.
 type Server struct {
-	cfg Config
-	ln  net.Listener
+	cfg     Config
+	ln      net.Listener
+	station *station.Station
 
 	statsLn net.Listener
 	started time.Time
@@ -130,17 +154,21 @@ type Server struct {
 	mDropped        *obs.Counter
 	mAdmitLatency   *obs.Histogram
 
+	// mu guards subscriptions, connections, stats and the closed flag; the
+	// schedulers live behind the station's shard locks, so admissions only
+	// brush this mutex to register and finalize the subscription. Lock
+	// order is mu before shard locks (Stats); no path acquires mu while
+	// holding a shard lock.
 	mu     sync.Mutex
 	videos map[uint32]*video
 	conns  map[net.Conn]struct{}
 	stats  Stats
 	closed bool
 
-	done chan struct{}
-	wg   sync.WaitGroup
+	wg sync.WaitGroup
 }
 
-// Start validates cfg, binds the listener and launches the slot ticker.
+// Start validates cfg, binds the listener and launches the slot clock.
 func Start(cfg Config) (*Server, error) {
 	if len(cfg.Videos) == 0 {
 		return nil, fmt.Errorf("vodserver: empty catalogue")
@@ -154,7 +182,8 @@ func Start(cfg Config) (*Server, error) {
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(cfg.TraceWriter, cfg.TraceEvents)
 	videos := make(map[uint32]*video, len(cfg.Videos))
-	for _, vc := range cfg.Videos {
+	stationVideos := make([]station.VideoConfig, len(cfg.Videos))
+	for i, vc := range cfg.Videos {
 		if len(vc.SegmentSizes) == 0 && vc.SegmentBytes <= 0 {
 			return nil, fmt.Errorf("vodserver: video %d: segment bytes %d must be positive", vc.ID, vc.SegmentBytes)
 		}
@@ -172,30 +201,32 @@ func Start(cfg Config) (*Server, error) {
 		if _, dup := videos[vc.ID]; dup {
 			return nil, fmt.Errorf("vodserver: duplicate video id %d", vc.ID)
 		}
-		sched, err := core.New(core.Config{
+		stationVideos[i] = station.VideoConfig{
+			Name:          fmt.Sprint(vc.ID),
 			Segments:      vc.Segments,
 			Periods:       vc.Periods,
 			TrackSegments: true,
 			Observer:      obs.SchedObserver{Video: vc.ID, T: tracer},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("vodserver: video %d: %w", vc.ID, err)
-		}
-		maxP := 0
-		for j := 1; j <= vc.Segments; j++ {
-			if p := sched.Period(j); p > maxP {
-				maxP = p
-			}
 		}
 		videos[vc.ID] = &video{
-			cfg:       vc,
-			sched:     sched,
-			maxPeriod: maxP,
-			subs:      make(map[*subscriber]struct{}),
+			cfg:  vc,
+			idx:  i,
+			subs: make(map[*subscriber]struct{}),
 			load: reg.GaugeWith("vod_channel_load",
 				"Instances transmitted in the video's most recent slot (multiples of the consumption rate).",
 				obs.Labels{"video": fmt.Sprint(vc.ID)}),
 		}
+	}
+	st, err := station.New(station.Config{
+		Videos:   stationVideos,
+		Shards:   cfg.Shards,
+		Registry: reg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("vodserver: %w", err)
+	}
+	for _, v := range videos {
+		v.periods = st.Periods(v.idx)
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -204,6 +235,7 @@ func Start(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		ln:      ln,
+		station: st,
 		started: time.Now(),
 		reg:     reg,
 		tracer:  tracer,
@@ -221,7 +253,6 @@ func Start(cfg Config) (*Server, error) {
 			"Latency from request admission to the first broadcast byte reaching the subscriber.", nil),
 		videos: videos,
 		conns:  make(map[net.Conn]struct{}),
-		done:   make(chan struct{}),
 	}
 	reg.GaugeFunc("vod_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.started).Seconds() })
@@ -236,9 +267,12 @@ func Start(cfg Config) (*Server, error) {
 		}
 		s.statsLn = statsLn
 	}
-	s.wg.Add(2)
+	s.wg.Add(1)
 	go s.acceptLoop()
-	go s.tickLoop()
+	if err := st.StartClock(cfg.SlotDuration, s.fanOut); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("vodserver: %w", err)
+	}
 	return s, nil
 }
 
@@ -260,6 +294,9 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // /tracez.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
+// Station exposes the broadcast engine (shard layout, per-video slots).
+func (s *Server) Station() *station.Station { return s.station }
+
 // Uptime reports how long the server has been running.
 func (s *Server) Uptime() time.Duration { return time.Since(s.started) }
 
@@ -268,23 +305,24 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
+	_, st.Instances = s.station.Totals()
 	for _, v := range s.videos {
-		st.Instances += v.sched.Instances()
 		st.ActiveSubscribers += len(v.subs)
 	}
 	return st
 }
 
-// Close stops accepting, terminates every subscription and waits for all
-// server goroutines to exit. It is safe to call more than once.
+// Close stops accepting, terminates every subscription, halts the clock and
+// waits for all server goroutines to exit. It is safe to call more than
+// once.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.station.Close()
 		return nil
 	}
 	s.closed = true
-	close(s.done)
 	err := s.ln.Close()
 	if s.statsLn != nil {
 		s.statsLn.Close()
@@ -300,6 +338,10 @@ func (s *Server) Close() error {
 		conn.Close()
 	}
 	s.mu.Unlock()
+	// Stop the clock after releasing mu: a concurrent fanOut may be waiting
+	// on the mutex and will observe closed. station.Close waits for the
+	// clock goroutine to exit.
+	s.station.Close()
 	s.wg.Wait()
 	return err
 }
@@ -365,11 +407,18 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.unsubscribe(req.VideoID, sub)
 		return
 	}
+	admitSlot := int(info.AdmitSlot)
 	firstByte := false
 	for batch := range sub.batches {
-		if _, err := conn.Write(batch); err != nil {
+		// The subscription was registered before the admission reached the
+		// scheduler, so the channel may carry slots from before the admit
+		// slot; the customer's service starts at admitSlot+1.
+		if batch.slot <= admitSlot {
+			continue
+		}
+		if _, err := conn.Write(batch.data); err != nil {
 			s.unsubscribe(req.VideoID, sub)
-			// Drain so the ticker never blocks on this subscriber.
+			// Drain so the fan-out never blocks on this subscriber.
 			for range sub.batches {
 			}
 			return
@@ -381,14 +430,19 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// admit registers a subscription under the scheduler lock. fromSegment
-// above 1 resumes interactive playback there (0 and 1 mean a full viewing).
+// admit registers a subscription and admits the request through the
+// station. fromSegment above 1 resumes interactive playback there (0 and 1
+// mean a full viewing).
+//
+// The subscription is registered BEFORE the admission reaches the
+// scheduler, so the subscriber provably receives every slot from the admit
+// slot on: the clock retires the admit slot only after the admission
+// completes, which is after registration. Slots at or before the admit slot
+// are discarded in handleConn (the set-top box ignores them anyway — its
+// service starts one slot after admission). This keeps scheduling entirely
+// off the server-wide mutex: concurrent admissions for videos on different
+// shards proceed in parallel.
 func (s *Server) admit(videoID, fromSegment uint32, conn net.Conn) (*subscriber, wire.ScheduleInfo, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, wire.ScheduleInfo{}, fmt.Errorf("server shutting down")
-	}
 	v, ok := s.videos[videoID]
 	if !ok {
 		return nil, wire.ScheduleInfo{}, fmt.Errorf("unknown video %d", videoID)
@@ -400,32 +454,46 @@ func (s *Server) admit(videoID, fromSegment uint32, conn net.Conn) (*subscriber,
 	if from > v.cfg.Segments {
 		return nil, wire.ScheduleInfo{}, fmt.Errorf("resume segment %d beyond %d", from, v.cfg.Segments)
 	}
-	admitSlot := v.sched.CurrentSlot()
-	if _, err := v.sched.AdmitFrom(from); err != nil {
+	sub := &subscriber{
+		conn:     conn,
+		batches:  make(chan slotBatch, s.cfg.SubscriberBuffer),
+		lastSlot: math.MaxInt,
+		admitted: time.Now(),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, wire.ScheduleInfo{}, fmt.Errorf("server shutting down")
+	}
+	v.subs[sub] = struct{}{}
+	s.mu.Unlock()
+
+	res, err := s.station.Admit(v.idx, core.AdmitOptions{From: from})
+	if err != nil {
+		s.unsubscribe(videoID, sub)
 		return nil, wire.ScheduleInfo{}, err
 	}
-	s.stats.Requests++
-	s.mRequests.Inc()
+	admitSlot := res.Slot
 
 	// The subscription ends once the customer's last deadline passes: the
 	// largest shifted period of the remaining suffix.
 	suffixMax := 0
 	for k := 1; k <= v.cfg.Segments-from+1; k++ {
-		if p := v.sched.Period(k); p > suffixMax {
+		if p := v.periods[k]; p > suffixMax {
 			suffixMax = p
 		}
 	}
-	sub := &subscriber{
-		conn:     conn,
-		batches:  make(chan []byte, s.cfg.SubscriberBuffer),
-		lastSlot: admitSlot + suffixMax,
-		admitted: time.Now(),
+	s.mu.Lock()
+	if _, live := v.subs[sub]; live {
+		sub.lastSlot = admitSlot + suffixMax
 	}
-	v.subs[sub] = struct{}{}
+	s.stats.Requests++
+	s.mu.Unlock()
+	s.mRequests.Inc()
 
 	periods := make([]uint32, v.cfg.Segments)
 	for j := 1; j <= v.cfg.Segments; j++ {
-		periods[j-1] = uint32(v.sched.Period(j))
+		periods[j-1] = uint32(v.periods[j])
 	}
 	info := wire.ScheduleInfo{
 		VideoID:      videoID,
@@ -444,8 +512,9 @@ func (s *Server) admit(videoID, fromSegment uint32, conn net.Conn) (*subscriber,
 	return sub, info, nil
 }
 
-// unsubscribe removes the subscription and closes its channel if the ticker
-// has not already done so, which lets the caller drain without blocking.
+// unsubscribe removes the subscription and closes its channel if the
+// fan-out has not already done so, which lets the caller drain without
+// blocking.
 func (s *Server) unsubscribe(videoID uint32, sub *subscriber) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -459,37 +528,27 @@ func (s *Server) unsubscribe(videoID uint32, sub *subscriber) {
 	}
 }
 
-func (s *Server) tickLoop() {
-	defer s.wg.Done()
-	ticker := time.NewTicker(s.cfg.SlotDuration)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-s.done:
-			return
-		case <-ticker.C:
-			s.tick()
-		}
+// fanOut runs on the station's clock goroutine once per retired slot: it
+// encodes each video's broadcast instances exactly once and distributes the
+// batches to the subscribers. Encoding happens before taking the mutex —
+// only the subscriber maps and stats need it.
+func (s *Server) fanOut(reports []core.SlotReport) {
+	type encoded struct {
+		v     *video
+		rep   core.SlotReport
+		batch slotBatch
+		bytes int64
 	}
-}
-
-// tick finishes the current slot of every video: it encodes the slot's
-// broadcast instances once and fans the batch out to the subscribers.
-func (s *Server) tick() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return
-	}
-	for id, v := range s.videos {
-		rep := v.sched.AdvanceSlot()
-		v.load.Set(float64(rep.Load))
-		s.mInstances.Add(float64(rep.Load))
+	out := make([]encoded, 0, len(s.cfg.Videos))
+	for _, vc := range s.cfg.Videos {
+		v := s.videos[vc.ID]
+		rep := reports[v.idx]
 		var buf bytes.Buffer
+		payloadBytes := int64(0)
 		for _, seg := range rep.Segments {
-			payload := wire.SegmentPayload(id, uint32(seg), uint32(v.cfg.sizeOf(seg)))
+			payload := wire.SegmentPayload(vc.ID, uint32(seg), uint32(vc.sizeOf(seg)))
 			frame := wire.Segment{
-				VideoID: id,
+				VideoID: vc.ID,
 				Segment: uint32(seg),
 				Slot:    uint64(rep.Slot),
 				Payload: payload,
@@ -497,27 +556,43 @@ func (s *Server) tick() {
 			if err := wire.WriteFrame(&buf, frame); err != nil {
 				continue // unreachable: in-memory write
 			}
-			s.stats.BroadcastBytes += int64(len(payload))
-			s.mBroadcastBytes.Add(float64(len(payload)))
+			payloadBytes += int64(len(payload))
 		}
 		if err := wire.WriteFrame(&buf, wire.SlotEnd{Slot: uint64(rep.Slot)}); err != nil {
 			continue
 		}
-		batch := buf.Bytes()
-		for sub := range v.subs {
+		out = append(out, encoded{
+			v:     v,
+			rep:   rep,
+			batch: slotBatch{slot: rep.Slot, data: buf.Bytes()},
+			bytes: payloadBytes,
+		})
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for _, e := range out {
+		e.v.load.Set(float64(e.rep.Load))
+		s.mInstances.Add(float64(e.rep.Load))
+		s.stats.BroadcastBytes += e.bytes
+		s.mBroadcastBytes.Add(float64(e.bytes))
+		for sub := range e.v.subs {
 			select {
-			case sub.batches <- batch:
+			case sub.batches <- e.batch:
 			default:
 				// The subscriber fell a full buffer behind: disconnect it
 				// rather than stall the broadcast.
-				delete(v.subs, sub)
+				delete(e.v.subs, sub)
 				close(sub.batches)
 				s.stats.Dropped++
 				s.mDropped.Inc()
 				continue
 			}
-			if rep.Slot >= sub.lastSlot {
-				delete(v.subs, sub)
+			if e.rep.Slot >= sub.lastSlot {
+				delete(e.v.subs, sub)
 				close(sub.batches)
 			}
 		}

@@ -497,7 +497,7 @@ func TestStatszDisabledByDefault(t *testing.T) {
 
 func TestUnsubscribeIdempotent(t *testing.T) {
 	s := startTestServer(t)
-	sub := &subscriber{batches: make(chan []byte, 1)}
+	sub := &subscriber{batches: make(chan slotBatch, 1)}
 	s.mu.Lock()
 	s.videos[1].subs[sub] = struct{}{}
 	s.mu.Unlock()

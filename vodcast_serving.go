@@ -1,0 +1,127 @@
+package vodcast
+
+// This file groups the serving system: the sharded multi-video station
+// engine, the catalogue simulation built on it, the networked server/client
+// pair, and disk provisioning for the resulting schedules.
+
+import (
+	"time"
+
+	"vodcast/internal/server"
+	"vodcast/internal/station"
+	"vodcast/internal/storage"
+	"vodcast/internal/vodclient"
+	"vodcast/internal/vodserver"
+	"vodcast/internal/wire"
+)
+
+// ---- The multi-video broadcast station ----
+
+// Station is the sharded, concurrency-safe multi-video broadcast engine:
+// one DHB scheduler per catalogue video, partitioned across worker shards
+// so admissions for different videos proceed in parallel, with one clock
+// fanning slot ticks out to every shard.
+type Station = station.Station
+
+// StationConfig parameterizes a station.
+type StationConfig = station.Config
+
+// StationVideo describes one catalogue video of a station.
+type StationVideo = station.VideoConfig
+
+// NewStation validates cfg and builds the broadcast engine.
+func NewStation(cfg StationConfig) (*Station, error) { return station.New(cfg) }
+
+// Sentinel errors of the station's admission and lifecycle paths.
+var (
+	ErrStationOverloaded = station.ErrOverloaded
+	ErrUnknownVideo      = station.ErrUnknownVideo
+	ErrStationClosed     = station.ErrClosed
+)
+
+// ---- Multi-video catalogue simulation ----
+
+// ServerConfig parameterizes a multi-video DHB server simulation.
+type ServerConfig = server.Config
+
+// VideoSpec describes one catalogue entry of a server.
+type VideoSpec = server.VideoSpec
+
+// ServerReport summarizes a server run.
+type ServerReport = server.Report
+
+// Server is a configured multi-video simulation: a thin deterministic
+// driver over the same Station engine the networked server uses.
+type Server = server.Server
+
+// NewServer validates cfg and prepares the broadcast engine.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// ---- The networked system ----
+
+// ServeConfig parameterizes the networked DHB video server.
+type ServeConfig = vodserver.Config
+
+// ServeVideo describes one servable video of the networked server.
+type ServeVideo = vodserver.VideoConfig
+
+// ServeStats is a snapshot of the networked server's counters.
+type ServeStats = vodserver.Stats
+
+// VODServer is a running networked DHB server.
+type VODServer = vodserver.Server
+
+// StartServer binds and runs the networked DHB server.
+func StartServer(cfg ServeConfig) (*VODServer, error) { return vodserver.Start(cfg) }
+
+// NewVBRVideo turns a Section 4 plan into a servable video.
+func NewVBRVideo(id uint32, tr *Trace, plan VBRSolution, scale float64) (ServeVideo, error) {
+	return vodserver.NewVBRVideo(id, tr, plan, scale)
+}
+
+// FetchResult describes one completed client session.
+type FetchResult = vodclient.Result
+
+// Fetch requests a video from a running server, verifying every byte and
+// every delivery deadline.
+func Fetch(addr string, videoID uint32, timeout time.Duration) (FetchResult, error) {
+	return vodclient.Fetch(addr, videoID, timeout)
+}
+
+// FetchFrom is Fetch for an interactive customer resuming at a segment.
+func FetchFrom(addr string, videoID, from uint32, timeout time.Duration) (FetchResult, error) {
+	return vodclient.FetchFrom(addr, videoID, from, timeout)
+}
+
+// SegmentPayloadForBench exposes the deterministic payload generator of the
+// data plane for benchmarking and external verification tools.
+func SegmentPayloadForBench(videoID, segment, size uint32) []byte {
+	return wire.SegmentPayload(videoID, segment, size)
+}
+
+// ---- Storage provisioning ----
+
+// Disk models one drive of the server's striped array.
+type Disk = storage.Disk
+
+// DiskSchedule is a recorded transmission plan for disk evaluation.
+type DiskSchedule = storage.Schedule
+
+// DiskRead identifies one segment read.
+type DiskRead = storage.Read
+
+// DiskReport describes how a schedule runs on a striped array.
+type DiskReport = storage.Report
+
+// CommodityDisk2001 returns era-typical drive parameters.
+func CommodityDisk2001() Disk { return storage.CommodityDisk2001() }
+
+// DisksNeeded reports the smallest striped array serving the schedule.
+func DisksNeeded(d Disk, s DiskSchedule, maxDisks int) (int, error) {
+	return storage.DisksNeeded(d, s, maxDisks)
+}
+
+// EvaluateDisks runs a schedule on an array of the given size.
+func EvaluateDisks(d Disk, s DiskSchedule, disks int) (DiskReport, error) {
+	return storage.Evaluate(d, s, disks)
+}
