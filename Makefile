@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-obs bench-station fuzz experiments examples cover clean
+.PHONY: all build test race bench bench-obs bench-station ci fuzz experiments examples cover clean
 
 all: build test
 
@@ -18,11 +18,28 @@ build:
 race:
 	$(GO) test -race ./internal/vodserver/ ./internal/vodclient/ ./internal/station/
 
+# The one-stop gate: vet, the race suite, a coverage floor on the
+# observability-critical packages, and the metric-name lint (every family a
+# fully wired server registers must pass obs.ValidMetricName).
+COVER_FLOOR ?= 85
+ci:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(GO) test -coverprofile=ci-cover.out ./internal/obs/ ./internal/station/
+	@total=$$($(GO) tool cover -func=ci-cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "obs+station coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= floor+0) }' || \
+		{ echo "coverage $$total% below floor $(COVER_FLOOR)%"; exit 1; }
+	$(GO) test -run '^TestRegisteredMetricNamesValid$$' -count=1 ./internal/vodserver/
+	@rm -f ci-cover.out
+	@echo "ci: all gates passed"
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
 # Sharded station versus the single-mutex whole-engine baseline; the
-# reference numbers live in BENCH_station.json.
+# reference numbers live in BENCH_station.json, and BENCH_obs2.json holds
+# the disabled-path A/B for the pipeline observability layer.
 bench-station:
 	$(GO) test -run '^$$' -bench 'BenchmarkStation' -benchmem ./internal/station/
 
@@ -50,4 +67,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out ci-cover.out test_output.txt bench_output.txt

@@ -29,46 +29,81 @@ func main() {
 		slotMillis   = flag.Int("slot-ms", 500, "slot duration in milliseconds")
 		segmentBytes = flag.Int("segment-bytes", 4096, "payload bytes per segment")
 		shards       = flag.Int("shards", 0, "station worker shards (0 = one per CPU, capped at the catalogue size)")
-		statsAddr    = flag.String("stats-addr", "", "optional HTTP monitoring address serving /statsz, /healthz, /metricsz, /tracez and /debug/pprof")
+		statsAddr    = flag.String("stats-addr", "", "optional HTTP monitoring address serving /statsz, /statusz, /healthz, /metricsz, /tracez, /spanz and /debug/pprof")
 		tracePath    = flag.String("trace", "", "optional JSONL file capturing every scheduler event")
+		spanPath     = flag.String("span-trace", "", "optional JSONL file capturing sampled admission pipeline spans")
+		spanSample   = flag.Int("span-sample", 0, "keep 1 in N admission span trees (0 = default, 1 = everything)")
+		sloMillis    = flag.Float64("slo-ms", 0, "admit-to-first-byte SLO threshold in milliseconds (0 = two slot durations)")
+		sloObjective = flag.Float64("slo-objective", 0, "fraction of admissions that must meet the SLO threshold (0 = 0.99)")
 	)
 	flag.Parse()
-	if err := run(*addr, *statsAddr, *tracePath, *videos, *segments, *slotMillis, *segmentBytes, *shards); err != nil {
+	opts := serveOpts{
+		addr: *addr, statsAddr: *statsAddr, tracePath: *tracePath, spanPath: *spanPath,
+		videos: *videos, segments: *segments, slotMillis: *slotMillis,
+		segmentBytes: *segmentBytes, shards: *shards, spanSample: *spanSample,
+		sloMillis: *sloMillis, sloObjective: *sloObjective,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "vodserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, statsAddr, tracePath string, videos, segments, slotMillis, segmentBytes, shards int) error {
-	if videos <= 0 {
-		return fmt.Errorf("video count %d must be positive", videos)
+// serveOpts carries the parsed flag set.
+type serveOpts struct {
+	addr, statsAddr, tracePath, spanPath       string
+	videos, segments, slotMillis, segmentBytes int
+	shards, spanSample                         int
+	sloMillis, sloObjective                    float64
+}
+
+func run(o serveOpts) error {
+	if o.videos <= 0 {
+		return fmt.Errorf("video count %d must be positive", o.videos)
 	}
-	catalogue := make([]vodserver.VideoConfig, videos)
+	catalogue := make([]vodserver.VideoConfig, o.videos)
 	for i := range catalogue {
 		catalogue[i] = vodserver.VideoConfig{
 			ID:           uint32(i + 1),
-			Segments:     segments,
-			SegmentBytes: segmentBytes,
+			Segments:     o.segments,
+			SegmentBytes: o.segmentBytes,
 		}
 	}
-	var traceFile *os.File
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
-			return fmt.Errorf("trace file: %w", err)
+	openJSONL := func(path string) (*os.File, error) {
+		if path == "" {
+			return nil, nil
 		}
-		traceFile = f
+		return os.Create(path)
+	}
+	traceFile, err := openJSONL(o.tracePath)
+	if err != nil {
+		return fmt.Errorf("trace file: %w", err)
+	}
+	if traceFile != nil {
 		defer traceFile.Close()
 	}
+	spanFile, err := openJSONL(o.spanPath)
+	if err != nil {
+		return fmt.Errorf("span trace file: %w", err)
+	}
+	if spanFile != nil {
+		defer spanFile.Close()
+	}
 	cfg := vodserver.Config{
-		Addr:         addr,
-		Videos:       catalogue,
-		SlotDuration: time.Duration(slotMillis) * time.Millisecond,
-		Shards:       shards,
-		StatsAddr:    statsAddr,
+		Addr:             o.addr,
+		Videos:           catalogue,
+		SlotDuration:     time.Duration(o.slotMillis) * time.Millisecond,
+		Shards:           o.shards,
+		StatsAddr:        o.statsAddr,
+		SpanSampleEvery:  o.spanSample,
+		SLOTargetSeconds: o.sloMillis / 1000,
+		SLOObjective:     o.sloObjective,
 	}
 	if traceFile != nil {
 		cfg.TraceWriter = traceFile
+	}
+	if spanFile != nil {
+		cfg.SpanWriter = spanFile
 	}
 	srv, err := vodserver.Start(cfg)
 	if err != nil {
@@ -76,12 +111,16 @@ func run(addr, statsAddr, tracePath string, videos, segments, slotMillis, segmen
 	}
 	defer srv.Close()
 	fmt.Printf("vodserver listening on %s (%d videos, %d segments, %d ms slots, %d shards)\n",
-		srv.Addr(), videos, segments, slotMillis, srv.Station().Shards())
+		srv.Addr(), o.videos, o.segments, o.slotMillis, srv.Station().Shards())
 	if srv.StatsAddr() != "" {
-		fmt.Printf("introspection on http://%s/{statsz,healthz,metricsz,tracez,debug/pprof}\n", srv.StatsAddr())
+		fmt.Printf("introspection on http://%s/{statsz,statusz,healthz,metricsz,tracez,spanz,debug/pprof}\n", srv.StatsAddr())
+		fmt.Printf("live dashboard: go run ./cmd/vodtop -addr %s\n", srv.StatsAddr())
 	}
-	if tracePath != "" {
-		fmt.Printf("tracing scheduler events to %s\n", tracePath)
+	if o.tracePath != "" {
+		fmt.Printf("tracing scheduler events to %s\n", o.tracePath)
+	}
+	if o.spanPath != "" {
+		fmt.Printf("tracing pipeline spans to %s\n", o.spanPath)
 	}
 
 	interrupt := make(chan os.Signal, 1)

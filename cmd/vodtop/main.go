@@ -1,0 +1,185 @@
+// Command vodtop is a terminal dashboard for a running vodserver. It polls
+// the /statusz snapshot endpoint and renders the admission pipeline the way
+// an operator wants to read it: shard table, per-stage latency quantiles,
+// the admit-to-first-byte SLO burn rate and the station clock's drift.
+//
+// Usage:
+//
+//	vodserver -stats-addr 127.0.0.1:4900 &
+//	vodtop -addr 127.0.0.1:4900
+//
+// or, for scripting and snapshots in CI logs:
+//
+//	vodtop -addr 127.0.0.1:4900 -once
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"vodcast/internal/obs"
+	"vodcast/internal/vodserver"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:4900", "vodserver stats address (the -stats-addr it was started with)")
+		interval = flag.Duration("interval", time.Second, "refresh interval")
+		once     = flag.Bool("once", false, "render a single frame and exit (for scripting)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *addr, *interval, *once); err != nil {
+		fmt.Fprintln(os.Stderr, "vodtop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, addr string, interval time.Duration, once bool) error {
+	if interval <= 0 {
+		return fmt.Errorf("interval %v must be positive", interval)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for {
+		snap, err := fetch(client, addr)
+		if err != nil {
+			return err
+		}
+		if !once {
+			// Clear the screen and home the cursor between frames.
+			fmt.Fprint(w, "\x1b[2J\x1b[H")
+		}
+		render(w, addr, snap)
+		if once {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+// fetch pulls one /statusz snapshot from the server.
+func fetch(client *http.Client, addr string) (vodserver.StatusSnapshot, error) {
+	var snap vodserver.StatusSnapshot
+	resp, err := client.Get("http://" + addr + "/statusz")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("GET /statusz: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("decode /statusz: %w", err)
+	}
+	return snap, nil
+}
+
+// render writes one dashboard frame. It is pure so tests can drive it with
+// a synthetic snapshot.
+func render(w io.Writer, addr string, snap vodserver.StatusSnapshot) {
+	st := snap.Station
+	fmt.Fprintf(w, "vodtop — %s  up %s\n", addr, fmtDur(snap.UptimeSeconds))
+	fmt.Fprintf(w, "requests=%d instances=%d broadcast=%.1fMB subscribers=%d dropped=%d\n",
+		snap.Stats.Requests, snap.Stats.Instances,
+		float64(snap.Stats.BroadcastBytes)/1e6, snap.Stats.ActiveSubscribers, snap.Stats.Dropped)
+
+	clock := st.Clock
+	state := "stopped"
+	if clock.Running {
+		state = "running"
+	}
+	fmt.Fprintf(w, "clock: %s  slot=%s  ticks=%d  lag=%s  drift=%.3f slots",
+		state, fmtDur(clock.IntervalSeconds), clock.Ticks, fmtDur(clock.LagSeconds), clock.DriftSlots)
+	if clock.Lag.Count > 0 {
+		fmt.Fprintf(w, "  (p95 lag %s)", fmtDur(clock.Lag.P95))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "spans: %d roots, %d sampled (1 in %d), %d finished\n",
+		snap.Spans.Roots, snap.Spans.Sampled, snap.Spans.SampleEvery, snap.Spans.Finished)
+
+	fb := snap.FirstByte
+	fmt.Fprintf(w, "SLO  : first-byte p50=%s p95=%s p99=%s  target<=%s @ %.1f%%  good=%d bad=%d  burn=%.2f\n",
+		fmtDur(fb.P50), fmtDur(fb.P95), fmtDur(fb.P99),
+		fmtDur(fb.SLOThreshold), fb.SLOObjective*100, fb.Good, fb.Bad, fb.BurnRate)
+
+	fmt.Fprintln(w)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "STAGE\tCOUNT\tP50\tP95\tP99\tMAX")
+	for _, row := range stageRows(snap) {
+		win := row.win
+		if row.depth {
+			// Queue depth is in requests, not seconds.
+			fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%.0f\t%.0f\n",
+				row.name, win.Count, win.P50, win.P95, win.P99, win.Max)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\n",
+			row.name, win.Count, fmtDur(win.P50), fmtDur(win.P95), fmtDur(win.P99), fmtDur(win.Max))
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SHARD\tVIDEOS\tPENDING\tCAP\tADMITS\tREJECTS")
+	for _, sh := range st.Shards {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.0f\t%.0f\n",
+			sh.Shard, sh.Videos, sh.Pending, sh.QueueCap, sh.Admits, sh.Rejects)
+	}
+	tw.Flush()
+}
+
+// stageRow is one line of the latency table.
+type stageRow struct {
+	name string
+	win  obs.WindowSnapshot
+	// depth marks a window measured in requests rather than seconds.
+	depth bool
+}
+
+// stageRows orders the pipeline stages the way a request traverses them:
+// the station's internal stages first (sorted for stability), then the
+// server-side fan-out and first-byte windows.
+func stageRows(snap vodserver.StatusSnapshot) []stageRow {
+	names := make([]string, 0, len(snap.Station.Stages))
+	for name := range snap.Station.Stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rows := make([]stageRow, 0, len(names)+2)
+	for _, name := range names {
+		rows = append(rows, stageRow{
+			name:  name,
+			win:   snap.Station.Stages[name],
+			depth: name == "queue_depth",
+		})
+	}
+	rows = append(rows,
+		stageRow{name: "fanout", win: snap.Fanout},
+		stageRow{name: "first_byte", win: snap.FirstByte},
+	)
+	return rows
+}
+
+// fmtDur renders a duration given in seconds with a unit that keeps three
+// significant digits readable (µs under a millisecond, ms under a second).
+func fmtDur(seconds float64) string {
+	d := time.Duration(seconds * float64(time.Second))
+	switch {
+	case d <= 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"vodcast/internal/obs"
+	"vodcast/internal/station"
+	"vodcast/internal/vodclient"
+	"vodcast/internal/vodserver"
+)
+
+// TestRenderFrame drives render with a synthetic snapshot and checks every
+// dashboard section appears with the right units.
+func TestRenderFrame(t *testing.T) {
+	snap := vodserver.StatusSnapshot{
+		UptimeSeconds: 12.5,
+		Stats:         vodserver.Stats{Requests: 42, Instances: 7, BroadcastBytes: 3_500_000, ActiveSubscribers: 3, Dropped: 1},
+		Station: station.Status{
+			Videos: 2,
+			Shards: []station.ShardStatus{
+				{Shard: 0, Videos: 1, Pending: 2, QueueCap: 256, Admits: 30, Rejects: 4},
+				{Shard: 1, Videos: 1, Pending: 0, QueueCap: 256, Admits: 12, Rejects: 0},
+			},
+			Stages: map[string]obs.WindowSnapshot{
+				"lock_wait":   {Count: 42, P50: 0.000004, P95: 0.00002, P99: 0.00005, Max: 0.0001},
+				"admit":       {Count: 42, P50: 0.0012, P95: 0.004, P99: 0.009, Max: 0.02},
+				"queue_depth": {Count: 10, P50: 3, P95: 8, P99: 9, Max: 9},
+			},
+			Clock: station.ClockStatus{
+				Running: true, IntervalSeconds: 0.5, Ticks: 25,
+				LagSeconds: 0.001, DriftSlots: 0.002,
+				Lag: obs.WindowSnapshot{Count: 25, P95: 0.0015},
+			},
+		},
+		FirstByte: obs.WindowSnapshot{
+			Count: 42, P50: 0.003, P95: 0.008, P99: 0.012, Max: 0.02,
+			SLOThreshold: 0.01, SLOObjective: 0.99, Good: 40, Bad: 2, BurnRate: 4.76,
+		},
+		Fanout: obs.WindowSnapshot{Count: 25, P50: 0.0001, P95: 0.0004, P99: 0.0006, Max: 0.001},
+		Spans:  obs.SpanStats{Roots: 42, Sampled: 6, Finished: 18, SampleEvery: 8},
+	}
+	var b strings.Builder
+	render(&b, "127.0.0.1:4900", snap)
+	out := b.String()
+	for _, want := range []string{
+		"vodtop — 127.0.0.1:4900",
+		"requests=42 instances=7 broadcast=3.5MB subscribers=3 dropped=1",
+		"clock: running  slot=500.00ms  ticks=25",
+		"drift=0.002 slots",
+		"(p95 lag 1.50ms)",
+		"spans: 42 roots, 6 sampled (1 in 8), 18 finished",
+		"target<=10.00ms @ 99.0%",
+		"good=40 bad=2  burn=4.76",
+		"lock_wait", "admit", "queue_depth", "fanout", "first_byte",
+		"SHARD", "REJECTS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("frame missing %q:\n%s", want, out)
+		}
+	}
+	// The sub-millisecond stage renders in microseconds; queue depth stays
+	// a bare request count.
+	if !strings.Contains(out, "4µs") {
+		t.Fatalf("lock_wait not rendered in µs:\n%s", out)
+	}
+	// Shard rows carry the admit/reject counters.
+	if !strings.Contains(out, "30") || !strings.Contains(out, "4") {
+		t.Fatalf("shard counters missing:\n%s", out)
+	}
+}
+
+// TestOnceAgainstLiveServer is the acceptance path: a real vodserver, one
+// fetched video, then run(..., once=true) renders a populated frame from
+// the live /statusz endpoint and returns.
+func TestOnceAgainstLiveServer(t *testing.T) {
+	s, err := vodserver.Start(vodserver.Config{
+		Addr:            "127.0.0.1:0",
+		Videos:          []vodserver.VideoConfig{{ID: 1, Segments: 6, SegmentBytes: 64}},
+		SlotDuration:    10 * time.Millisecond,
+		StatsAddr:       "127.0.0.1:0",
+		SpanSampleEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := vodclient.Fetch(s.Addr(), 1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := run(&b, s.StatsAddr(), time.Second, true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "\x1b[2J") {
+		t.Fatalf("-once frame must not clear the screen:\n%q", out)
+	}
+	for _, want := range []string{"requests=1", "clock: running", "lock_wait", "SHARD"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("live frame missing %q:\n%s", want, out)
+		}
+	}
+
+	// A dead endpoint is an error, not a hang or a zero frame.
+	if err := run(&b, "127.0.0.1:1", time.Second, true); err == nil {
+		t.Fatal("run against dead endpoint succeeded")
+	}
+	// A non-statusz HTTP server yields a decode/status error.
+	if _, err := fetch(&http.Client{Timeout: time.Second}, "0.0.0.0:0"); err == nil {
+		t.Fatal("fetch from invalid address succeeded")
+	}
+	// And a non-positive interval is rejected up front.
+	if err := run(&b, s.StatsAddr(), 0, true); err == nil {
+		t.Fatal("run accepted zero interval")
+	}
+}

@@ -84,6 +84,15 @@ type child struct {
 	count     float64
 }
 
+// ValidMetricName reports whether s is a legal Prometheus metric name. The
+// registry enforces this at registration time (invalid names panic); the
+// exported predicate lets lint checks and tests validate name inventories
+// without re-implementing the charset.
+func ValidMetricName(s string) bool { return validName(s, false) }
+
+// ValidLabelName reports whether s is a legal Prometheus label name.
+func ValidLabelName(s string) bool { return validName(s, true) }
+
 // validName matches the Prometheus metric and label name charset.
 func validName(s string, label bool) bool {
 	if s == "" {
@@ -366,14 +375,32 @@ func formatValue(v float64) string {
 	return fmt.Sprintf("%g", v)
 }
 
+// Names returns every registered family name in sorted order, the inventory
+// the metric-name lint check walks.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for _, f := range r.families {
+		names = append(names, f.name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
 // WritePrometheus renders every registered family in the text exposition
 // format: a HELP and TYPE line per family, then one sample line per child
 // (histograms expand to cumulative _bucket lines plus _sum and _count).
+// Families render in sorted name order and children in sorted label order,
+// never in registration (or map-iteration) order, so two scrapes of
+// identical state are byte-identical and diffs between deployments are
+// meaningful.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	families := make([]*family, len(r.families))
 	copy(families, r.families)
 	r.mu.Unlock()
+	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
 
 	for _, f := range families {
 		if f.help != "" {
@@ -388,6 +415,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		children := make([]*child, len(f.children))
 		copy(children, f.children)
 		f.mu.Unlock()
+		sort.Slice(children, func(i, j int) bool { return children[i].labels < children[j].labels })
 		for _, c := range children {
 			if err := f.writeChild(w, c); err != nil {
 				return err

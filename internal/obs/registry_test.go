@@ -9,13 +9,15 @@ import (
 )
 
 // TestPrometheusGolden pins the full exposition of a small registry so the
-// format never drifts: HELP/TYPE lines, sorted labels, escaping, cumulative
-// histogram expansion.
+// format never drifts: HELP/TYPE lines, sorted families, sorted labels,
+// escaping, cumulative histogram expansion. Families and children are
+// deliberately registered out of name order — exposition must sort them, not
+// echo registration (or map-iteration) order.
 func TestPrometheusGolden(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("vod_requests_total", "Admitted customer requests.").Add(3)
-	r.GaugeWith("vod_channel_load", "Per-video slot load.", Labels{"video": "1"}).Set(4)
 	r.GaugeWith("vod_channel_load", "Per-video slot load.", Labels{"video": "2"}).Set(0.5)
+	r.GaugeWith("vod_channel_load", "Per-video slot load.", Labels{"video": "1"}).Set(4)
 	h := r.Histogram("vod_admit_latency_seconds", "Admission to first byte.", []float64{0.1, 1})
 	h.Observe(0.05)
 	h.Observe(0.5)
@@ -25,23 +27,79 @@ func TestPrometheusGolden(t *testing.T) {
 	if err := r.WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
 	}
-	want := `# HELP vod_requests_total Admitted customer requests.
-# TYPE vod_requests_total counter
-vod_requests_total 3
-# HELP vod_channel_load Per-video slot load.
-# TYPE vod_channel_load gauge
-vod_channel_load{video="1"} 4
-vod_channel_load{video="2"} 0.5
-# HELP vod_admit_latency_seconds Admission to first byte.
+	want := `# HELP vod_admit_latency_seconds Admission to first byte.
 # TYPE vod_admit_latency_seconds histogram
 vod_admit_latency_seconds_bucket{le="0.1"} 1
 vod_admit_latency_seconds_bucket{le="1"} 2
 vod_admit_latency_seconds_bucket{le="+Inf"} 3
 vod_admit_latency_seconds_sum 2.55
 vod_admit_latency_seconds_count 3
+# HELP vod_channel_load Per-video slot load.
+# TYPE vod_channel_load gauge
+vod_channel_load{video="1"} 4
+vod_channel_load{video="2"} 0.5
+# HELP vod_requests_total Admitted customer requests.
+# TYPE vod_requests_total counter
+vod_requests_total 3
 `
 	if got := buf.String(); got != want {
 		t.Fatalf("exposition drift:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusDeterministicOrder registers the same families and children
+// in two different orders and asserts byte-identical exposition, the
+// property scrape diffing depends on.
+func TestPrometheusDeterministicOrder(t *testing.T) {
+	build := func(order []int) string {
+		r := NewRegistry()
+		reg := []func(){
+			func() { r.Counter("zz_total", "z").Inc() },
+			func() { r.GaugeWith("mid_gauge", "m", Labels{"shard": "1"}).Set(1) },
+			func() { r.GaugeWith("mid_gauge", "m", Labels{"shard": "0"}).Set(2) },
+			func() { r.Counter("aa_total", "a").Add(7) },
+		}
+		for _, i := range order {
+			reg[i]()
+		}
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := build([]int{0, 1, 2, 3})
+	b := build([]int{3, 2, 1, 0})
+	if a != b {
+		t.Fatalf("exposition depends on registration order:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "aa_total 7\n") || strings.Index(a, "aa_total") > strings.Index(a, "zz_total") {
+		t.Fatalf("families not name-sorted:\n%s", a)
+	}
+	if strings.Index(a, `mid_gauge{shard="0"}`) > strings.Index(a, `mid_gauge{shard="1"}`) {
+		t.Fatalf("children not label-sorted:\n%s", a)
+	}
+}
+
+// TestNamesAndValidation covers the exported name inventory and the lint
+// predicates the Makefile's metric-name check relies on.
+func TestNamesAndValidation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "")
+	r.Gauge("a_gauge", "")
+	if got, want := strings.Join(r.Names(), ","), "a_gauge,z_total"; got != want {
+		t.Fatalf("Names() = %q, want %q", got, want)
+	}
+	for _, name := range r.Names() {
+		if !ValidMetricName(name) {
+			t.Fatalf("registered name %q fails ValidMetricName", name)
+		}
+	}
+	if ValidMetricName("bad name") || ValidMetricName("") || ValidMetricName("0lead") {
+		t.Fatal("ValidMetricName accepted an invalid name")
+	}
+	if !ValidLabelName("shard") || ValidLabelName("le:colon") {
+		t.Fatal("ValidLabelName verdicts wrong")
 	}
 }
 

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSpanNilSafety: a nil tracer and the nil spans it hands out must accept
+// every call, the guarantee that lets call sites skip guards.
+func TestSpanNilSafety(t *testing.T) {
+	var tr *SpanTracer
+	tr.SetClock(func() float64 { return 0 })
+	root := tr.StartSpan("admit")
+	if root != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	child := root.Child("station_admit")
+	child.SetVideo(1)
+	child.SetShard(0)
+	child.SetAttr("k", "v")
+	child.End()
+	root.End()
+	if got := tr.Recent(0); got != nil {
+		t.Fatalf("nil tracer Recent = %v", got)
+	}
+	if tr.Stats() != (SpanStats{}) || tr.Err() != nil {
+		t.Fatal("nil tracer stats/err not zero")
+	}
+}
+
+// TestSpanTreeExport builds one admit tree and checks the JSONL export:
+// parent links, attribution inheritance, durations from the installed clock.
+func TestSpanTreeExport(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewSpanTracer(&buf, 0, 1, 1)
+	now := 0.0
+	tr.SetClock(func() float64 { return now })
+
+	root := tr.StartSpan("admit")
+	root.SetVideo(7)
+	root.SetShard(2)
+	now = 0.5
+	child := root.Child("station_admit")
+	child.SetAttr("batch", "16")
+	now = 1.5
+	child.End()
+	now = 2.0
+	root.End()
+	root.End() // idempotent
+
+	var recs []SpanRecord
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var r SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("exported %d spans, want 2", len(recs))
+	}
+	c, r := recs[0], recs[1] // children end first
+	if c.Name != "station_admit" || r.Name != "admit" {
+		t.Fatalf("order wrong: %q then %q", c.Name, r.Name)
+	}
+	if c.Parent != r.ID || r.Parent != 0 {
+		t.Fatalf("parent links wrong: child.Parent=%d root.ID=%d root.Parent=%d", c.Parent, r.ID, r.Parent)
+	}
+	if c.Video != 7 || c.Shard != 2 {
+		t.Fatalf("child did not inherit attribution: video=%d shard=%d", c.Video, c.Shard)
+	}
+	if c.Start != 0.5 || c.Dur != 1.0 || r.Start != 0 || r.Dur != 2.0 {
+		t.Fatalf("clocked intervals wrong: child %v+%v root %v+%v", c.Start, c.Dur, r.Start, r.Dur)
+	}
+	if c.Attrs["batch"] != "16" {
+		t.Fatalf("attrs lost: %v", c.Attrs)
+	}
+	st := tr.Stats()
+	if st.Roots != 1 || st.Sampled != 1 || st.Finished != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if tr.Err() != nil {
+		t.Fatal(tr.Err())
+	}
+}
+
+// sampledSet records which of n roots a tracer with the given seed and
+// sampling period keeps.
+func sampledSet(n, every int, seed int64) []bool {
+	tr := NewSpanTracer(nil, 0, every, seed)
+	out := make([]bool, n)
+	for i := range out {
+		s := tr.StartSpan("root")
+		out[i] = s != nil
+		s.End()
+	}
+	return out
+}
+
+// TestSpanSamplingDeterminism: the seeded sampler keeps exactly the same
+// root set for the same seed, keeps everything at period 1, and keeps
+// roughly 1/every of a long sequence.
+func TestSpanSamplingDeterminism(t *testing.T) {
+	const n = 4096
+	a := sampledSet(n, 8, 42)
+	b := sampledSet(n, 8, 42)
+	kept := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at root %d", i)
+		}
+		if a[i] {
+			kept++
+		}
+	}
+	// Binomial(4096, 1/8): mean 512, sd ~21. Accept a generous +/- 6 sd.
+	if kept < 384 || kept > 640 {
+		t.Fatalf("kept %d of %d at period 8, want ~512", kept, n)
+	}
+	for i, keep := range sampledSet(64, 1, 7) {
+		if !keep {
+			t.Fatalf("period 1 dropped root %d", i)
+		}
+	}
+	st := NewSpanTracer(nil, 0, 8, 42)
+	for i := 0; i < 100; i++ {
+		st.StartSpan("r").End()
+	}
+	if s := st.Stats(); s.Roots != 100 || s.Sampled != s.Finished {
+		t.Fatalf("sampling stats inconsistent: %+v", s)
+	}
+}
+
+// lockedBuffer is a goroutine-safe sink for the concurrency test (the
+// tracer serializes writes, but the test also reads the buffer at the end).
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Lines(t *testing.T) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	sc := bufio.NewScanner(bytes.NewReader(b.buf.Bytes()))
+	for sc.Scan() {
+		var r SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Errorf("bad concurrent JSONL line: %v", err)
+		}
+		n++
+	}
+	return n
+}
+
+// TestSpanConcurrency hammers start/child/end/export from many goroutines
+// with concurrent Recent readers; run under -race this is the data-race
+// proof for the span path.
+func TestSpanConcurrency(t *testing.T) {
+	sink := &lockedBuffer{}
+	tr := NewSpanTracer(sink, 128, 2, 99)
+	const (
+		workers = 8
+		perW    = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				root := tr.StartSpan("admit")
+				root.SetVideo(uint32(w + 1))
+				root.SetShard(w % 4)
+				c := root.Child("station_admit")
+				c.SetAttr("i", fmt.Sprint(i))
+				c.End()
+				root.End()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tr.Recent(32)
+			tr.Stats()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	st := tr.Stats()
+	if st.Roots != workers*perW {
+		t.Fatalf("roots = %d, want %d", st.Roots, workers*perW)
+	}
+	if st.Finished != 2*st.Sampled {
+		t.Fatalf("finished %d != 2*sampled %d", st.Finished, st.Sampled)
+	}
+	if got := uint64(sink.Lines(t)); got != st.Finished {
+		t.Fatalf("exported %d JSONL spans, stats say %d finished", got, st.Finished)
+	}
+	if recent := tr.Recent(0); len(recent) != 128 {
+		t.Fatalf("ring holds %d, want full 128", len(recent))
+	}
+	if tr.Err() != nil {
+		t.Fatal(tr.Err())
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"vodcast/internal/core"
 	"vodcast/internal/metrics"
+	"vodcast/internal/obs"
 	"vodcast/internal/sim"
 	"vodcast/internal/station"
 	"vodcast/internal/workload"
@@ -66,6 +67,11 @@ type Config struct {
 	// are issued sequentially in arrival order and per-video schedules are
 	// independent.
 	Shards int
+	// Registry optionally receives the station's per-shard counters and
+	// pipeline-stage instruments, so a simulation run exposes the same
+	// observability surface as the networked server (useful for calibrating
+	// stage budgets offline before a deployment).
+	Registry *obs.Registry
 	// Seed drives the deterministic RNG.
 	Seed int64
 }
@@ -145,7 +151,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		videos[i] = station.VideoConfig{Name: v.Name, Segments: v.Segments, Periods: v.Periods}
 	}
-	st, err := station.New(station.Config{Videos: videos, Shards: cfg.Shards})
+	st, err := station.New(station.Config{Videos: videos, Shards: cfg.Shards, Registry: cfg.Registry})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
@@ -156,6 +162,10 @@ func New(cfg Config) (*Server, error) {
 		station: st,
 	}, nil
 }
+
+// Station exposes the underlying broadcast engine so callers that passed a
+// Registry can read Status snapshots alongside the simulation report.
+func (s *Server) Station() *station.Station { return s.station }
 
 // pendingReq is a customer waiting for admission under deferral control.
 type pendingReq struct {

@@ -30,9 +30,12 @@
 package station
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,10 +116,88 @@ const (
 	DefaultFlushBatch = 64
 )
 
-// pendingReq is one asynchronously enqueued admission.
+// pendingReq is one asynchronously enqueued admission. Arrival instants for
+// the enqueue-wait stage live in the shard's parallel enqTimes slice, kept
+// separate so the uninstrumented queue stays two words per request.
 type pendingReq struct {
 	video int
 	from  int
+}
+
+// stage is one instrumented pipeline stage: a histogram for scrape-horizon
+// distributions and a rolling window for the live p50/p95/p99 that /statusz
+// and vodtop render.
+type stage struct {
+	hist *obs.Histogram
+	win  *obs.Window
+}
+
+func (s *stage) observe(v float64) {
+	s.hist.Observe(v)
+	s.win.Observe(v)
+}
+
+// Stage names of the admission pipeline, the keys of Status.Stages.
+const (
+	// StageEnqueueWait is the time a batched admission waits in the shard
+	// queue between Enqueue and its flush.
+	StageEnqueueWait = "enqueue_wait"
+	// StageLockWait is the time an admission waits for its shard's lock.
+	StageLockWait = "lock_wait"
+	// StageAdmit is the scheduler service time under the shard lock.
+	StageAdmit = "admit"
+	// StageQueueDepth is the shard queue depth sampled at every flush (a
+	// request count, not seconds).
+	StageQueueDepth = "queue_depth"
+)
+
+// stageBuckets bound the stage histograms: admission stages complete in
+// microseconds unloaded and the interesting tail is milliseconds, so the
+// default 5ms-and-up latency buckets would flatten everything into one bin.
+var stageBuckets = []float64{
+	5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2, 0.25, 1,
+}
+
+// depthBuckets bound the sampled queue-depth histogram.
+var depthBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+
+// stationObs carries every instrument of an observed station; a nil
+// *stationObs disables the whole layer for one predictable branch per hot
+// path.
+type stationObs struct {
+	enqueueWait stage
+	lockWait    stage
+	admit       stage
+	queueDepth  stage
+
+	clockLag   *obs.Gauge
+	clockDrift *obs.Gauge
+	clockTicks *obs.Counter
+	clockWin   *obs.Window
+}
+
+// newStationObs registers the pipeline instruments on reg.
+func newStationObs(reg *obs.Registry) *stationObs {
+	o := &stationObs{}
+	latency := func(name string, st *stage) {
+		st.hist = reg.HistogramWith("station_stage_seconds",
+			"Admission pipeline stage latencies.", stageBuckets, obs.Labels{"stage": name})
+		st.win = obs.NewWindow(0)
+	}
+	latency(StageEnqueueWait, &o.enqueueWait)
+	latency(StageLockWait, &o.lockWait)
+	latency(StageAdmit, &o.admit)
+	o.queueDepth.hist = reg.Histogram("station_queue_depth_sampled",
+		"Shard pending-queue depth sampled at every flush (requests, not seconds).", depthBuckets)
+	o.queueDepth.win = obs.NewWindow(0)
+	o.clockLag = reg.Gauge("station_clock_tick_lag_seconds",
+		"Lag of the most recent clock tick behind its scheduled time.")
+	o.clockDrift = reg.Gauge("station_clock_slot_drift_slots",
+		"Clock tick lag expressed in slot durations; >=1 means a whole slot slipped.")
+	o.clockTicks = reg.Counter("station_clock_ticks_total",
+		"Slot ticks fanned out by the clock goroutine.")
+	o.clockWin = obs.NewWindow(0)
+	return o
 }
 
 // stationVideo binds one catalogue video to its scheduler and shard.
@@ -132,6 +213,10 @@ type shard struct {
 	mu      sync.Mutex
 	videos  []int // station video indices owned by this shard
 	pending []pendingReq
+	// enqTimes shadows pending with per-request enqueue instants. It is
+	// only appended to when the station is instrumented, keeping
+	// pendingReq small (pure memory traffic) on the disabled path.
+	enqTimes []time.Time
 
 	// Per-shard observability (nil without a Registry).
 	queueDepth *obs.Gauge
@@ -147,11 +232,22 @@ type Station struct {
 	queueCap   int
 	flushBatch int
 
+	// obs is the pipeline instrumentation, nil when Config.Registry was
+	// nil: every hot path pays exactly one branch for the disabled layer.
+	obs *stationObs
+
 	closed atomic.Bool
 
 	clockMu   sync.Mutex
 	clockStop chan struct{}
 	clockWG   sync.WaitGroup
+
+	// Clock health, readable without the clock mutex: tick count, the last
+	// tick's lag behind schedule (nanoseconds) and the configured interval
+	// (nanoseconds; 0 when no clock is running).
+	clockTicks    atomic.Uint64
+	clockLagNanos atomic.Int64
+	clockInterval atomic.Int64
 }
 
 // New validates cfg and builds the station with every scheduler at slot 0.
@@ -186,6 +282,9 @@ func New(cfg Config) (*Station, error) {
 	}
 	if st.flushBatch == 0 {
 		st.flushBatch = DefaultFlushBatch
+	}
+	if cfg.Registry != nil {
+		st.obs = newStationObs(cfg.Registry)
 	}
 	for i := range st.shards {
 		sh := &shard{}
@@ -260,10 +359,25 @@ func (st *Station) Admit(video int, opts core.AdmitOptions) (core.AdmitResult, e
 		return core.AdmitResult{}, err
 	}
 	sh := st.shards[st.videos[video].shard]
+	// The instrumented path brackets the lock acquisition and the
+	// scheduler service with clock reads; the disabled path pays one nil
+	// check and no clock.
+	var t0 time.Time
+	if st.obs != nil {
+		t0 = time.Now()
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	var tLocked time.Time
+	if st.obs != nil {
+		tLocked = time.Now()
+		st.obs.lockWait.observe(tLocked.Sub(t0).Seconds())
+	}
 	sh.flushLocked(st)
 	res, err := st.videos[video].sched.AdmitRequest(opts)
+	if st.obs != nil {
+		st.obs.admit.observe(time.Since(tLocked).Seconds())
+	}
 	if err != nil {
 		if sh.rejects != nil {
 			sh.rejects.Inc()
@@ -301,13 +415,23 @@ func (st *Station) Enqueue(video, from int) error {
 		from = 1
 	}
 	sh := st.shards[st.videos[video].shard]
+	var t0 time.Time
+	if st.obs != nil {
+		t0 = time.Now()
+	}
 	sh.mu.Lock()
+	if st.obs != nil {
+		st.obs.lockWait.observe(time.Since(t0).Seconds())
+	}
 	if len(sh.pending) >= st.queueCap {
 		sh.mu.Unlock()
 		if sh.rejects != nil {
 			sh.rejects.Inc()
 		}
 		return fmt.Errorf("%w: shard %d at depth %d", ErrOverloaded, st.videos[video].shard, st.queueCap)
+	}
+	if st.obs != nil {
+		sh.enqTimes = append(sh.enqTimes, time.Now())
 	}
 	sh.pending = append(sh.pending, pendingReq{video: video, from: from})
 	if len(sh.pending) >= st.flushBatch {
@@ -325,6 +449,17 @@ func (st *Station) Enqueue(video, from int) error {
 func (sh *shard) flushLocked(st *Station) {
 	if len(sh.pending) == 0 {
 		return
+	}
+	if st.obs != nil {
+		// One clock read covers the whole batch: each request's enqueue
+		// wait is measured against the flush instant, and the pre-flush
+		// depth is the sampled queue-depth observation.
+		now := time.Now()
+		st.obs.queueDepth.observe(float64(len(sh.pending)))
+		for _, enq := range sh.enqTimes {
+			st.obs.enqueueWait.observe(now.Sub(enq).Seconds())
+		}
+		sh.enqTimes = sh.enqTimes[:0]
 	}
 	for _, r := range sh.pending {
 		// The error is impossible: from was validated against the segment
@@ -355,7 +490,11 @@ func (st *Station) AdvanceSlot() []core.SlotReport {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			st.advanceShard(i, reports)
+			// The pprof label makes shard workers attributable in CPU
+			// profiles: /debug/pprof/profile breaks slot-advance time down
+			// by station_shard.
+			pprof.Do(context.Background(), pprof.Labels("station_shard", strconv.Itoa(i)),
+				func(context.Context) { st.advanceShard(i, reports) })
 		}(i)
 	}
 	wg.Wait()
@@ -452,16 +591,37 @@ func (st *Station) StartClock(interval time.Duration, onTick func([]core.SlotRep
 	}
 	stop := make(chan struct{})
 	st.clockStop = stop
+	st.clockInterval.Store(int64(interval))
 	st.clockWG.Add(1)
 	go func() {
 		defer st.clockWG.Done()
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
+		start := time.Now()
+		ticks := uint64(0)
 		for {
 			select {
 			case <-stop:
 				return
 			case <-ticker.C:
+				// Tick-lag: how far behind its scheduled instant this tick
+				// fired. time.Ticker drops ticks under load, so lag past a
+				// whole interval means the slot grid itself is drifting —
+				// the drift gauge expresses the same lag in slot units.
+				ticks++
+				lag := time.Since(start) - time.Duration(ticks)*interval
+				if lag < 0 {
+					lag = 0
+				}
+				st.clockTicks.Store(ticks)
+				st.clockLagNanos.Store(int64(lag))
+				if st.obs != nil {
+					lagSec := lag.Seconds()
+					st.obs.clockTicks.Inc()
+					st.obs.clockLag.Set(lagSec)
+					st.obs.clockDrift.Set(lagSec / interval.Seconds())
+					st.obs.clockWin.Observe(lagSec)
+				}
 				reports := st.AdvanceSlot()
 				if onTick != nil {
 					onTick(reports)
@@ -484,6 +644,97 @@ func (st *Station) StopClock() {
 	}
 	close(stop)
 	st.clockWG.Wait()
+	st.clockInterval.Store(0)
+}
+
+// ShardStatus is one row of the /statusz (and vodtop) shard table.
+type ShardStatus struct {
+	// Shard is the worker index; Videos the catalogue entries it owns.
+	Shard  int `json:"shard"`
+	Videos int `json:"videos"`
+	// Pending is the live batched-queue depth; QueueCap its bound.
+	Pending  int `json:"pending"`
+	QueueCap int `json:"queue_cap"`
+	// Admits and Rejects mirror the shard's registry counters (zero when
+	// the station is uninstrumented).
+	Admits  float64 `json:"admits"`
+	Rejects float64 `json:"rejects"`
+}
+
+// ClockStatus describes the clock goroutine's health.
+type ClockStatus struct {
+	// Running reports an active clock; IntervalSeconds its slot duration.
+	Running         bool    `json:"running"`
+	IntervalSeconds float64 `json:"interval_seconds"`
+	// Ticks counts fanned-out slot ticks; LagSeconds is the last tick's
+	// lag behind schedule and DriftSlots the same lag in slot units.
+	Ticks      uint64  `json:"ticks"`
+	LagSeconds float64 `json:"lag_seconds"`
+	DriftSlots float64 `json:"drift_slots"`
+	// Lag is the rolling window over recent tick lags (zero when the
+	// station is uninstrumented).
+	Lag obs.WindowSnapshot `json:"lag"`
+}
+
+// Status is one consistent snapshot of the station for operators: the shard
+// table, the per-stage rolling latency windows, and clock health.
+type Status struct {
+	Videos int           `json:"videos"`
+	Shards []ShardStatus `json:"shards"`
+	// Stages maps the Stage* names to their rolling windows (empty when
+	// the station is uninstrumented). Latency stages are in seconds;
+	// StageQueueDepth is in requests.
+	Stages map[string]obs.WindowSnapshot `json:"stages,omitempty"`
+	Clock  ClockStatus                   `json:"clock"`
+	// Requests and Instances are the station-wide admission totals.
+	Requests  int64 `json:"requests"`
+	Instances int64 `json:"instances"`
+}
+
+// Status assembles the operator snapshot behind /statusz. It takes each
+// shard lock once (like Totals) and never blocks the clock beyond one shard
+// advance.
+func (st *Station) Status() Status {
+	s := Status{
+		Videos: len(st.videos),
+		Shards: make([]ShardStatus, len(st.shards)),
+	}
+	for i, sh := range st.shards {
+		row := ShardStatus{Shard: i, Videos: len(sh.videos), QueueCap: st.queueCap}
+		sh.mu.Lock()
+		row.Pending = len(sh.pending)
+		for _, v := range sh.videos {
+			sched := st.videos[v].sched
+			s.Requests += sched.Requests()
+			s.Instances += sched.Instances()
+		}
+		sh.mu.Unlock()
+		if sh.admits != nil {
+			row.Admits = sh.admits.Value()
+			row.Rejects = sh.rejects.Value()
+		}
+		s.Shards[i] = row
+	}
+	interval := time.Duration(st.clockInterval.Load())
+	s.Clock = ClockStatus{
+		Running:         interval > 0,
+		IntervalSeconds: interval.Seconds(),
+		Ticks:           st.clockTicks.Load(),
+		LagSeconds:      time.Duration(st.clockLagNanos.Load()).Seconds(),
+	}
+	if interval > 0 && s.Clock.LagSeconds > 0 {
+		s.Clock.DriftSlots = s.Clock.LagSeconds / interval.Seconds()
+	}
+	if st.obs != nil {
+		s.Stages = map[string]obs.WindowSnapshot{
+			StageEnqueueWait: st.obs.enqueueWait.win.Snapshot(),
+			StageLockWait:    st.obs.lockWait.win.Snapshot(),
+			StageAdmit:       st.obs.admit.win.Snapshot(),
+			StageQueueDepth:  st.obs.queueDepth.win.Snapshot(),
+		}
+		s.Clock.Lag = st.obs.clockWin.Snapshot()
+	}
+	return s
 }
 
 // Close stops the clock and marks the station closed: subsequent Admit and

@@ -84,7 +84,32 @@ type Config struct {
 	// TraceEvents bounds the /tracez ring buffer; zero selects
 	// obs.DefaultRingSize.
 	TraceEvents int
+	// SpanWriter optionally streams every finished pipeline span as JSONL.
+	// Spans are recorded to the /spanz ring regardless; the writer adds the
+	// offline stream.
+	SpanWriter io.Writer
+	// SpanSampleEvery keeps 1 in N admission span trees (children inherit
+	// the root's decision); 0 selects DefaultSpanSampleEvery, 1 keeps
+	// everything.
+	SpanSampleEvery int
+	// SpanSeed seeds the span sampler so a fixed seed reproduces the same
+	// sampled set for the same arrival sequence.
+	SpanSeed int64
+	// SLOTargetSeconds is the admit-to-first-byte latency objective
+	// threshold; 0 selects two slot durations (the customer's worst-case
+	// protocol wait is one full slot, so two slots flags real control-path
+	// trouble, not protocol behaviour).
+	SLOTargetSeconds float64
+	// SLOObjective is the fraction of admissions that must meet the target
+	// (0 selects 0.99). /statusz reports the burn rate of the implied
+	// error budget.
+	SLOObjective float64
 }
+
+// DefaultSpanSampleEvery is the admission span sampling period when the
+// owner does not choose one: cheap enough for production, dense enough that
+// vodtop always has recent trees to show.
+const DefaultSpanSampleEvery = 8
 
 // Stats is a snapshot of server counters.
 type Stats struct {
@@ -145,6 +170,12 @@ type Server struct {
 
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	spans  *obs.SpanTracer
+	// firstByte and fanout are the rolling windows behind /statusz:
+	// admit-to-first-byte latency (with the SLO armed on it) and the
+	// per-tick fan-out service time.
+	firstByte *obs.Window
+	fanout    *obs.Window
 	// Registry handles, bound once at startup so the hot paths never
 	// touch the registry's name map.
 	mRequests       *obs.Counter
@@ -153,6 +184,7 @@ type Server struct {
 	mBroadcastBytes *obs.Counter
 	mDropped        *obs.Counter
 	mAdmitLatency   *obs.Histogram
+	mFanout         *obs.Histogram
 
 	// mu guards subscriptions, connections, stats and the closed flag; the
 	// schedulers live behind the station's shard locks, so admissions only
@@ -179,7 +211,24 @@ func Start(cfg Config) (*Server, error) {
 	if cfg.SubscriberBuffer <= 0 {
 		cfg.SubscriberBuffer = 64
 	}
+	if cfg.SpanSampleEvery < 0 {
+		return nil, fmt.Errorf("vodserver: span sample period %d must be non-negative", cfg.SpanSampleEvery)
+	}
+	if cfg.SpanSampleEvery == 0 {
+		cfg.SpanSampleEvery = DefaultSpanSampleEvery
+	}
+	if cfg.SLOTargetSeconds < 0 || cfg.SLOObjective < 0 || cfg.SLOObjective >= 1 {
+		return nil, fmt.Errorf("vodserver: bad SLO target %v / objective %v",
+			cfg.SLOTargetSeconds, cfg.SLOObjective)
+	}
+	if cfg.SLOTargetSeconds == 0 {
+		cfg.SLOTargetSeconds = 2 * cfg.SlotDuration.Seconds()
+	}
+	if cfg.SLOObjective == 0 {
+		cfg.SLOObjective = 0.99
+	}
 	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
 	tracer := obs.NewTracer(cfg.TraceWriter, cfg.TraceEvents)
 	videos := make(map[uint32]*video, len(cfg.Videos))
 	stationVideos := make([]station.VideoConfig, len(cfg.Videos))
@@ -232,13 +281,21 @@ func Start(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vodserver: listen: %w", err)
 	}
+	firstByte := obs.NewWindow(0)
+	if err := firstByte.SetSLO(cfg.SLOTargetSeconds, cfg.SLOObjective); err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("vodserver: %w", err)
+	}
 	s := &Server{
-		cfg:     cfg,
-		ln:      ln,
-		station: st,
-		started: time.Now(),
-		reg:     reg,
-		tracer:  tracer,
+		cfg:       cfg,
+		ln:        ln,
+		station:   st,
+		started:   time.Now(),
+		reg:       reg,
+		tracer:    tracer,
+		spans:     obs.NewSpanTracer(cfg.SpanWriter, cfg.TraceEvents, cfg.SpanSampleEvery, cfg.SpanSeed),
+		firstByte: firstByte,
+		fanout:    obs.NewWindow(0),
 		mRequests: reg.Counter("vod_requests_total",
 			"Admitted customer requests (including interactive resumes)."),
 		mRejects: reg.Counter("vod_rejects_total",
@@ -251,6 +308,8 @@ func Start(cfg Config) (*Server, error) {
 			"Subscribers disconnected for falling a full buffer behind."),
 		mAdmitLatency: reg.Histogram("vod_admit_first_byte_seconds",
 			"Latency from request admission to the first broadcast byte reaching the subscriber.", nil),
+		mFanout: reg.Histogram("vod_fanout_seconds",
+			"Per-tick fan-out service time: encoding every video's slot batch and distributing it.", nil),
 		videos: videos,
 		conns:  make(map[net.Conn]struct{}),
 	}
@@ -293,6 +352,40 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // Tracer exposes the server's scheduler event tracer, the source of
 // /tracez.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Spans exposes the server's pipeline span tracer, the source of /spanz.
+func (s *Server) Spans() *obs.SpanTracer { return s.spans }
+
+// StatusSnapshot is the /statusz document: one consistent operator view of
+// the whole pipeline, the payload cmd/vodtop renders.
+type StatusSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Stats are the server counters (requests, instances, bytes,
+	// subscribers, drops).
+	Stats Stats `json:"stats"`
+	// Station is the engine snapshot: shard table, stage latency windows,
+	// clock health.
+	Station station.Status `json:"station"`
+	// FirstByte is the rolling admit-to-first-byte latency window with the
+	// SLO burn accounting armed on it; Fanout is the per-tick fan-out
+	// service time window.
+	FirstByte obs.WindowSnapshot `json:"first_byte"`
+	Fanout    obs.WindowSnapshot `json:"fanout"`
+	// Spans summarizes pipeline span sampling.
+	Spans obs.SpanStats `json:"spans"`
+}
+
+// Status assembles the operator snapshot served at /statusz.
+func (s *Server) Status() StatusSnapshot {
+	return StatusSnapshot{
+		UptimeSeconds: s.Uptime().Seconds(),
+		Stats:         s.Stats(),
+		Station:       s.station.Status(),
+		FirstByte:     s.firstByte.Snapshot(),
+		Fanout:        s.fanout.Snapshot(),
+		Spans:         s.spans.Stats(),
+	}
+}
 
 // Station exposes the broadcast engine (shard layout, per-video slots).
 func (s *Server) Station() *station.Station { return s.station }
@@ -395,11 +488,21 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 
-	sub, info, err := s.admit(req.VideoID, req.FromSegment, conn)
+	// The root span covers the whole pipeline from admit to the first
+	// fan-out byte reaching this subscriber; an unsampled request gets a
+	// nil span and every operation below is a no-op. End is idempotent, so
+	// the deferred call only closes trees that error out before first
+	// byte.
+	root := s.spans.StartSpan("admit")
+	root.SetVideo(req.VideoID)
+	defer root.End()
+
+	sub, info, err := s.admit(req.VideoID, req.FromSegment, conn, root)
 	if err != nil {
 		s.mRejects.Inc()
 		s.tracer.Emit(obs.Event{Type: obs.EventReject, Video: req.VideoID,
 			From: int(req.FromSegment), Detail: err.Error()})
+		root.SetAttr("reject", err.Error())
 		_ = wire.WriteFrame(conn, wire.ErrorMsg{Text: err.Error()})
 		return
 	}
@@ -408,6 +511,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 	admitSlot := int(info.AdmitSlot)
+	wait := root.Child("first_byte_wait")
 	firstByte := false
 	for batch := range sub.batches {
 		// The subscription was registered before the admission reached the
@@ -425,7 +529,11 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		if !firstByte {
 			firstByte = true
-			s.mAdmitLatency.Observe(time.Since(sub.admitted).Seconds())
+			lat := time.Since(sub.admitted).Seconds()
+			s.mAdmitLatency.Observe(lat)
+			s.firstByte.Observe(lat)
+			wait.End()
+			root.End()
 		}
 	}
 }
@@ -442,7 +550,11 @@ func (s *Server) handleConn(conn net.Conn) {
 // service starts one slot after admission). This keeps scheduling entirely
 // off the server-wide mutex: concurrent admissions for videos on different
 // shards proceed in parallel.
-func (s *Server) admit(videoID, fromSegment uint32, conn net.Conn) (*subscriber, wire.ScheduleInfo, error) {
+//
+// root, when sampled, gains shard attribution and a station_admit child
+// covering the scheduler call (whose shard-lock wait and service time the
+// station's stage histograms break down further).
+func (s *Server) admit(videoID, fromSegment uint32, conn net.Conn, root *obs.Span) (*subscriber, wire.ScheduleInfo, error) {
 	v, ok := s.videos[videoID]
 	if !ok {
 		return nil, wire.ScheduleInfo{}, fmt.Errorf("unknown video %d", videoID)
@@ -468,7 +580,10 @@ func (s *Server) admit(videoID, fromSegment uint32, conn net.Conn) (*subscriber,
 	v.subs[sub] = struct{}{}
 	s.mu.Unlock()
 
+	root.SetShard(s.station.ShardOf(v.idx))
+	span := root.Child("station_admit")
 	res, err := s.station.Admit(v.idx, core.AdmitOptions{From: from})
+	span.End()
 	if err != nil {
 		s.unsubscribe(videoID, sub)
 		return nil, wire.ScheduleInfo{}, err
@@ -533,6 +648,12 @@ func (s *Server) unsubscribe(videoID uint32, sub *subscriber) {
 // batches to the subscribers. Encoding happens before taking the mutex —
 // only the subscriber maps and stats need it.
 func (s *Server) fanOut(reports []core.SlotReport) {
+	t0 := time.Now()
+	defer func() {
+		d := time.Since(t0).Seconds()
+		s.mFanout.Observe(d)
+		s.fanout.Observe(d)
+	}()
 	type encoded struct {
 		v     *video
 		rep   core.SlotReport

@@ -13,48 +13,80 @@ import (
 // This file is the server's live introspection surface:
 //
 //	GET /statsz       operational counters as JSON
+//	GET /statusz      full pipeline snapshot: shard table, stage latency
+//	                  windows, SLO burn, clock drift (what vodtop renders)
 //	GET /healthz      liveness probe: 200 with status and uptime
 //	GET /metricsz     the obs registry in Prometheus text format
 //	GET /tracez?n=N   the most recent N scheduler events (default: all buffered)
+//	GET /spanz?n=N    the most recent N finished pipeline spans
 //	GET /debug/pprof  the standard Go profiling endpoints
 //
-// Every handler answers only its exact path (and GET), so a probe of an
-// unregistered path is a 404 rather than a copy of /statsz.
+// Every handler is routed through guardGET: it answers only its exact path
+// (a probe of an unregistered path is a 404 rather than a copy of the
+// handler), answers only GET (anything else is a 405 carrying an Allow
+// header instead of falling through to a confusing 200), and the response
+// always carries an explicit Content-Type.
 
-// statsHandler serves the operational counters as JSON on GET /statsz, the
-// monitoring hook a deployed server needs.
-type statsHandler struct {
-	server *Server
-}
-
-func (h statsHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	// Answer only the exact path: if this handler is ever mounted on a
-	// prefix pattern, sub-paths must 404 instead of masquerading as
-	// /statsz.
-	if r.URL.Path != "/statsz" {
+// guardGET enforces the shared routing contract. It reports whether the
+// handler should proceed.
+func guardGET(w http.ResponseWriter, r *http.Request, path string) bool {
+	if r.URL.Path != path {
 		http.NotFound(w, r)
-		return
+		return false
 	}
 	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
+		return false
 	}
+	return true
+}
+
+// writeJSON renders v indented with the JSON content type.
+func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(h.server.Stats()); err != nil {
+	if err := enc.Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 
-// healthz reports liveness and uptime for load-balancer probes.
-func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/healthz" {
-		http.NotFound(w, r)
+// ringQuery parses the ?n=N window bound shared by /tracez and /spanz; ok
+// is false when the handler already answered with a 400.
+func ringQuery(w http.ResponseWriter, r *http.Request) (n int, ok bool) {
+	raw := r.URL.Query().Get("n")
+	if raw == "" {
+		return 0, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		http.Error(w, fmt.Sprintf("bad n %q", raw), http.StatusBadRequest)
+		return 0, false
+	}
+	return v, true
+}
+
+// statsz serves the operational counters as JSON, the monitoring hook a
+// deployed server needs.
+func (s *Server) statsz(w http.ResponseWriter, r *http.Request) {
+	if !guardGET(w, r, "/statsz") {
 		return
 	}
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	writeJSON(w, s.Stats())
+}
+
+// statusz serves the full pipeline snapshot: the vodtop wire format.
+func (s *Server) statusz(w http.ResponseWriter, r *http.Request) {
+	if !guardGET(w, r, "/statusz") {
+		return
+	}
+	writeJSON(w, s.Status())
+}
+
+// healthz reports liveness and uptime for load-balancer probes.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	if !guardGET(w, r, "/healthz") {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -63,12 +95,7 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 
 // metricsz renders the registry in the Prometheus text exposition format.
 func (s *Server) metricsz(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/metricsz" {
-		http.NotFound(w, r)
-		return
-	}
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	if !guardGET(w, r, "/metricsz") {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -80,29 +107,27 @@ func (s *Server) metricsz(w http.ResponseWriter, r *http.Request) {
 // tracez serves the most recent scheduler events from the tracer's ring
 // buffer as a JSON array; ?n=N bounds the window.
 func (s *Server) tracez(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/tracez" {
-		http.NotFound(w, r)
+	if !guardGET(w, r, "/tracez") {
 		return
 	}
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	n, ok := ringQuery(w, r)
+	if !ok {
 		return
 	}
-	n := 0
-	if raw := r.URL.Query().Get("n"); raw != "" {
-		v, err := strconv.Atoi(raw)
-		if err != nil || v < 0 {
-			http.Error(w, fmt.Sprintf("bad n %q", raw), http.StatusBadRequest)
-			return
-		}
-		n = v
+	writeJSON(w, s.tracer.Recent(n))
+}
+
+// spanz serves the most recent finished pipeline spans; ?n=N bounds the
+// window.
+func (s *Server) spanz(w http.ResponseWriter, r *http.Request) {
+	if !guardGET(w, r, "/spanz") {
+		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(s.tracer.Recent(n)); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	n, ok := ringQuery(w, r)
+	if !ok {
+		return
 	}
+	writeJSON(w, s.spans.Recent(n))
 }
 
 // serveStats binds the monitoring endpoint and returns its listener so
@@ -114,10 +139,12 @@ func (s *Server) serveStats(addr string) (net.Listener, error) {
 		return nil, fmt.Errorf("vodserver: stats listen: %w", err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/statsz", statsHandler{server: s})
+	mux.HandleFunc("/statsz", s.statsz)
+	mux.HandleFunc("/statusz", s.statusz)
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/metricsz", s.metricsz)
 	mux.HandleFunc("/tracez", s.tracez)
+	mux.HandleFunc("/spanz", s.spanz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,238 @@
+package vodserver
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"vodcast/internal/obs"
+	"vodcast/internal/vodclient"
+)
+
+// startStatusServer runs a fully observed server: span sampling keeps
+// everything so assertions are deterministic, and two fetches populate every
+// window.
+func startStatusServer(t *testing.T, spanSink io.Writer) *Server {
+	t.Helper()
+	s, err := Start(Config{
+		Addr:            "127.0.0.1:0",
+		Videos:          []VideoConfig{{ID: 1, Segments: 6, SegmentBytes: 64}, {ID: 2, Segments: 6, SegmentBytes: 64}},
+		SlotDuration:    10 * time.Millisecond,
+		StatsAddr:       "127.0.0.1:0",
+		SpanWriter:      spanSink,
+		SpanSampleEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	for _, id := range []uint32{1, 2} {
+		if _, err := vodclient.Fetch(s.Addr(), id, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestStatuszSnapshot decodes /statusz and checks every section of the
+// operator view: shard table, stage windows, first-byte SLO, fan-out and
+// span accounting.
+func TestStatuszSnapshot(t *testing.T) {
+	s := startStatusServer(t, nil)
+	code, body := get(t, s, "/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("statusz status = %d", code)
+	}
+	var snap StatusSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("statusz body: %v\n%s", err, body)
+	}
+	if snap.UptimeSeconds <= 0 || snap.Stats.Requests != 2 {
+		t.Fatalf("uptime=%v stats=%+v", snap.UptimeSeconds, snap.Stats)
+	}
+	st := snap.Station
+	if st.Videos != 2 || len(st.Shards) == 0 {
+		t.Fatalf("station snapshot %+v", st)
+	}
+	var admits float64
+	videos := 0
+	for _, row := range st.Shards {
+		admits += row.Admits
+		videos += row.Videos
+	}
+	if admits != 2 || videos != 2 {
+		t.Fatalf("shard table admits=%v videos=%d", admits, videos)
+	}
+	for _, stage := range []string{"lock_wait", "admit"} {
+		if st.Stages[stage].Count == 0 {
+			t.Fatalf("stage %q empty in %+v", stage, st.Stages)
+		}
+	}
+	if !st.Clock.Running || st.Clock.Ticks == 0 {
+		t.Fatalf("clock %+v", st.Clock)
+	}
+	if snap.FirstByte.Count < 2 || snap.FirstByte.P50 <= 0 {
+		t.Fatalf("first-byte window %+v", snap.FirstByte)
+	}
+	// Default SLO: two slot durations at 99%.
+	if snap.FirstByte.SLOThreshold != 0.02 || snap.FirstByte.SLOObjective != 0.99 {
+		t.Fatalf("SLO config %+v", snap.FirstByte)
+	}
+	if snap.Fanout.Count == 0 {
+		t.Fatalf("fan-out window empty: %+v", snap.Fanout)
+	}
+	if snap.Spans.Roots != 2 || snap.Spans.Sampled != 2 || snap.Spans.SampleEvery != 1 {
+		t.Fatalf("span stats %+v", snap.Spans)
+	}
+}
+
+// TestSpanzPipelineTree: /spanz carries the admit trees — roots attributed
+// to video and shard, station_admit and first_byte_wait children linked to
+// their parents.
+func TestSpanzPipelineTree(t *testing.T) {
+	sink := &syncBuffer{}
+	s := startStatusServer(t, sink)
+	code, body := get(t, s, "/spanz")
+	if code != http.StatusOK {
+		t.Fatalf("spanz status = %d", code)
+	}
+	var recs []obs.SpanRecord
+	if err := json.Unmarshal([]byte(body), &recs); err != nil {
+		t.Fatalf("spanz body: %v", err)
+	}
+	byID := make(map[uint64]obs.SpanRecord)
+	names := make(map[string]int)
+	for _, r := range recs {
+		byID[r.ID] = r
+		names[r.Name]++
+	}
+	if names["admit"] != 2 || names["station_admit"] != 2 || names["first_byte_wait"] != 2 {
+		t.Fatalf("span names %v", names)
+	}
+	for _, r := range recs {
+		switch r.Name {
+		case "admit":
+			if r.Parent != 0 || r.Video == 0 || r.Shard < 0 || r.Dur <= 0 {
+				t.Fatalf("root span %+v", r)
+			}
+		case "station_admit", "first_byte_wait":
+			parent, ok := byID[r.Parent]
+			if !ok || parent.Name != "admit" {
+				t.Fatalf("span %+v has no admit parent", r)
+			}
+			if r.Video != parent.Video || r.Shard != parent.Shard {
+				t.Fatalf("child %+v lost parent attribution %+v", r, parent)
+			}
+		}
+	}
+	if code, _ := get(t, s, "/spanz?n=-1"); code != http.StatusBadRequest {
+		t.Fatalf("spanz?n=-1 = %d, want 400", code)
+	}
+
+	// The JSONL sink carries the same spans, one decodable object per line.
+	s.Close()
+	lines := strings.Split(strings.TrimSpace(sink.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("span sink has %d lines, want 6", len(lines))
+	}
+	for _, line := range lines {
+		var r obs.SpanRecord
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad span JSONL %q: %v", line, err)
+		}
+	}
+}
+
+// TestRouteGuards: every introspection endpoint 405s non-GET methods with
+// an Allow header, 404s sub-paths, and declares its Content-Type — no
+// request falls through to a handler it did not name.
+func TestRouteGuards(t *testing.T) {
+	s := startStatusServer(t, nil)
+	endpoints := []struct {
+		path        string
+		contentType string
+	}{
+		{"/statsz", "application/json"},
+		{"/statusz", "application/json"},
+		{"/healthz", "application/json"},
+		{"/metricsz", "text/plain; version=0.0.4; charset=utf-8"},
+		{"/tracez", "application/json"},
+		{"/spanz", "application/json"},
+	}
+	client := &http.Client{}
+	for _, ep := range endpoints {
+		url := "http://" + s.StatsAddr() + ep.path
+
+		resp, err := client.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", ep.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Content-Type"); got != ep.contentType {
+			t.Fatalf("GET %s Content-Type = %q, want %q", ep.path, got, ep.contentType)
+		}
+
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete, http.MethodHead} {
+			req, err := http.NewRequest(method, url, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Fatalf("%s %s = %d, want 405", method, ep.path, resp.StatusCode)
+			}
+			if got := resp.Header.Get("Allow"); got != http.MethodGet {
+				t.Fatalf("%s %s Allow = %q, want GET", method, ep.path, got)
+			}
+		}
+
+		if code, _ := get(t, s, ep.path+"/sub"); code != http.StatusNotFound {
+			t.Fatalf("GET %s/sub did not 404", ep.path)
+		}
+	}
+}
+
+// TestRegisteredMetricNamesValid is the metric-name lint: every family the
+// fully wired server registers must pass the Prometheus charset predicate.
+// `make ci` runs this by name.
+func TestRegisteredMetricNamesValid(t *testing.T) {
+	s := startStatusServer(t, nil)
+	names := s.Registry().Names()
+	if len(names) == 0 {
+		t.Fatal("no registered metrics")
+	}
+	for _, name := range names {
+		if !obs.ValidMetricName(name) {
+			t.Fatalf("registered metric %q fails validName", name)
+		}
+	}
+	// The full pipeline inventory must be present: server, station, spans
+	// feed /metricsz from one registry.
+	want := []string{
+		"vod_requests_total", "vod_fanout_seconds", "vod_admit_first_byte_seconds",
+		"station_stage_seconds", "station_queue_depth_sampled",
+		"station_clock_tick_lag_seconds", "station_clock_slot_drift_slots",
+		"station_clock_ticks_total", "station_shard_queue_depth",
+		"go_goroutines", "go_heap_alloc_bytes",
+	}
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Fatalf("metric %q missing from registry inventory %v", w, names)
+		}
+	}
+}

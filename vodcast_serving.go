@@ -5,8 +5,10 @@ package vodcast
 // pair, and disk provisioning for the resulting schedules.
 
 import (
+	"io"
 	"time"
 
+	"vodcast/internal/obs"
 	"vodcast/internal/server"
 	"vodcast/internal/station"
 	"vodcast/internal/storage"
@@ -38,6 +40,63 @@ var (
 	ErrUnknownVideo      = station.ErrUnknownVideo
 	ErrStationClosed     = station.ErrClosed
 )
+
+// ---- Observability ----
+
+// MetricsRegistry collects counters, gauges and histograms and renders them
+// in the Prometheus text exposition format. Pass one to StationConfig or
+// ServerConfig to instrument the admission pipeline.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry builds an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// PipelineSpanTracer samples admission span trees and exports them as JSONL.
+type PipelineSpanTracer = obs.SpanTracer
+
+// PipelineSpan is one timed region of the admission pipeline.
+type PipelineSpan = obs.Span
+
+// SpanRecord is the exported form of one finished span.
+type SpanRecord = obs.SpanRecord
+
+// SpanStats summarizes a tracer's sampling decisions.
+type SpanStats = obs.SpanStats
+
+// NewPipelineSpanTracer builds a span tracer keeping 1-in-sampleEvery root
+// trees; w may be nil to keep spans only in the in-memory ring.
+func NewPipelineSpanTracer(w io.Writer, ringSize, sampleEvery int, seed int64) *PipelineSpanTracer {
+	return obs.NewSpanTracer(w, ringSize, sampleEvery, seed)
+}
+
+// LatencyWindow tracks rolling quantiles and SLO burn over recent
+// observations.
+type LatencyWindow = obs.Window
+
+// LatencySnapshot is one consistent read of a LatencyWindow.
+type LatencySnapshot = obs.WindowSnapshot
+
+// NewLatencyWindow builds a window over the last size observations (0
+// selects the default).
+func NewLatencyWindow(size int) *LatencyWindow { return obs.NewWindow(size) }
+
+// StationStatus is the station's operator snapshot: shard table, stage
+// latency windows and clock health.
+type StationStatus = station.Status
+
+// StationShardStatus is one row of the shard table.
+type StationShardStatus = station.ShardStatus
+
+// StationClockStatus describes the broadcast clock's tick lag and drift.
+type StationClockStatus = station.ClockStatus
+
+// ServeStatus is the networked server's full /statusz snapshot, the
+// document cmd/vodtop renders.
+type ServeStatus = vodserver.StatusSnapshot
+
+// RegisterRuntimeMetrics adds Go runtime gauges (goroutines, heap, GC) to a
+// registry.
+func RegisterRuntimeMetrics(r *MetricsRegistry) { obs.RegisterRuntime(r) }
 
 // ---- Multi-video catalogue simulation ----
 
