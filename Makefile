@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-obs bench-station ci fuzz experiments examples cover clean
+.PHONY: all build test race bench bench-core bench-obs bench-station ci fuzz experiments examples cover clean
 
 all: build test
 
@@ -31,11 +31,17 @@ ci:
 	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= floor+0) }' || \
 		{ echo "coverage $$total% below floor $(COVER_FLOOR)%"; exit 1; }
 	$(GO) test -run '^TestRegisteredMetricNamesValid$$' -count=1 ./internal/vodserver/
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./internal/...
 	@rm -f ci-cover.out
 	@echo "ci: all gates passed"
 
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/...
+
+# The admission fast path A/B (RMQ ring + same-slot memo versus the linear
+# reference): the matrix behind BENCH_core.json.
+bench-core:
+	$(GO) test -run '^$$' -bench 'BenchmarkAdmit' -benchmem ./internal/core/
 
 # Sharded station versus the single-mutex whole-engine baseline; the
 # reference numbers live in BENCH_station.json, and BENCH_obs2.json holds

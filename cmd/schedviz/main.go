@@ -165,14 +165,28 @@ func runDHB(n, second int) error {
 	s.Admit()
 	fmt.Printf("DHB: request arriving during slot 1 (n = %d)\n", n)
 	last := 1 + n
-	rows := make(map[int][]int)
+	// Rows are rendered straight to their label strings: retired slots from
+	// the owned report slices, live slots through the no-copy
+	// EachScheduledAt iterator, so the replay never duplicates a slot's
+	// segment list.
+	rows := make(map[int]string)
+	renderSegs := func(segs []int) string {
+		var b strings.Builder
+		for _, seg := range segs {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "S%d", seg)
+		}
+		return b.String()
+	}
 	if second > 0 {
 		if second <= s.CurrentSlot() {
 			return fmt.Errorf("second request slot %d must be after slot 1", second)
 		}
 		for s.CurrentSlot() < second {
 			rep := s.AdvanceSlot()
-			rows[rep.Slot] = rep.Segments
+			rows[rep.Slot] = renderSegs(rep.Segments)
 		}
 		s.Admit()
 		fmt.Printf("second request arriving during slot %d\n", second)
@@ -181,15 +195,17 @@ func runDHB(n, second int) error {
 		}
 	}
 	for slot := s.CurrentSlot(); slot <= last; slot++ {
-		rows[slot] = s.ScheduledAt(slot)
+		var b strings.Builder
+		s.EachScheduledAt(slot, func(seg int) {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "S%d", seg)
+		})
+		rows[slot] = b.String()
 	}
 	for slot := 2; slot <= last; slot++ {
-		segs := rows[slot]
-		labels := make([]string, len(segs))
-		for i, seg := range segs {
-			labels[i] = fmt.Sprintf("S%d", seg)
-		}
-		row := strings.Join(labels, " ")
+		row := rows[slot]
 		if row == "" {
 			row = "--"
 		}

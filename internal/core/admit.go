@@ -14,9 +14,15 @@ type AdmitOptions struct {
 	// full viewing; 2..n resumes interactive playback there (see resume.go).
 	From int
 	// WantAssignment requests the per-segment serving slots in
-	// AdmitResult.Assignment. It allocates one []int per admission; large
-	// simulations leave it off.
+	// AdmitResult.Assignment. Without a reusable Assignment buffer it
+	// allocates one []int per admission; large simulations leave it off.
 	WantAssignment bool
+	// Assignment optionally supplies a reusable buffer for the serving-slot
+	// vector, implying WantAssignment. The buffer is grown when its capacity
+	// is below n+1, resliced to exactly n+1, and returned in
+	// AdmitResult.Assignment; reusing one buffer across admissions makes
+	// the traced admit path allocation-free.
+	Assignment []int
 }
 
 // AdmitResult describes one admitted request.
@@ -43,7 +49,24 @@ func (s *Scheduler) AdmitRequest(opts AdmitOptions) (AdmitResult, error) {
 		from = 1
 	}
 	var assignment []int
-	if opts.WantAssignment {
+	switch {
+	case opts.Assignment != nil:
+		assignment = opts.Assignment
+		if cap(assignment) < s.n+1 {
+			assignment = make([]int, s.n+1)
+		}
+		assignment = assignment[:s.n+1]
+		// A fresh allocation arrives zeroed; a reused buffer must clear the
+		// entries the admission will not write: index 0 and everything below
+		// the resume point.
+		clearTo := from
+		if clearTo > s.n+1 {
+			clearTo = s.n + 1
+		}
+		for k := 0; k < clearTo; k++ {
+			assignment[k] = 0
+		}
+	case opts.WantAssignment:
 		assignment = make([]int, s.n+1)
 	}
 	res := AdmitResult{Slot: s.current, Assignment: assignment}
@@ -54,6 +77,33 @@ func (s *Scheduler) AdmitRequest(opts AdmitOptions) (AdmitResult, error) {
 	placed, err := s.admitFrom(from, assignment)
 	if err != nil {
 		return AdmitResult{}, err
+	}
+	res.Placed = placed
+	return res, nil
+}
+
+// AdmitBatch admits count identical requests arriving during the current
+// slot — the coalesced form of a same-slot duplicate burst. The first
+// request runs the full placement loop; with no Observer attached and no
+// client cap, every later one is an O(1) same-slot memo hit, so the batch
+// costs one scheduler pass plus count-1 memo hits. The result reports the
+// batch total in Placed and the final request's assignment (identical
+// across the batch when sharing is unconstrained). A non-positive count is
+// rejected with ErrBadBatchCount.
+func (s *Scheduler) AdmitBatch(count int, opts AdmitOptions) (AdmitResult, error) {
+	if count <= 0 {
+		return AdmitResult{}, fmt.Errorf("%w: got %d", ErrBadBatchCount, count)
+	}
+	res, err := s.AdmitRequest(opts)
+	if err != nil {
+		return AdmitResult{}, err
+	}
+	placed := res.Placed
+	for k := 1; k < count; k++ {
+		// The first admission validated opts, so later ones cannot fail.
+		r, _ := s.AdmitRequest(opts)
+		placed += r.Placed
+		res = r
 	}
 	res.Placed = placed
 	return res, nil

@@ -6,19 +6,25 @@ import (
 	"vodcast/internal/video"
 )
 
-// FuzzSchedulerInvariants drives the scheduler with an arbitrary byte-coded
-// command stream and checks every protocol invariant on every step: no
-// panics, deadlines always met, conservation of instances.
+// FuzzSchedulerInvariants drives the fast-path scheduler AND its linear
+// reference twin (Config.Reference) with an arbitrary byte-coded command
+// stream, checking every protocol invariant on every step — no panics,
+// deadlines always met, conservation of instances — plus exact fast/
+// reference equivalence of assignments, loads and counters, so the RMQ
+// ring, the same-slot admission memo and its invalidation on AdvanceSlot
+// are all fuzzed against the specification.
 //
 // Command encoding (one byte each):
 //
-//	0-1: advance one slot
-//	2-4: admit an ordinary request
+//	0-1: advance one slot (invalidates the same-slot memo)
+//	2-3: admit an ordinary request
+//	4:   admit a same-slot duplicate burst of 2-4 ordinary requests
 //	5-7: admit a resume at a segment derived from the byte
 func FuzzSchedulerInvariants(f *testing.F) {
 	f.Add([]byte{2, 0, 2, 2, 0, 5, 0, 0}, uint8(12), uint8(0))
 	f.Add([]byte{3, 3, 3, 3}, uint8(30), uint8(2))
 	f.Add([]byte{0, 0, 0}, uint8(1), uint8(1))
+	f.Add([]byte{4, 4, 0, 4, 2, 0, 4, 6, 4}, uint8(20), uint8(0))
 	f.Fuzz(func(t *testing.T, cmds []byte, segByte, capByte uint8) {
 		n := 1 + int(segByte)%40
 		cap := int(capByte) % 4 // 0 = unlimited
@@ -26,37 +32,61 @@ func FuzzSchedulerInvariants(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		ref, err := New(Config{Segments: n, MaxClientStreams: cap, Reference: true})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(cmds) > 400 {
 			cmds = cmds[:400]
+		}
+		// admitBoth admits one request on both schedulers, checks the
+		// deadline invariant on the fast result and equivalence with the
+		// reference.
+		admitBoth := func(idx, from int) {
+			i := s.CurrentSlot()
+			got, err := s.AdmitFromTraced(from)
+			if err != nil {
+				t.Fatalf("cmd %d: %v", idx, err)
+			}
+			want, err := ref.AdmitFromTraced(from)
+			if err != nil {
+				t.Fatalf("cmd %d: reference: %v", idx, err)
+			}
+			for j := from; j <= n; j++ {
+				deadline := i + (j - from + 1)
+				if from == 1 {
+					deadline = i + j
+				}
+				if got[j] < i+1 || got[j] > deadline {
+					t.Fatalf("cmd %d: segment %d served at %d outside [%d, %d]",
+						idx, j, got[j], i+1, deadline)
+				}
+				if got[j] != want[j] {
+					t.Fatalf("cmd %d: segment %d at %d, reference %d", idx, j, got[j], want[j])
+				}
+			}
 		}
 		var transmitted int64
 		for idx, c := range cmds {
 			switch c % 8 {
 			case 0, 1:
-				transmitted += int64(s.AdvanceSlot().Load)
-			case 2, 3, 4:
-				i := s.CurrentSlot()
-				got := s.AdmitTraced()
-				for j := 1; j <= n; j++ {
-					if got[j] < i+1 || got[j] > i+j {
-						t.Fatalf("cmd %d: segment %d served at %d outside [%d, %d]",
-							idx, j, got[j], i+1, i+j)
-					}
+				rep, refRep := s.AdvanceSlot(), ref.AdvanceSlot()
+				if rep.Load != refRep.Load {
+					t.Fatalf("cmd %d: retired load %d, reference %d", idx, rep.Load, refRep.Load)
+				}
+				transmitted += int64(rep.Load)
+			case 2, 3:
+				admitBoth(idx, 1)
+			case 4:
+				for burst := 2 + int(c/8)%3; burst > 0; burst-- {
+					admitBoth(idx, 1)
 				}
 			default:
-				from := 1 + int(c)%n
-				i := s.CurrentSlot()
-				got, err := s.AdmitFromTraced(from)
-				if err != nil {
-					t.Fatalf("cmd %d: %v", idx, err)
-				}
-				for j := from; j <= n; j++ {
-					deadline := i + (j - from + 1)
-					if got[j] < i+1 || got[j] > deadline {
-						t.Fatalf("cmd %d: resume segment %d at %d outside [%d, %d]",
-							idx, j, got[j], i+1, deadline)
-					}
-				}
+				admitBoth(idx, 1+int(c)%n)
+			}
+			if s.Requests() != ref.Requests() || s.Instances() != ref.Instances() {
+				t.Fatalf("cmd %d: counters (%d, %d), reference (%d, %d)",
+					idx, s.Requests(), s.Instances(), ref.Requests(), ref.Instances())
 			}
 		}
 		// Drain and check conservation.

@@ -70,6 +70,11 @@ type Config struct {
 	// decision (see the Observer interface). Nil disables observation at
 	// the cost of one branch per decision.
 	Observer Observer
+	// Reference selects the linear reference admission path: window scans
+	// walk every slot and same-slot admissions are never memoized. It is
+	// the executable specification the fast path is differential-tested
+	// (and benchmarked) against; production schedulers leave it off.
+	Reference bool
 }
 
 // SlotReport describes one retired (transmitted) slot.
@@ -96,6 +101,16 @@ type Scheduler struct {
 	// exists in the window [i+1, i+T[j]] if and only if lastSched[j] >= i+1.
 	lastSched []int
 	current   int
+
+	// reference pins the linear specification path (Config.Reference).
+	reference bool
+	// fullAdmitSlot memoizes the slot of the last completed full (From = 1)
+	// admission: after it every segment has a timely instance
+	// (lastSched[j] >= slot+1), so further full admissions in the same slot
+	// are pure sharing and skip the placement loop entirely. Advancing the
+	// slot invalidates the memo by construction (the comparison against
+	// current fails); resumes only raise lastSched, which preserves it.
+	fullAdmitSlot int
 
 	// Client-bandwidth-capped mode (cap > 0) additionally tracks every
 	// future instance per segment and a per-request slot-occupancy scratch.
@@ -146,13 +161,19 @@ func New(cfg Config) (*Scheduler, error) {
 	}
 	own := make([]int, len(periods))
 	copy(own, periods)
+	newRing := slots.NewRing
+	if cfg.Reference {
+		newRing = slots.NewRingReference
+	}
 	s := &Scheduler{
-		n:       cfg.Segments,
-		periods: own,
-		policy:  policy,
-		ring:    slots.NewRing(maxP+1, cfg.StartSlot, cfg.TrackSegments),
-		current: cfg.StartSlot,
-		obs:     cfg.Observer,
+		n:             cfg.Segments,
+		periods:       own,
+		policy:        policy,
+		ring:          newRing(maxP+1, cfg.StartSlot, cfg.TrackSegments),
+		current:       cfg.StartSlot,
+		obs:           cfg.Observer,
+		reference:     cfg.Reference,
+		fullAdmitSlot: cfg.StartSlot - 1, // below any admissible slot
 	}
 	s.lastSched = make([]int, cfg.Segments+1)
 	for j := range s.lastSched {
@@ -194,6 +215,21 @@ func (s *Scheduler) admit(assignment []int) int {
 		return s.admitCapped(assignment)
 	}
 	i := s.current
+	// Same-slot memo hit: a full admission already completed in this slot,
+	// so every segment has a timely shared instance and the loop below would
+	// share every one of them — exactly what this replays, without touching
+	// the ring. The memo is only consulted when no Observer is attached (the
+	// full loop keeps the exact per-decision callback semantics) and never
+	// on the reference path.
+	if s.fullAdmitSlot == i && s.obs == nil {
+		s.requests++
+		if assignment != nil {
+			for j := 1; j <= s.n; j++ {
+				assignment[j] = s.lastSched[j]
+			}
+		}
+		return 0
+	}
 	s.requests++
 	placed := 0
 	for j := 1; j <= s.n; j++ {
@@ -230,12 +266,22 @@ func (s *Scheduler) admit(assignment []int) int {
 	if s.obs != nil {
 		s.obs.ObserveAdmit(i, 1, placed)
 	}
+	if !s.reference {
+		s.fullAdmitSlot = i
+	}
 	return placed
 }
 
 // ScheduledAt lists the segment ids currently scheduled in the given slot
-// (only when the scheduler was built with TrackSegments).
+// (only when the scheduler was built with TrackSegments). The returned slice
+// is a copy; replay loops over many slots use EachScheduledAt.
 func (s *Scheduler) ScheduledAt(slot int) []int { return s.ring.Segments(slot) }
+
+// EachScheduledAt calls fn with each segment id currently scheduled in the
+// given slot, in scheduling order, without copying the slot's segment list.
+// It is a no-op unless the scheduler was built with TrackSegments; fn must
+// not call back into the scheduler.
+func (s *Scheduler) EachScheduledAt(slot int, fn func(seg int)) { s.ring.EachSegment(slot, fn) }
 
 // LoadAt reports the number of instances currently scheduled in the given
 // slot, which must lie inside the tracked window

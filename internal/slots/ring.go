@@ -5,8 +5,11 @@
 // The window advances one slot at a time; retired slots report their load to
 // the caller, which feeds the bandwidth statistics. Because no protocol in
 // this repository ever schedules further than n slots ahead of the current
-// slot, the window is a fixed-size ring and all operations are O(1) or
-// O(window span).
+// slot, the window is a fixed-size ring. Loads and single-slot reads are
+// O(1); the min-load window scans behind DHB's placement rule are answered
+// by a tie-aware segment tree in O(log H) (see rmq.go), with the original
+// linear scans retained as the differential-testing reference
+// (NewRingReference).
 package slots
 
 import "fmt"
@@ -18,15 +21,30 @@ type Ring struct {
 	horizon   int
 	base      int
 	loads     []int
+	tree      *minTree // nil for the linear reference ring
 	segs      [][]int
 	trackSegs bool
 }
 
 // NewRing returns a ring tracking horizon consecutive slots starting at
-// absolute slot base. If trackSegs is true the ring also records which
-// segment ids were scheduled in each slot (used by golden tests and the
-// schedule visualizer; the hot simulation path leaves it off).
+// absolute slot base, with the O(log H) range-min index enabled. If
+// trackSegs is true the ring also records which segment ids were scheduled
+// in each slot (used by golden tests and the schedule visualizer; the hot
+// simulation path leaves it off).
 func NewRing(horizon, base int, trackSegs bool) *Ring {
+	r := newRing(horizon, base, trackSegs)
+	r.tree = newMinTree(horizon)
+	return r
+}
+
+// NewRingReference returns a ring whose min-load scans use the original
+// linear walk of the window. It is the executable specification the RMQ ring
+// is differential-tested against; simulations should use NewRing.
+func NewRingReference(horizon, base int, trackSegs bool) *Ring {
+	return newRing(horizon, base, trackSegs)
+}
+
+func newRing(horizon, base int, trackSegs bool) *Ring {
 	if horizon <= 0 {
 		panic("slots: horizon must be positive")
 	}
@@ -58,6 +76,15 @@ func (r *Ring) pos(abs int) int {
 	return abs % r.horizon
 }
 
+// abs maps a ring position back to the absolute slot it currently holds.
+func (r *Ring) abs(p int) int {
+	baseOff := r.base % r.horizon
+	if p >= baseOff {
+		return r.base + p - baseOff
+	}
+	return r.base + r.horizon - baseOff + p
+}
+
 // Load reports the number of segment instances scheduled in slot abs.
 func (r *Ring) Load(abs int) int { return r.loads[r.pos(abs)] }
 
@@ -65,13 +92,18 @@ func (r *Ring) Load(abs int) int { return r.loads[r.pos(abs)] }
 func (r *Ring) Add(abs, seg int) {
 	p := r.pos(abs)
 	r.loads[p]++
+	if r.tree != nil {
+		r.tree.set(p, r.loads[p])
+	}
 	if r.trackSegs {
 		r.segs[p] = append(r.segs[p], seg)
 	}
 }
 
 // Segments returns the segment ids scheduled in slot abs, in scheduling
-// order. It returns nil unless the ring was built with trackSegs.
+// order. It returns nil unless the ring was built with trackSegs. The
+// returned slice is a copy owned by the caller; replay paths that visit many
+// slots use EachSegment instead.
 func (r *Ring) Segments(abs int) []int {
 	if !r.trackSegs {
 		return nil
@@ -82,10 +114,75 @@ func (r *Ring) Segments(abs int) []int {
 	return out
 }
 
-// MinLoadLatest scans slots [from, to] and returns the slot with the minimum
-// load, preferring the latest slot among ties — the DHB heuristic of
-// Figure 6. Both bounds must lie inside the window and from <= to.
+// EachSegment calls fn with each segment id scheduled in slot abs, in
+// scheduling order, without copying the slot's segment list. It is a no-op
+// unless the ring was built with trackSegs. fn must not call methods that
+// mutate the ring.
+func (r *Ring) EachSegment(abs int, fn func(seg int)) {
+	if !r.trackSegs {
+		return
+	}
+	for _, seg := range r.segs[r.pos(abs)] {
+		fn(seg)
+	}
+}
+
+// MinLoadLatest returns the slot of [from, to] with the minimum load,
+// preferring the latest slot among ties — the DHB heuristic of Figure 6.
+// Both bounds must lie inside the window and from <= to. O(log H), or
+// O(to-from) on a reference ring.
 func (r *Ring) MinLoadLatest(from, to int) (slot, load int) {
+	if r.tree != nil {
+		return r.minRMQ(from, to, true)
+	}
+	return r.minLoadLatestLinear(from, to)
+}
+
+// MinLoadEarliest returns the slot of [from, to] with the minimum load,
+// preferring the earliest slot among ties — the ablated tie-breaking rule
+// core's PolicyMinLoadEarliest studies.
+func (r *Ring) MinLoadEarliest(from, to int) (slot, load int) {
+	if r.tree != nil {
+		return r.minRMQ(from, to, false)
+	}
+	return r.minLoadEarliestLinear(from, to)
+}
+
+// minRMQ answers either tie direction from the segment tree. The absolute
+// range [from, to] wraps the position array at most once; inside each
+// contiguous position range increasing position means increasing absolute
+// slot, so the ranges are queried separately and combined with the
+// tie-direction priority: for "latest" the wrapped-around range [0, pt]
+// holds the later slots and wins ties, for "earliest" the range [pf, H-1]
+// holds the earlier slots and wins.
+func (r *Ring) minRMQ(from, to int, latest bool) (slot, load int) {
+	if from > to {
+		panic(fmt.Sprintf("slots: empty scan range [%d, %d]", from, to))
+	}
+	pf, pt := r.pos(from), r.pos(to)
+	if pf <= pt {
+		q := r.tree.query(pf, pt)
+		if latest {
+			return r.abs(q.hi), q.load
+		}
+		return r.abs(q.lo), q.load
+	}
+	early := r.tree.query(pf, r.horizon-1)
+	late := r.tree.query(0, pt)
+	if latest {
+		if late.load <= early.load {
+			return r.abs(late.hi), late.load
+		}
+		return r.abs(early.hi), early.load
+	}
+	if early.load <= late.load {
+		return r.abs(early.lo), early.load
+	}
+	return r.abs(late.lo), late.load
+}
+
+// minLoadLatestLinear is the executable specification of MinLoadLatest.
+func (r *Ring) minLoadLatestLinear(from, to int) (slot, load int) {
 	if from > to {
 		panic(fmt.Sprintf("slots: empty scan range [%d, %d]", from, to))
 	}
@@ -98,10 +195,8 @@ func (r *Ring) MinLoadLatest(from, to int) (slot, load int) {
 	return slot, load
 }
 
-// MinLoadEarliest scans slots [from, to] and returns the slot with the
-// minimum load, preferring the earliest slot among ties — the ablated
-// tie-breaking rule core's PolicyMinLoadEarliest studies.
-func (r *Ring) MinLoadEarliest(from, to int) (slot, load int) {
+// minLoadEarliestLinear is the executable specification of MinLoadEarliest.
+func (r *Ring) minLoadEarliestLinear(from, to int) (slot, load int) {
 	if from > to {
 		panic(fmt.Sprintf("slots: empty scan range [%d, %d]", from, to))
 	}
@@ -123,6 +218,9 @@ func (r *Ring) Retire() (abs, load int, segs []int) {
 	p := abs % r.horizon
 	load = r.loads[p]
 	r.loads[p] = 0
+	if r.tree != nil {
+		r.tree.set(p, 0)
+	}
 	if r.trackSegs {
 		segs = r.segs[p]
 		r.segs[p] = nil

@@ -1,0 +1,99 @@
+package slots
+
+// This file is the sublinear engine behind Ring's window scans: a segment
+// tree over the ring's positions answering "minimum-load slot in [from, to],
+// ties toward the latest (or earliest) slot" in O(log H) where the linear
+// reference walks the whole window.
+//
+// Tie direction matters: DHB's Figure 6 heuristic breaks ties toward the
+// LATEST slot (future requests get the best chance of sharing the instance)
+// and the PolicyMinLoadEarliest ablation breaks toward the EARLIEST, so each
+// tree node keeps, besides the subtree's minimum load, both the leftmost and
+// the rightmost position attaining it. One query then serves either rule.
+//
+// Positions are ring-array indices (abs % horizon), not absolute slots. A
+// window query over absolute slots maps to at most two contiguous position
+// ranges (it wraps the array at most once), and inside each range increasing
+// position means increasing absolute slot, so the tie direction translates
+// directly to leftmost/rightmost position — Ring.minRMQ does the wrap split
+// and picks the range with the right priority.
+
+// minNode summarizes one position range: the minimum load, and the leftmost
+// and rightmost positions attaining it. lo < 0 marks the empty range.
+type minNode struct {
+	load   int
+	lo, hi int
+}
+
+var emptyNode = minNode{lo: -1}
+
+// merge combines two summaries where a covers positions left of b.
+func merge(a, b minNode) minNode {
+	if a.lo < 0 {
+		return b
+	}
+	if b.lo < 0 {
+		return a
+	}
+	if a.load < b.load {
+		return a
+	}
+	if b.load < a.load {
+		return b
+	}
+	return minNode{load: a.load, lo: a.lo, hi: b.hi}
+}
+
+// minTree is a flat power-of-two segment tree over ring positions. Leaves
+// past the horizon stay empty and are never queried.
+type minTree struct {
+	size  int // leaf count, the smallest power of two >= horizon
+	nodes []minNode
+}
+
+func newMinTree(horizon int) *minTree {
+	size := 1
+	for size < horizon {
+		size <<= 1
+	}
+	t := &minTree{size: size, nodes: make([]minNode, 2*size)}
+	for i := range t.nodes {
+		t.nodes[i] = emptyNode
+	}
+	for p := 0; p < horizon; p++ {
+		t.nodes[size+p] = minNode{load: 0, lo: p, hi: p}
+	}
+	for i := size - 1; i >= 1; i-- {
+		t.nodes[i] = merge(t.nodes[2*i], t.nodes[2*i+1])
+	}
+	return t
+}
+
+// set records position p's new load and rebuilds its ancestors, O(log H).
+func (t *minTree) set(p, load int) {
+	i := t.size + p
+	t.nodes[i].load = load
+	for i >>= 1; i >= 1; i >>= 1 {
+		t.nodes[i] = merge(t.nodes[2*i], t.nodes[2*i+1])
+	}
+}
+
+// query summarizes the contiguous position range [l, r], O(log H).
+func (t *minTree) query(l, r int) minNode {
+	resL, resR := emptyNode, emptyNode
+	l += t.size
+	r += t.size + 1
+	for l < r {
+		if l&1 == 1 {
+			resL = merge(resL, t.nodes[l])
+			l++
+		}
+		if r&1 == 1 {
+			r--
+			resR = merge(t.nodes[r], resR)
+		}
+		l >>= 1
+		r >>= 1
+	}
+	return merge(resL, resR)
+}

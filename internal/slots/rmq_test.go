@@ -1,0 +1,127 @@
+package slots
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRMQMatchesLinearRandomized drives an RMQ ring and a reference ring
+// through the same random Add/Retire stream and checks every window query
+// against the linear scan, for both tie directions, including ranges that
+// wrap the position array.
+func TestRMQMatchesLinearRandomized(t *testing.T) {
+	for _, horizon := range []int{1, 2, 3, 7, 16, 33, 100} {
+		for seed := int64(0); seed < 5; seed++ {
+			rng := rand.New(rand.NewSource(seed*1000 + int64(horizon)))
+			base := rng.Intn(50)
+			fast := NewRing(horizon, base, false)
+			ref := NewRingReference(horizon, base, false)
+			for step := 0; step < 600; step++ {
+				switch rng.Intn(10) {
+				case 0:
+					fa, fl, _ := fast.Retire()
+					ra, rl, _ := ref.Retire()
+					if fa != ra || fl != rl {
+						t.Fatalf("h=%d seed=%d step %d: Retire = (%d, %d), reference (%d, %d)",
+							horizon, seed, step, fa, fl, ra, rl)
+					}
+				default:
+					slot := fast.Base() + rng.Intn(horizon)
+					fast.Add(slot, 1)
+					ref.Add(slot, 1)
+				}
+				// Exhaustive queries for small horizons, sampled for large.
+				queries := horizon * horizon
+				if queries > 64 {
+					queries = 64
+				}
+				for q := 0; q < queries; q++ {
+					from := fast.Base() + rng.Intn(horizon)
+					to := from + rng.Intn(fast.End()-from+1)
+					fs, fl := fast.MinLoadLatest(from, to)
+					rs, rl := ref.minLoadLatestLinear(from, to)
+					if fs != rs || fl != rl {
+						t.Fatalf("h=%d seed=%d step %d: MinLoadLatest(%d, %d) = (%d, %d), reference (%d, %d)",
+							horizon, seed, step, from, to, fs, fl, rs, rl)
+					}
+					fs, fl = fast.MinLoadEarliest(from, to)
+					rs, rl = ref.minLoadEarliestLinear(from, to)
+					if fs != rs || fl != rl {
+						t.Fatalf("h=%d seed=%d step %d: MinLoadEarliest(%d, %d) = (%d, %d), reference (%d, %d)",
+							horizon, seed, step, from, to, fs, fl, rs, rl)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRMQTieBreakAcrossWrap pins the tie-direction semantics on a window
+// whose position range wraps: all loads equal, so MinLoadLatest must return
+// the last slot of the range (which lives in the wrapped-around low
+// positions) and MinLoadEarliest the first.
+func TestRMQTieBreakAcrossWrap(t *testing.T) {
+	r := NewRing(5, 0, false)
+	for i := 0; i < 3; i++ {
+		r.Retire() // base = 3, window [3, 7]: positions 3 4 0 1 2
+	}
+	if slot, load := r.MinLoadLatest(3, 7); slot != 7 || load != 0 {
+		t.Fatalf("MinLoadLatest(3, 7) = (%d, %d), want (7, 0)", slot, load)
+	}
+	if slot, load := r.MinLoadEarliest(3, 7); slot != 3 || load != 0 {
+		t.Fatalf("MinLoadEarliest(3, 7) = (%d, %d), want (3, 0)", slot, load)
+	}
+	// Tilt the wrapped half: the unique minimum must win in both directions.
+	r.Add(3, 1)
+	r.Add(4, 1)
+	r.Add(6, 1)
+	r.Add(7, 1)
+	if slot, load := r.MinLoadLatest(3, 7); slot != 5 || load != 0 {
+		t.Fatalf("unique min: MinLoadLatest(3, 7) = (%d, %d), want (5, 0)", slot, load)
+	}
+	if slot, load := r.MinLoadEarliest(3, 7); slot != 5 || load != 0 {
+		t.Fatalf("unique min: MinLoadEarliest(3, 7) = (%d, %d), want (5, 0)", slot, load)
+	}
+}
+
+// TestRMQSingleSlotRange: degenerate one-slot windows (segment 1's window
+// is always a single slot) behave under both rules.
+func TestRMQSingleSlotRange(t *testing.T) {
+	r := NewRing(4, 10, false)
+	r.Add(11, 1)
+	if slot, load := r.MinLoadLatest(11, 11); slot != 11 || load != 1 {
+		t.Fatalf("MinLoadLatest(11, 11) = (%d, %d), want (11, 1)", slot, load)
+	}
+	if slot, load := r.MinLoadEarliest(11, 11); slot != 11 || load != 1 {
+		t.Fatalf("MinLoadEarliest(11, 11) = (%d, %d), want (11, 1)", slot, load)
+	}
+}
+
+// TestEachSegmentMatchesSegments: the no-copy iterator yields exactly the
+// Segments slice, in order, and is a no-op without tracking.
+func TestEachSegmentMatchesSegments(t *testing.T) {
+	r := NewRing(8, 0, true)
+	r.Add(3, 7)
+	r.Add(3, 2)
+	r.Add(3, 9)
+	var got []int
+	r.EachSegment(3, func(seg int) { got = append(got, seg) })
+	want := r.Segments(3)
+	if len(got) != len(want) {
+		t.Fatalf("EachSegment yielded %v, Segments %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("EachSegment yielded %v, Segments %v", got, want)
+		}
+	}
+	untracked := NewRing(8, 0, false)
+	untracked.Add(3, 7)
+	untracked.EachSegment(3, func(int) { t.Fatal("EachSegment fired on an untracked ring") })
+}
+
+// TestEachSegmentEmptySlot: iterating an empty slot calls fn zero times.
+func TestEachSegmentEmptySlot(t *testing.T) {
+	r := NewRing(8, 0, true)
+	r.EachSegment(5, func(int) { t.Fatal("EachSegment fired on an empty slot") })
+}

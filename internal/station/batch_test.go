@@ -1,0 +1,249 @@
+package station
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"vodcast/internal/core"
+)
+
+// TestAdmitBatchMatchesSequential: a coalesced batch through the station is
+// indistinguishable from the same admissions issued one by one against an
+// independent reference scheduler — loads, counters, everything.
+func TestAdmitBatchMatchesSequential(t *testing.T) {
+	st, err := New(Config{Videos: testCatalogue(3, 15), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]*core.Scheduler, 3)
+	for v := range refs {
+		if refs[v], err = core.New(core.Config{Segments: 15, Reference: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 200; step++ {
+		if rng.Intn(5) == 0 {
+			st.AdvanceSlot()
+			for _, ref := range refs {
+				ref.AdvanceSlot()
+			}
+			continue
+		}
+		v := rng.Intn(3)
+		count := 1 + rng.Intn(6)
+		from := 0
+		if rng.Intn(3) == 0 {
+			from = 1 + rng.Intn(15)
+		}
+		res, err := st.AdmitBatch(v, count, core.AdmitOptions{From: from})
+		if err != nil {
+			t.Fatal(err)
+		}
+		placed := 0
+		for k := 0; k < count; k++ {
+			r, err := refs[v].AdmitRequest(core.AdmitOptions{From: from})
+			if err != nil {
+				t.Fatal(err)
+			}
+			placed += r.Placed
+		}
+		if res.Placed != placed {
+			t.Fatalf("step %d: batch placed %d, reference %d", step, res.Placed, placed)
+		}
+	}
+	req, inst := st.Totals()
+	var wantReq, wantInst int64
+	for _, ref := range refs {
+		wantReq += ref.Requests()
+		wantInst += ref.Instances()
+	}
+	if req != wantReq || inst != wantInst {
+		t.Fatalf("totals (%d, %d), reference (%d, %d)", req, inst, wantReq, wantInst)
+	}
+}
+
+// TestEnqueueCoalescingMatchesSequential: duplicate same-slot Enqueues are
+// flushed through the coalesced batch path; the resulting schedule must
+// equal a sequential reference run with the same arrivals.
+func TestEnqueueCoalescingMatchesSequential(t *testing.T) {
+	st, err := New(Config{Videos: testCatalogue(2, 12), Shards: 1, FlushBatch: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref0, _ := core.New(core.Config{Segments: 12, Reference: true})
+	ref1, _ := core.New(core.Config{Segments: 12, Reference: true})
+	refs := []*core.Scheduler{ref0, ref1}
+	rng := rand.New(rand.NewSource(21))
+	for slot := 0; slot < 40; slot++ {
+		// A burst of duplicates for one video, a sprinkle for the other,
+		// plus resume duplicates — the coalescer sees mixed runs.
+		for k := 0; k < 5; k++ {
+			if err := st.Enqueue(0, 0); err != nil {
+				t.Fatal(err)
+			}
+			refs[0].Admit()
+		}
+		if rng.Intn(2) == 0 {
+			from := 1 + rng.Intn(12)
+			for k := 0; k < 3; k++ {
+				if err := st.Enqueue(1, from); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := refs[1].AdmitFrom(from); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		reports := st.AdvanceSlot()
+		for v, ref := range refs {
+			want := ref.AdvanceSlot()
+			if reports[v].Load != want.Load || reports[v].Slot != want.Slot {
+				t.Fatalf("slot %d video %d: report (%d, %d), reference (%d, %d)",
+					slot, v, reports[v].Slot, reports[v].Load, want.Slot, want.Load)
+			}
+		}
+	}
+	req, inst := st.Totals()
+	if want := refs[0].Requests() + refs[1].Requests(); req != want {
+		t.Fatalf("requests %d, reference %d", req, want)
+	}
+	if want := refs[0].Instances() + refs[1].Instances(); inst != want {
+		t.Fatalf("instances %d, reference %d", inst, want)
+	}
+}
+
+// TestAdmitBatchValidation: the batch path rejects what Admit rejects, plus
+// non-positive counts, without mutating the engine.
+func TestAdmitBatchValidation(t *testing.T) {
+	st, err := New(Config{Videos: testCatalogue(1, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AdmitBatch(9, 2, core.AdmitOptions{}); !errors.Is(err, ErrUnknownVideo) {
+		t.Fatalf("unknown video: %v", err)
+	}
+	if _, err := st.AdmitBatch(0, 0, core.AdmitOptions{}); !errors.Is(err, core.ErrBadBatchCount) {
+		t.Fatalf("zero count: %v", err)
+	}
+	if _, err := st.AdmitBatch(0, 3, core.AdmitOptions{From: 77}); !errors.Is(err, core.ErrBadResumePoint) {
+		t.Fatalf("bad resume: %v", err)
+	}
+	if req, inst := st.Totals(); req != 0 || inst != 0 {
+		t.Fatalf("failed batches mutated the engine: %d, %d", req, inst)
+	}
+	st.Close()
+	if _, err := st.AdmitBatch(0, 1, core.AdmitOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed: %v", err)
+	}
+}
+
+// TestAdmitScratchAssignment: WantAssignment without a caller buffer is
+// served from the per-shard scratch (no allocation in steady state, same
+// backing array across admissions); a caller-supplied buffer bypasses the
+// scratch.
+func TestAdmitScratchAssignment(t *testing.T) {
+	st, err := New(Config{Videos: testCatalogue(1, 10), Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := st.Admit(0, core.AdmitOptions{WantAssignment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.Admit(0, core.AdmitOptions{WantAssignment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a.Assignment[0] != &b.Assignment[0] {
+		t.Fatal("scratch buffer was not reused across admissions")
+	}
+	own := make([]int, 11)
+	c, err := st.Admit(0, core.AdmitOptions{Assignment: own})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &c.Assignment[0] != &own[0] {
+		t.Fatal("caller-supplied buffer was not used")
+	}
+	if &c.Assignment[0] == &a.Assignment[0] {
+		t.Fatal("caller-supplied admission leaked into the scratch")
+	}
+}
+
+// TestStationSteadyStateZeroAlloc: the uninstrumented synchronous admit
+// path and the reusable-buffer slot advance allocate nothing per operation
+// in steady state (single shard, so AdvanceSlotInto spawns no goroutines).
+func TestStationSteadyStateZeroAlloc(t *testing.T) {
+	st, err := New(Config{Videos: testCatalogue(4, 50), Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []core.SlotReport
+	for k := 0; k < 100; k++ { // steady state; also warms the shard scratch
+		for v := 0; v < 4; v++ {
+			if _, err := st.Admit(v, core.AdmitOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Admit(v, core.AdmitOptions{WantAssignment: true}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		reports = st.AdvanceSlotInto(reports)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		for v := 0; v < 4; v++ {
+			if _, err := st.Admit(v, core.AdmitOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Admit(v, core.AdmitOptions{WantAssignment: true}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		reports = st.AdvanceSlotInto(reports)
+	}); allocs != 0 {
+		t.Fatalf("steady-state station path allocates %.1f/run, want 0", allocs)
+	}
+}
+
+// TestAdvanceSlotIntoMatchesAdvanceSlot: the reusable-buffer variant
+// produces the same reports and reslices correctly.
+func TestAdvanceSlotIntoMatchesAdvanceSlot(t *testing.T) {
+	st, err := New(Config{Videos: testCatalogue(3, 8), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 3; v++ {
+		if _, err := st.Admit(v, core.AdmitOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := make([]core.SlotReport, 1) // undersized: must be grown
+	dst = st.AdvanceSlotInto(dst)
+	if len(dst) != 3 {
+		t.Fatalf("reports length %d, want 3", len(dst))
+	}
+	for v := 0; v < 3; v++ {
+		// Slot-0 admissions are served starting at slot 1, so the retired
+		// slot 0 is empty.
+		if dst[v].Slot != 0 || dst[v].Load != 0 {
+			t.Fatalf("video %d retired %+v, want slot 0 load 0", v, dst[v])
+		}
+	}
+	// Oversized buffers are resliced down and every entry overwritten; the
+	// retired slot 1 carries each video's segment 1 (deadline T[1] = 1).
+	big := make([]core.SlotReport, 10)
+	for i := range big {
+		big[i] = core.SlotReport{Slot: -99, Load: -99}
+	}
+	big = st.AdvanceSlotInto(big)
+	if len(big) != 3 {
+		t.Fatalf("reports length %d, want 3", len(big))
+	}
+	for v := 0; v < 3; v++ {
+		if big[v].Slot != 1 || big[v].Load < 1 {
+			t.Fatalf("video %d stale report %+v, want slot 1 with load >= 1", v, big[v])
+		}
+	}
+}

@@ -90,6 +90,37 @@ func BenchmarkStationAdmit(b *testing.B) {
 			}
 		})
 	})
+	// "coalesced-batch" admits the same workload but groups every 16
+	// same-video arrivals into one AdmitBatch call: one lock acquisition
+	// and one full placement plus 15 memo hits per group. ns/op stays
+	// per-admission (each pb.Next() is one admission), so the row is
+	// directly comparable to "sharded".
+	b.Run("coalesced-batch", func(b *testing.B) {
+		st := newBenchStation(b)
+		const group = 16
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			v := int(next.Add(1)) % benchVideos
+			pending := 0
+			for pb.Next() {
+				if pending++; pending < group {
+					continue
+				}
+				if _, err := st.AdmitBatch(v, pending, core.AdmitOptions{}); err != nil {
+					b.Error(err)
+					return
+				}
+				pending = 0
+				v = (v + 1) % benchVideos
+			}
+			if pending > 0 {
+				if _, err := st.AdmitBatch(v, pending, core.AdmitOptions{}); err != nil {
+					b.Error(err)
+				}
+			}
+		})
+	})
 }
 
 // BenchmarkStationMixed interleaves batched admissions with slot advances

@@ -217,6 +217,11 @@ type shard struct {
 	// only appended to when the station is instrumented, keeping
 	// pendingReq small (pure memory traffic) on the disabled path.
 	enqTimes []time.Time
+	// assign is the shard's reusable assignment scratch: Admit and
+	// AdmitBatch serve WantAssignment from it (growing it on demand) when
+	// the caller supplies no buffer of their own, keeping the traced admit
+	// path allocation-free in steady state. Guarded by mu.
+	assign []int
 
 	// Per-shard observability (nil without a Registry).
 	queueDepth *obs.Gauge
@@ -351,7 +356,29 @@ func (st *Station) checkVideo(video int) error {
 // Admit synchronously admits one request for the video under its shard's
 // lock, flushing any batched admissions first so arrival order is
 // preserved. Admissions for videos on different shards run in parallel.
+//
+// When opts.WantAssignment is set without a caller-supplied
+// opts.Assignment buffer, the returned assignment aliases a per-shard
+// scratch buffer that the shard's next assignment-carrying admission
+// overwrites: callers that retain it must copy it out, or pass their own
+// AdmitOptions.Assignment.
 func (st *Station) Admit(video int, opts core.AdmitOptions) (core.AdmitResult, error) {
+	return st.admitBatch(video, 1, opts)
+}
+
+// AdmitBatch synchronously admits count identical requests for the video —
+// the coalesced form of a same-slot duplicate burst — under one shard lock
+// acquisition and one scheduler call: the first request runs the full
+// placement loop and, uncapped and unobserved, each later one is an O(1)
+// same-slot memo hit. The result carries the batch's total Placed and (when
+// requested) the final request's assignment, under the same scratch-buffer
+// aliasing rule as Admit. A non-positive count is rejected with
+// core.ErrBadBatchCount.
+func (st *Station) AdmitBatch(video, count int, opts core.AdmitOptions) (core.AdmitResult, error) {
+	return st.admitBatch(video, count, opts)
+}
+
+func (st *Station) admitBatch(video, count int, opts core.AdmitOptions) (core.AdmitResult, error) {
 	if st.closed.Load() {
 		return core.AdmitResult{}, ErrClosed
 	}
@@ -374,7 +401,11 @@ func (st *Station) Admit(video int, opts core.AdmitOptions) (core.AdmitResult, e
 		st.obs.lockWait.observe(tLocked.Sub(t0).Seconds())
 	}
 	sh.flushLocked(st)
-	res, err := st.videos[video].sched.AdmitRequest(opts)
+	useScratch := opts.WantAssignment && opts.Assignment == nil
+	if useScratch {
+		opts.Assignment = sh.assign
+	}
+	res, err := st.videos[video].sched.AdmitBatch(count, opts)
 	if st.obs != nil {
 		st.obs.admit.observe(time.Since(tLocked).Seconds())
 	}
@@ -384,8 +415,12 @@ func (st *Station) Admit(video int, opts core.AdmitOptions) (core.AdmitResult, e
 		}
 		return core.AdmitResult{}, err
 	}
+	if useScratch {
+		// Keep the (possibly grown) buffer for the shard's next admission.
+		sh.assign = res.Assignment
+	}
 	if sh.admits != nil {
-		sh.admits.Inc()
+		sh.admits.Add(float64(count))
 	}
 	return res, nil
 }
@@ -443,9 +478,11 @@ func (st *Station) Enqueue(video, from int) error {
 	return nil
 }
 
-// flushLocked applies the shard's pending admissions in arrival order. The
-// caller holds sh.mu. Requests were validated at Enqueue, so admission
-// cannot fail.
+// flushLocked applies the shard's pending admissions in arrival order,
+// coalescing runs of identical (video, from) requests — the common shape of
+// a same-slot flash crowd — into single scheduler batch calls. The caller
+// holds sh.mu. Requests were validated at Enqueue, so admission cannot
+// fail.
 func (sh *shard) flushLocked(st *Station) {
 	if len(sh.pending) == 0 {
 		return
@@ -461,10 +498,16 @@ func (sh *shard) flushLocked(st *Station) {
 		}
 		sh.enqTimes = sh.enqTimes[:0]
 	}
-	for _, r := range sh.pending {
+	for start := 0; start < len(sh.pending); {
+		r := sh.pending[start]
+		end := start + 1
+		for end < len(sh.pending) && sh.pending[end] == r {
+			end++
+		}
 		// The error is impossible: from was validated against the segment
-		// count at Enqueue.
-		_, _ = st.videos[r.video].sched.AdmitRequest(core.AdmitOptions{From: r.from})
+		// count at Enqueue and the run length is positive.
+		_, _ = st.videos[r.video].sched.AdmitBatch(end-start, core.AdmitOptions{From: r.from})
+		start = end
 	}
 	if sh.admits != nil {
 		sh.admits.Add(float64(len(sh.pending)))
@@ -478,13 +521,36 @@ func (sh *shard) flushLocked(st *Station) {
 // AdvanceSlot finishes the current slot of every video and returns the
 // retired slot reports, indexed by video. Each shard flushes its pending
 // admissions first (they arrived during the finishing slot) and shards
-// advance in parallel.
+// advance in parallel. The returned slice is owned by the caller;
+// steady-state drivers reuse one via AdvanceSlotInto.
 func (st *Station) AdvanceSlot() []core.SlotReport {
-	reports := make([]core.SlotReport, len(st.videos))
-	if len(st.shards) == 1 {
-		st.advanceShard(0, reports)
-		return reports
+	return st.AdvanceSlotInto(nil)
+}
+
+// AdvanceSlotInto is AdvanceSlot writing the reports into dst (grown when
+// its capacity is below the catalogue size) so a steady-state driver — the
+// clock goroutine reuses one buffer across ticks — retires slots without a
+// per-tick allocation. Every entry is overwritten. It returns dst resliced
+// to the catalogue size.
+func (st *Station) AdvanceSlotInto(dst []core.SlotReport) []core.SlotReport {
+	if cap(dst) < len(st.videos) {
+		dst = make([]core.SlotReport, len(st.videos))
 	}
+	dst = dst[:len(st.videos)]
+	if len(st.shards) == 1 {
+		st.advanceShard(0, dst)
+		return dst
+	}
+	// The parallel fan-out lives in a helper so its goroutine closures
+	// never capture dst: a captured-and-reassigned slice header would be
+	// forced onto the heap, costing the single-shard fast path above one
+	// allocation per tick.
+	st.advanceParallel(dst)
+	return dst
+}
+
+// advanceParallel flushes and advances every shard concurrently.
+func (st *Station) advanceParallel(reports []core.SlotReport) {
 	var wg sync.WaitGroup
 	for i := range st.shards {
 		wg.Add(1)
@@ -498,7 +564,6 @@ func (st *Station) AdvanceSlot() []core.SlotReport {
 		}(i)
 	}
 	wg.Wait()
-	return reports
 }
 
 // advanceShard flushes and advances one shard. Shards own disjoint video
@@ -576,7 +641,9 @@ func (st *Station) Pending(shard int) int {
 // StartClock launches the single clock goroutine: every interval it fans an
 // AdvanceSlot tick out to all shards and, when onTick is non-nil, hands the
 // slot reports to onTick (on the clock goroutine; onTick must not call
-// StopClock or Close).
+// StopClock or Close). The reports slice is borrowed for the duration of
+// the callback — the clock reuses its backing array on the next tick — so
+// an onTick that retains reports must copy them.
 func (st *Station) StartClock(interval time.Duration, onTick func([]core.SlotReport)) error {
 	if interval <= 0 {
 		return fmt.Errorf("%w: got %v", ErrBadSlotDuration, interval)
@@ -599,6 +666,9 @@ func (st *Station) StartClock(interval time.Duration, onTick func([]core.SlotRep
 		defer ticker.Stop()
 		start := time.Now()
 		ticks := uint64(0)
+		// One report buffer serves every tick: onTick runs synchronously on
+		// this goroutine, so the slice is never reused while borrowed.
+		var reports []core.SlotReport
 		for {
 			select {
 			case <-stop:
@@ -622,7 +692,7 @@ func (st *Station) StartClock(interval time.Duration, onTick func([]core.SlotRep
 					st.obs.clockDrift.Set(lagSec / interval.Seconds())
 					st.obs.clockWin.Observe(lagSec)
 				}
-				reports := st.AdvanceSlot()
+				reports = st.AdvanceSlotInto(reports)
 				if onTick != nil {
 					onTick(reports)
 				}
