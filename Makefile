@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-core bench-obs bench-station ci fuzz experiments examples cover clean
+.PHONY: all build test race bench bench-core bench-obs bench-station bench-wire ci fuzz experiments examples cover clean
 
 all: build test
 
@@ -19,15 +19,17 @@ race:
 	$(GO) test -race ./internal/vodserver/ ./internal/vodclient/ ./internal/station/
 
 # The one-stop gate: vet, the race suite, a coverage floor on the
-# observability-critical packages, and the metric-name lint (every family a
-# fully wired server registers must pass obs.ValidMetricName).
+# observability-critical packages (including the wire codec and the QoE
+# client since they carry the telemetry loop), and the metric-name lint
+# (every family a fully wired server registers — the client_* families
+# included — must pass obs.ValidMetricName).
 COVER_FLOOR ?= 85
 ci:
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -coverprofile=ci-cover.out ./internal/obs/ ./internal/station/
+	$(GO) test -coverprofile=ci-cover.out ./internal/obs/ ./internal/station/ ./internal/wire/ ./internal/vodclient/
 	@total=$$($(GO) tool cover -func=ci-cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
-	echo "obs+station coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	echo "obs+station+wire+vodclient coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= floor+0) }' || \
 		{ echo "coverage $$total% below floor $(COVER_FLOOR)%"; exit 1; }
 	$(GO) test -run '^TestRegisteredMetricNamesValid$$' -count=1 ./internal/vodserver/
@@ -53,6 +55,11 @@ bench-station:
 # ObserverOff ns/op against ObserverOn (a no-op observer wired in).
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedulerObserver' -benchmem ./internal/core/
+
+# The wire codec A/B behind BENCH_wire.json: V1 frames are the trace-disabled
+# path, V2 frames carry the trace block; the budget is <2% on the V1 rows.
+bench-wire:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/wire/
 
 fuzz:
 	$(GO) test ./internal/wire/ -fuzz='^FuzzReadFrame$$' -fuzztime=30s

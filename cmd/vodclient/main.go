@@ -6,6 +6,11 @@
 //
 //	vodclient -addr 127.0.0.1:4800 -video 1
 //	vodclient -addr 127.0.0.1:4800 -video 1 -count 5   # five customers
+//	vodclient -addr 127.0.0.1:4800 -video 1 -strict    # hard-fail on any missed deadline
+//
+// By default the client tolerates missed deadlines (recording them as QoE),
+// joins the server's admit trace, and reports its session telemetry back at
+// the end; -strict, -no-trace and -no-report flip each behaviour.
 package main
 
 import (
@@ -20,20 +25,27 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:4800", "server address")
-		video   = flag.Uint("video", 1, "video id to request")
-		count   = flag.Int("count", 1, "number of concurrent customers to simulate")
-		from    = flag.Uint("from", 1, "resume playback at this segment (1 = the beginning)")
-		timeout = flag.Duration("timeout", 5*time.Minute, "session timeout")
+		addr     = flag.String("addr", "127.0.0.1:4800", "server address")
+		video    = flag.Uint("video", 1, "video id to request")
+		count    = flag.Int("count", 1, "number of concurrent customers to simulate")
+		from     = flag.Uint("from", 1, "resume playback at this segment (1 = the beginning)")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "session timeout")
+		noReport = flag.Bool("no-report", false, "opt out of sending the end-of-session QoE report")
+		noTrace  = flag.Bool("no-trace", false, "opt out of joining the server's admit trace")
+		strict   = flag.Bool("strict", false, "fail the session on the first missed delivery deadline (instead of recording it as QoE)")
 	)
 	flag.Parse()
-	if err := run(*addr, uint32(*video), uint32(*from), *count, *timeout); err != nil {
+	opts := vodclient.FetchOptions{
+		VideoID: uint32(*video), From: uint32(*from), Timeout: *timeout,
+		NoReport: *noReport, NoTrace: *noTrace, StrictDeadlines: *strict,
+	}
+	if err := run(*addr, opts, *count); err != nil {
 		fmt.Fprintln(os.Stderr, "vodclient:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, video, from uint32, count int, timeout time.Duration) error {
+func run(addr string, opts vodclient.FetchOptions, count int) error {
 	if count <= 0 {
 		return fmt.Errorf("count %d must be positive", count)
 	}
@@ -46,7 +58,7 @@ func run(addr string, video, from uint32, count int, timeout time.Duration) erro
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			res, err := vodclient.FetchFrom(addr, video, from, timeout)
+			res, err := vodclient.FetchWith(addr, opts)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -60,6 +72,10 @@ func run(addr string, video, from uint32, count int, timeout time.Duration) erro
 				"%d shared frames, peak buffer %d segments, first byte %.2fs, %.2fs\n",
 				id, res.VideoID, res.Segments, float64(res.PayloadBytes)/1e3,
 				res.SharedFrames, res.MaxBuffered, res.FirstByte.Seconds(), res.Elapsed.Seconds())
+			fmt.Printf("customer %d: QoE — startup %d slots, min slack %d, mean slack %.1f, "+
+				"%d misses, %d rebuffers, %d missing, trace %#x\n",
+				id, res.StartupSlots, res.MinSlackSlots, res.MeanSlackSlots,
+				res.DeadlineMisses, res.Rebuffers, res.MissingSegments, res.TraceID)
 		}(c)
 	}
 	wg.Wait()

@@ -23,18 +23,22 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", "127.0.0.1:4800", "TCP listen address")
-		videos       = flag.Int("videos", 1, "number of videos in the catalogue (ids 1..n)")
-		segments     = flag.Int("segments", 99, "segments per video")
-		slotMillis   = flag.Int("slot-ms", 500, "slot duration in milliseconds")
-		segmentBytes = flag.Int("segment-bytes", 4096, "payload bytes per segment")
-		shards       = flag.Int("shards", 0, "station worker shards (0 = one per CPU, capped at the catalogue size)")
-		statsAddr    = flag.String("stats-addr", "", "optional HTTP monitoring address serving /statsz, /statusz, /healthz, /metricsz, /tracez, /spanz and /debug/pprof")
-		tracePath    = flag.String("trace", "", "optional JSONL file capturing every scheduler event")
-		spanPath     = flag.String("span-trace", "", "optional JSONL file capturing sampled admission pipeline spans")
-		spanSample   = flag.Int("span-sample", 0, "keep 1 in N admission span trees (0 = default, 1 = everything)")
-		sloMillis    = flag.Float64("slo-ms", 0, "admit-to-first-byte SLO threshold in milliseconds (0 = two slot durations)")
-		sloObjective = flag.Float64("slo-objective", 0, "fraction of admissions that must meet the SLO threshold (0 = 0.99)")
+		addr          = flag.String("addr", "127.0.0.1:4800", "TCP listen address")
+		videos        = flag.Int("videos", 1, "number of videos in the catalogue (ids 1..n)")
+		segments      = flag.Int("segments", 99, "segments per video")
+		slotMillis    = flag.Int("slot-ms", 500, "slot duration in milliseconds")
+		segmentBytes  = flag.Int("segment-bytes", 4096, "payload bytes per segment")
+		shards        = flag.Int("shards", 0, "station worker shards (0 = one per CPU, capped at the catalogue size)")
+		statsAddr     = flag.String("stats-addr", "", "optional HTTP monitoring address serving /statsz, /statusz, /healthz, /metricsz, /tracez, /spanz and /debug/pprof")
+		tracePath     = flag.String("trace", "", "optional JSONL file capturing every scheduler event")
+		spanPath      = flag.String("span-trace", "", "optional JSONL file capturing sampled admission pipeline spans")
+		spanSample    = flag.Int("span-sample", 0, "keep 1 in N admission span trees (0 = default, 1 = everything)")
+		sloMillis     = flag.Float64("slo-ms", 0, "admit-to-first-byte SLO threshold in milliseconds (0 = two slot durations)")
+		sloObjective  = flag.Float64("slo-objective", 0, "fraction of admissions that must meet the SLO threshold (0 = 0.99)")
+		alertInterval = flag.Duration("alert-interval", 0, "alert rule evaluation interval (0 = 1s)")
+		alertFor      = flag.Duration("alert-for", 0, "how long a breach must hold before a rule fires (0 = fire immediately)")
+		missThreshold = flag.Float64("miss-threshold", 0, "windowed mean deadline misses per client report that fires the miss alert (0 = 0.5)")
+		reportStale   = flag.Duration("report-stale", 0, "fire a staleness alert when no client report arrives for this long (0 = disabled)")
 	)
 	flag.Parse()
 	opts := serveOpts{
@@ -42,6 +46,8 @@ func main() {
 		videos: *videos, segments: *segments, slotMillis: *slotMillis,
 		segmentBytes: *segmentBytes, shards: *shards, spanSample: *spanSample,
 		sloMillis: *sloMillis, sloObjective: *sloObjective,
+		alertInterval: *alertInterval, alertFor: *alertFor,
+		missThreshold: *missThreshold, reportStale: *reportStale,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "vodserver:", err)
@@ -55,6 +61,8 @@ type serveOpts struct {
 	videos, segments, slotMillis, segmentBytes int
 	shards, spanSample                         int
 	sloMillis, sloObjective                    float64
+	alertInterval, alertFor, reportStale       time.Duration
+	missThreshold                              float64
 }
 
 func run(o serveOpts) error {
@@ -90,14 +98,18 @@ func run(o serveOpts) error {
 		defer spanFile.Close()
 	}
 	cfg := vodserver.Config{
-		Addr:             o.addr,
-		Videos:           catalogue,
-		SlotDuration:     time.Duration(o.slotMillis) * time.Millisecond,
-		Shards:           o.shards,
-		StatsAddr:        o.statsAddr,
-		SpanSampleEvery:  o.spanSample,
-		SLOTargetSeconds: o.sloMillis / 1000,
-		SLOObjective:     o.sloObjective,
+		Addr:              o.addr,
+		Videos:            catalogue,
+		SlotDuration:      time.Duration(o.slotMillis) * time.Millisecond,
+		Shards:            o.shards,
+		StatsAddr:         o.statsAddr,
+		SpanSampleEvery:   o.spanSample,
+		SLOTargetSeconds:  o.sloMillis / 1000,
+		SLOObjective:      o.sloObjective,
+		AlertInterval:     o.alertInterval,
+		AlertFor:          o.alertFor,
+		MissRateThreshold: o.missThreshold,
+		ReportStaleAfter:  o.reportStale,
 	}
 	if traceFile != nil {
 		cfg.TraceWriter = traceFile
@@ -113,7 +125,7 @@ func run(o serveOpts) error {
 	fmt.Printf("vodserver listening on %s (%d videos, %d segments, %d ms slots, %d shards)\n",
 		srv.Addr(), o.videos, o.segments, o.slotMillis, srv.Station().Shards())
 	if srv.StatsAddr() != "" {
-		fmt.Printf("introspection on http://%s/{statsz,statusz,healthz,metricsz,tracez,spanz,debug/pprof}\n", srv.StatsAddr())
+		fmt.Printf("introspection on http://%s/{statsz,statusz,healthz,metricsz,tracez,spanz,alertz,debug/pprof}\n", srv.StatsAddr())
 		fmt.Printf("live dashboard: go run ./cmd/vodtop -addr %s\n", srv.StatsAddr())
 	}
 	if o.tracePath != "" {

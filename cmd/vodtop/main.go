@@ -11,6 +11,10 @@
 // or, for scripting and snapshots in CI logs:
 //
 //	vodtop -addr 127.0.0.1:4900 -once
+//
+// In -once mode the exit status doubles as a health probe: 0 when no alert
+// rule is firing, 2 when at least one is, so shell gates can read the
+// dashboard without parsing it.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -35,29 +40,42 @@ func main() {
 		once     = flag.Bool("once", false, "render a single frame and exit (for scripting)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *addr, *interval, *once); err != nil {
+	firing, err := run(os.Stdout, *addr, *interval, *once)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "vodtop:", err)
 		os.Exit(1)
 	}
+	if *once && firing {
+		os.Exit(2)
+	}
 }
 
-func run(w io.Writer, addr string, interval time.Duration, once bool) error {
+// run renders frames until the loop is interrupted, or exactly one frame in
+// once mode. The firing result reports whether the last rendered frame had
+// any alert rule in the firing state (the -once exit-code contract).
+func run(w io.Writer, addr string, interval time.Duration, once bool) (firing bool, err error) {
 	if interval <= 0 {
-		return fmt.Errorf("interval %v must be positive", interval)
+		return false, fmt.Errorf("interval %v must be positive", interval)
 	}
 	client := &http.Client{Timeout: 5 * time.Second}
 	for {
 		snap, err := fetch(client, addr)
 		if err != nil {
-			return err
+			return false, err
 		}
 		if !once {
 			// Clear the screen and home the cursor between frames.
 			fmt.Fprint(w, "\x1b[2J\x1b[H")
 		}
 		render(w, addr, snap)
+		firing = false
+		for _, a := range snap.Alerts {
+			if a.State == obs.StateFiring {
+				firing = true
+			}
+		}
 		if once {
-			return nil
+			return firing, nil
 		}
 		time.Sleep(interval)
 	}
@@ -108,6 +126,12 @@ func render(w io.Writer, addr string, snap vodserver.StatusSnapshot) {
 		fmtDur(fb.P50), fmtDur(fb.P95), fmtDur(fb.P99),
 		fmtDur(fb.SLOThreshold), fb.SLOObjective*100, fb.Good, fb.Bad, fb.BurnRate)
 
+	// The client's side of the contract: what the reported sessions actually
+	// experienced, in slots.
+	q := snap.QoE
+	fmt.Fprintf(w, "QoE  : reports=%d  startup p50=%.0f p95=%.0f slots  slack mean=%.1f slots  miss/report mean=%.2f\n",
+		q.Reports, q.Startup.P50, q.Startup.P95, q.Slack.Mean, q.MissRate.Mean)
+
 	fmt.Fprintln(w)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "STAGE\tCOUNT\tP50\tP95\tP99\tMAX")
@@ -132,6 +156,47 @@ func render(w io.Writer, addr string, snap vodserver.StatusSnapshot) {
 			sh.Shard, sh.Videos, sh.Pending, sh.QueueCap, sh.Admits, sh.Rejects)
 	}
 	tw.Flush()
+
+	if len(st.PerVideo) > 0 {
+		fmt.Fprintln(w)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "VIDEO\tNAME\tSHARD\tSLOT\tREQUESTS\tINSTANCES")
+		for _, row := range st.PerVideo {
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\n",
+				row.Video, row.Name, row.Shard, row.Slot, row.Requests, row.Instances)
+		}
+		tw.Flush()
+	}
+
+	if len(snap.Alerts) > 0 {
+		fmt.Fprintln(w)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "ALERT\tSEVERITY\tSTATE\tVALUE\tTHRESHOLD\tFIRED")
+		for _, a := range snap.Alerts {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s %.4g\t%d\n",
+				a.Name, a.Severity, renderState(a.State), fmtAlertValue(a.Value),
+				a.Op, a.Threshold, a.Fired)
+		}
+		tw.Flush()
+	}
+}
+
+// renderState upper-cases the firing state so an operator scanning the pane
+// cannot miss it.
+func renderState(s obs.AlertState) string {
+	if s == obs.StateFiring {
+		return "FIRING"
+	}
+	return string(s)
+}
+
+// fmtAlertValue renders a rule's observed value; NaN means the rule has not
+// seen data yet.
+func fmtAlertValue(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g", v)
 }
 
 // stageRow is one line of the latency table.

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"math"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -41,6 +44,22 @@ func TestRenderFrame(t *testing.T) {
 		},
 		Fanout: obs.WindowSnapshot{Count: 25, P50: 0.0001, P95: 0.0004, P99: 0.0006, Max: 0.001},
 		Spans:  obs.SpanStats{Roots: 42, Sampled: 6, Finished: 18, SampleEvery: 8},
+		QoE: vodserver.QoESnapshot{
+			Reports:  9,
+			Startup:  obs.WindowSnapshot{Count: 9, P50: 2, P95: 5},
+			Slack:    obs.WindowSnapshot{Count: 9, Mean: 3.5},
+			MissRate: obs.WindowSnapshot{Count: 9, Mean: 0.25},
+		},
+		Alerts: []obs.AlertStatus{
+			{Name: "client_deadline_miss_rate", Severity: "critical", State: obs.StateFiring,
+				Value: 0.75, Op: ">", Threshold: 0.5, Fired: 2},
+			{Name: "client_reports_stale", Severity: "warning", State: obs.StateInactive,
+				Value: math.NaN(), Op: "stale", Threshold: 30},
+		},
+	}
+	snap.Station.PerVideo = []station.VideoStatus{
+		{Video: 0, Name: "trailer", Shard: 0, Slot: 7, Requests: 30, Instances: 19},
+		{Video: 1, Name: "feature", Shard: 1, Slot: 7, Requests: 12, Instances: 11},
 	}
 	var b strings.Builder
 	render(&b, "127.0.0.1:4900", snap)
@@ -56,6 +75,11 @@ func TestRenderFrame(t *testing.T) {
 		"good=40 bad=2  burn=4.76",
 		"lock_wait", "admit", "queue_depth", "fanout", "first_byte",
 		"SHARD", "REJECTS",
+		"QoE  : reports=9  startup p50=2 p95=5 slots  slack mean=3.5 slots  miss/report mean=0.25",
+		"VIDEO", "trailer", "feature",
+		"ALERT", "SEVERITY",
+		"client_deadline_miss_rate", "critical", "FIRING", "> 0.5",
+		"client_reports_stale", "inactive", "stale 30",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("frame missing %q:\n%s", want, out)
@@ -69,6 +93,54 @@ func TestRenderFrame(t *testing.T) {
 	// Shard rows carry the admit/reject counters.
 	if !strings.Contains(out, "30") || !strings.Contains(out, "4") {
 		t.Fatalf("shard counters missing:\n%s", out)
+	}
+	// The no-data staleness value renders as a dash, not NaN.
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("alert pane leaked NaN:\n%s", out)
+	}
+}
+
+// TestOnceFiringExitPath: run's firing result — the source of the -once exit
+// code — follows the alert table served by the endpoint, and an empty table
+// stays quiet.
+func TestOnceFiringExitPath(t *testing.T) {
+	serve := func(snap vodserver.StatusSnapshot) (addr string, done func()) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/statusz" {
+				http.NotFound(w, r)
+				return
+			}
+			json.NewEncoder(w).Encode(snap)
+		}))
+		return strings.TrimPrefix(srv.URL, "http://"), srv.Close
+	}
+
+	quiet := vodserver.StatusSnapshot{Alerts: []obs.AlertStatus{
+		{Name: "client_deadline_miss_rate", State: obs.StatePending, Value: 0.75, Op: ">", Threshold: 0.5},
+	}}
+	addr, done := serve(quiet)
+	var b strings.Builder
+	firing, err := run(&b, addr, time.Second, true)
+	done()
+	if err != nil || firing {
+		t.Fatalf("pending-only frame: firing=%v err=%v", firing, err)
+	}
+
+	hot := vodserver.StatusSnapshot{Alerts: []obs.AlertStatus{
+		{Name: "first_byte_slo_burn", State: obs.StateResolved},
+		{Name: "client_deadline_miss_rate", Severity: "critical", State: obs.StateFiring,
+			Value: 2, Op: ">", Threshold: 0.5, Fired: 1},
+	}}
+	addr, done = serve(hot)
+	b.Reset()
+	firing, err = run(&b, addr, time.Second, true)
+	done()
+	if err != nil || !firing {
+		t.Fatalf("firing frame: firing=%v err=%v", firing, err)
+	}
+	// The frame the probe rendered shows why it will exit non-zero.
+	if !strings.Contains(b.String(), "FIRING") {
+		t.Fatalf("firing frame missing alert pane:\n%s", b.String())
 	}
 }
 
@@ -92,8 +164,12 @@ func TestOnceAgainstLiveServer(t *testing.T) {
 	}
 
 	var b strings.Builder
-	if err := run(&b, s.StatsAddr(), time.Second, true); err != nil {
+	firing, err := run(&b, s.StatsAddr(), time.Second, true)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if firing {
+		t.Fatal("healthy server reported a firing alert")
 	}
 	out := b.String()
 	if strings.Contains(out, "\x1b[2J") {
@@ -106,7 +182,7 @@ func TestOnceAgainstLiveServer(t *testing.T) {
 	}
 
 	// A dead endpoint is an error, not a hang or a zero frame.
-	if err := run(&b, "127.0.0.1:1", time.Second, true); err == nil {
+	if _, err := run(&b, "127.0.0.1:1", time.Second, true); err == nil {
 		t.Fatal("run against dead endpoint succeeded")
 	}
 	// A non-statusz HTTP server yields a decode/status error.
@@ -114,7 +190,7 @@ func TestOnceAgainstLiveServer(t *testing.T) {
 		t.Fatal("fetch from invalid address succeeded")
 	}
 	// And a non-positive interval is rejected up front.
-	if err := run(&b, s.StatsAddr(), 0, true); err == nil {
+	if _, err := run(&b, s.StatsAddr(), 0, true); err == nil {
 		t.Fatal("run accepted zero interval")
 	}
 }

@@ -162,6 +162,58 @@ func (s *Span) Child(name string) *Span {
 	return c
 }
 
+// ID returns the span's tracer-unique identifier, 0 for a nil (unsampled)
+// span. Wire trace propagation carries this across the connection so the
+// client's side of the session can be recorded as children of the server's
+// admit span.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Now reads the trace clock (seconds since the tracer started, or simulated
+// seconds under SetClock). Report ingest uses it to back-date client-side
+// spans whose durations arrive after the fact.
+func (t *SpanTracer) Now() float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.now()
+}
+
+// RecordChild records an already-finished span under parent. It exists for
+// the client QoE loop: the client measures its session and ships the numbers
+// in a ClientReport, and the server synthesizes the corresponding spans here
+// — same ring, same sink, same trace tree as locally-started spans. A parent
+// of 0 records a root. Returns the new span's ID (0 on a nil tracer).
+func (t *SpanTracer) RecordChild(parent uint64, name string, start, dur float64, video uint32, attrs map[string]string) uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	rec := SpanRecord{
+		ID: t.nextID, Parent: parent, Name: name,
+		Start: start, Dur: dur, Video: video, Shard: -1, Attrs: attrs,
+	}
+	t.stats.Finished++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.next] = rec
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	if t.enc != nil && t.err == nil {
+		t.err = t.enc.Encode(rec)
+	}
+	return rec.ID
+}
+
 // SetVideo attributes the span to a catalogue video.
 func (s *Span) SetVideo(video uint32) {
 	if s != nil {

@@ -218,3 +218,45 @@ func TestSpanConcurrency(t *testing.T) {
 		t.Fatal(tr.Err())
 	}
 }
+
+func TestRecordChildJoinsTrace(t *testing.T) {
+	var sink bytes.Buffer
+	tr := NewSpanTracer(&sink, 16, 1, 1)
+	tr.SetClock(func() float64 { return 10 })
+
+	root := tr.StartSpan("admit")
+	if root.ID() == 0 {
+		t.Fatal("sampled root has ID 0")
+	}
+	root.End()
+
+	// A client report arrives later; the server synthesizes its spans as
+	// children of the admit root it handed out on the wire.
+	id := tr.RecordChild(root.ID(), "client_session", 10, 2.5, 7,
+		map[string]string{"misses": "1"})
+	if id == 0 {
+		t.Fatal("RecordChild returned ID 0 on a live tracer")
+	}
+	recs := tr.Recent(0)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	child := recs[1]
+	if child.Parent != root.ID() || child.Name != "client_session" ||
+		child.Dur != 2.5 || child.Video != 7 || child.Attrs["misses"] != "1" {
+		t.Fatalf("synthesized child mismatch: %+v", child)
+	}
+	if tr.Now() != 10 {
+		t.Fatalf("Now() = %v, want 10 (installed clock)", tr.Now())
+	}
+
+	// Nil-safety for the whole synthetic-span surface.
+	var nilTr *SpanTracer
+	if nilTr.RecordChild(1, "x", 0, 0, 0, nil) != 0 || nilTr.Now() != 0 {
+		t.Fatal("nil tracer synthesized a span")
+	}
+	var nilSpan *Span
+	if nilSpan.ID() != 0 {
+		t.Fatal("nil span has nonzero ID")
+	}
+}

@@ -99,11 +99,12 @@ type WindowSnapshot struct {
 	// counts every observation over the tracker's lifetime.
 	Count int    `json:"count"`
 	Total uint64 `json:"total"`
-	// Quantiles and extremes of the windowed sample, zero when empty.
-	P50 float64 `json:"p50"`
-	P95 float64 `json:"p95"`
-	P99 float64 `json:"p99"`
-	Max float64 `json:"max"`
+	// Quantiles, mean and extremes of the windowed sample, zero when empty.
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
 	// SLO accounting, zero unless SetSLO armed it. Good and Bad are
 	// lifetime totals; BurnRate is the rate the error budget burns at:
 	// (bad fraction)/(1-objective), so 1.0 means "exactly on budget",
@@ -148,6 +149,11 @@ func (w *Window) Snapshot() WindowSnapshot {
 	w.mu.Unlock()
 
 	if len(sample) > 0 {
+		var sum float64
+		for _, v := range sample {
+			sum += v
+		}
+		snap.Mean = sum / float64(len(sample))
 		sort.Float64s(sample)
 		snap.P50 = quantile(sample, 0.50)
 		snap.P95 = quantile(sample, 0.95)

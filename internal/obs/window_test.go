@@ -141,3 +141,21 @@ func TestRegisterRuntime(t *testing.T) {
 		t.Fatalf("go_heap_alloc_bytes = %v", samples["go_heap_alloc_bytes"])
 	}
 }
+
+func TestWindowMean(t *testing.T) {
+	w := NewWindow(4)
+	if got := w.Snapshot().Mean; got != 0 {
+		t.Fatalf("empty window mean = %v, want 0", got)
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		w.Observe(v)
+	}
+	if got := w.Snapshot().Mean; got != 2.5 {
+		t.Fatalf("mean = %v, want 2.5", got)
+	}
+	// Rolling: 1 falls out, 9 comes in -> (2+3+4+9)/4.
+	w.Observe(9)
+	if got := w.Snapshot().Mean; got != 4.5 {
+		t.Fatalf("rolled mean = %v, want 4.5", got)
+	}
+}

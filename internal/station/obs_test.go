@@ -196,6 +196,26 @@ func TestStationStatusAndStages(t *testing.T) {
 	if admits != 12 {
 		t.Fatalf("shard admits sum = %v, want 12", admits)
 	}
+	// The per-video table carries one row per catalogue entry, in catalogue
+	// order, each attributed to its shard with live scheduler counters.
+	if len(s.PerVideo) != 4 {
+		t.Fatalf("per-video rows = %d, want 4", len(s.PerVideo))
+	}
+	for v, row := range s.PerVideo {
+		if row.Video != v {
+			t.Fatalf("per-video rows out of catalogue order: %+v", s.PerVideo)
+		}
+		if row.Shard != v%2 {
+			t.Fatalf("video %d attributed to shard %d, want %d", v, row.Shard, v%2)
+		}
+		// Each video took 1 Admit + 2 Enqueues; the advance flushed them.
+		if row.Requests != 3 {
+			t.Fatalf("video %d requests = %d, want 3", v, row.Requests)
+		}
+		if row.Slot < 1 || row.Instances == 0 {
+			t.Fatalf("video %d row %+v: slot/instances not advanced", v, row)
+		}
+	}
 	for _, name := range []string{StageLockWait, StageAdmit, StageEnqueueWait, StageQueueDepth} {
 		snap, ok := s.Stages[name]
 		if !ok || snap.Count == 0 {

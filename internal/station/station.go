@@ -746,11 +746,31 @@ type ClockStatus struct {
 	Lag obs.WindowSnapshot `json:"lag"`
 }
 
+// VideoStatus is one catalogue row of the operator snapshot: which shard
+// owns the video, how far its schedule has advanced, and its admission
+// totals. The QoE pipeline joins client_miss_total{video} against these rows
+// by name.
+type VideoStatus struct {
+	// Video is the station catalogue index; Name the configured name (the
+	// wire-facing video ID for vodserver catalogues).
+	Video int    `json:"video"`
+	Name  string `json:"name"`
+	Shard int    `json:"shard"`
+	// Slot is the video's current schedule slot; Requests and Instances are
+	// its lifetime admission and transmission totals.
+	Slot      int   `json:"slot"`
+	Requests  int64 `json:"requests"`
+	Instances int64 `json:"instances"`
+}
+
 // Status is one consistent snapshot of the station for operators: the shard
-// table, the per-stage rolling latency windows, and clock health.
+// table, the per-video rows, the per-stage rolling latency windows, and
+// clock health.
 type Status struct {
 	Videos int           `json:"videos"`
 	Shards []ShardStatus `json:"shards"`
+	// PerVideo lists every catalogue video; rows are in catalogue order.
+	PerVideo []VideoStatus `json:"per_video"`
 	// Stages maps the Stage* names to their rolling windows (empty when
 	// the station is uninstrumented). Latency stages are in seconds;
 	// StageQueueDepth is in requests.
@@ -766,17 +786,24 @@ type Status struct {
 // advance.
 func (st *Station) Status() Status {
 	s := Status{
-		Videos: len(st.videos),
-		Shards: make([]ShardStatus, len(st.shards)),
+		Videos:   len(st.videos),
+		Shards:   make([]ShardStatus, len(st.shards)),
+		PerVideo: make([]VideoStatus, len(st.videos)),
 	}
 	for i, sh := range st.shards {
 		row := ShardStatus{Shard: i, Videos: len(sh.videos), QueueCap: st.queueCap}
 		sh.mu.Lock()
 		row.Pending = len(sh.pending)
 		for _, v := range sh.videos {
-			sched := st.videos[v].sched
-			s.Requests += sched.Requests()
-			s.Instances += sched.Instances()
+			sv := st.videos[v]
+			s.Requests += sv.sched.Requests()
+			s.Instances += sv.sched.Instances()
+			s.PerVideo[v] = VideoStatus{
+				Video: v, Name: sv.name, Shard: i,
+				Slot:      sv.sched.CurrentSlot(),
+				Requests:  sv.sched.Requests(),
+				Instances: sv.sched.Instances(),
+			}
 		}
 		sh.mu.Unlock()
 		if sh.admits != nil {

@@ -1,7 +1,10 @@
 // Package vodclient is the set-top-box side of the networked DHB system: it
 // requests a video from a vodserver, receives the broadcast segment frames,
 // verifies every payload byte and every delivery deadline with the STB
-// oracle of internal/client, and reports what it observed.
+// oracle of internal/client, and reports what it observed — locally through
+// the returned Result (and optionally an obs.Registry), and back to the
+// server as a wire.ClientReport so operators see the customer's side of the
+// delivery contract.
 package vodclient
 
 import (
@@ -11,6 +14,7 @@ import (
 	"time"
 
 	"vodcast/internal/client"
+	"vodcast/internal/obs"
 	"vodcast/internal/wire"
 )
 
@@ -35,35 +39,121 @@ type Result struct {
 	// first broadcast payload byte, the client-side view of the server's
 	// vod_admit_first_byte_seconds histogram.
 	FirstByte time.Duration
+
+	// QoE telemetry, measured in slots against the paper's delivery bound
+	// (segment j due by AdmitSlot + Periods[j-from+1]).
+
+	// StartupSlots is the delay from admission to the first needed segment.
+	StartupSlots int
+	// DeadlineMisses counts segments that were not delivered by their
+	// deadline; Rebuffers counts the distinct playback stalls they caused
+	// (consecutive miss slots merge into one stall). Both are always zero
+	// under StrictDeadlines, which fails the fetch on the first miss.
+	DeadlineMisses int
+	Rebuffers      int
+	// MissingSegments counts needed segments that never arrived at all.
+	MissingSegments int
+	// MinSlackSlots and MeanSlackSlots summarize slack-to-deadline over the
+	// segments that did arrive: how close delivery ran to the bound.
+	MinSlackSlots  int
+	MeanSlackSlots float64
+	// SessionSlots is the broadcast-slot length of the session.
+	SessionSlots int
+	// TraceID is the server's trace identifier for this session, zero when
+	// the session was not sampled (or tracing was declined). The matching
+	// spans are visible in the server's /spanz.
+	TraceID uint64
+}
+
+// FetchOptions parameterizes a fetch. The zero value of every field is the
+// production default: fetch from the beginning, tolerate deadline misses
+// (recording them as QoE telemetry), join the server's trace when offered,
+// and send a ClientReport at session end.
+type FetchOptions struct {
+	// VideoID selects the catalogue entry.
+	VideoID uint32
+	// From resumes playback at this segment (0 and 1 both mean the
+	// beginning).
+	From uint32
+	// Timeout bounds the whole session, dial included. Required.
+	Timeout time.Duration
+	// NoTrace declines trace propagation: the server will not hand this
+	// session trace identifiers and synthesizes no client spans.
+	NoTrace bool
+	// NoReport opts out of the end-of-session ClientReport.
+	NoReport bool
+	// StrictDeadlines restores the oracle behavior of the deprecated
+	// Fetch/FetchFrom: the first missed deadline fails the fetch instead of
+	// being recorded as QoE telemetry.
+	StrictDeadlines bool
+	// Registry, when non-nil, receives the session's client_* metric
+	// families for local scraping.
+	Registry *obs.Registry
 }
 
 // Fetch requests videoID from the server at addr, receives until every
 // segment has arrived and every deadline has been checked, and returns the
 // session summary. The timeout bounds the whole session.
+//
+// Deprecated: use FetchWith, which tolerates deadline misses, propagates
+// traces and reports QoE back to the server. Fetch keeps the wire-v1,
+// strict-oracle behavior for old deployments and tests.
 func Fetch(addr string, videoID uint32, timeout time.Duration) (Result, error) {
 	return FetchFrom(addr, videoID, 1, timeout)
 }
 
 // FetchFrom is Fetch for an interactive customer resuming playback at
 // segment from (1 = the beginning).
+//
+// Deprecated: use FetchWith with FetchOptions.From.
 func FetchFrom(addr string, videoID, from uint32, timeout time.Duration) (Result, error) {
-	if timeout <= 0 {
-		return Result{}, fmt.Errorf("vodclient: timeout %v must be positive", timeout)
+	return fetch(addr, FetchOptions{
+		VideoID: videoID, From: from, Timeout: timeout,
+		NoTrace: true, NoReport: true, StrictDeadlines: true,
+	}, true)
+}
+
+// FetchWith runs one session against the server at addr as configured by
+// opts: it speaks protocol v2, continuing the server's admit trace and
+// summarizing playback QoE into a ClientReport, unless opts declines either.
+func FetchWith(addr string, opts FetchOptions) (Result, error) {
+	if opts.From == 0 {
+		opts.From = 1
 	}
-	if from < 1 {
-		return Result{}, fmt.Errorf("vodclient: resume segment %d must be at least 1", from)
+	return fetch(addr, opts, false)
+}
+
+// fetch is the shared session loop. legacy selects the version-less v1
+// request (byte-identical to the pre-v2 client) — servers negotiate down
+// and expect no report.
+func fetch(addr string, opts FetchOptions, legacy bool) (Result, error) {
+	if opts.Timeout <= 0 {
+		return Result{}, fmt.Errorf("vodclient: timeout %v must be positive", opts.Timeout)
+	}
+	if opts.From < 1 {
+		return Result{}, fmt.Errorf("vodclient: resume segment %d must be at least 1", opts.From)
 	}
 	start := time.Now()
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	conn, err := net.DialTimeout("tcp", addr, opts.Timeout)
 	if err != nil {
 		return Result{}, fmt.Errorf("vodclient: dial: %w", err)
 	}
 	defer conn.Close()
-	if err := conn.SetDeadline(start.Add(timeout)); err != nil {
+	if err := conn.SetDeadline(start.Add(opts.Timeout)); err != nil {
 		return Result{}, fmt.Errorf("vodclient: set deadline: %w", err)
 	}
 
-	if err := wire.WriteFrame(conn, wire.Request{VideoID: videoID, FromSegment: from}); err != nil {
+	req := wire.Request{VideoID: opts.VideoID, FromSegment: opts.From}
+	if !legacy {
+		req.Version = wire.ProtoV2
+		if opts.NoReport {
+			req.Flags |= wire.FlagNoReport
+		}
+		if opts.NoTrace {
+			req.Flags |= wire.FlagNoTrace
+		}
+	}
+	if err := wire.WriteFrame(conn, req); err != nil {
 		return Result{}, fmt.Errorf("vodclient: send request: %w", err)
 	}
 	msg, err := wire.ReadFrame(conn)
@@ -79,31 +169,36 @@ func FetchFrom(addr string, videoID, from uint32, timeout time.Duration) (Result
 	default:
 		return Result{}, fmt.Errorf("vodclient: unexpected %T before schedule", msg)
 	}
-	if info.VideoID != videoID {
-		return Result{}, fmt.Errorf("vodclient: schedule for video %d, requested %d", info.VideoID, videoID)
+	if info.VideoID != opts.VideoID {
+		return Result{}, fmt.Errorf("vodclient: schedule for video %d, requested %d", info.VideoID, opts.VideoID)
 	}
 
-	if from > info.Segments {
-		return Result{}, fmt.Errorf("vodclient: resume segment %d beyond %d", from, info.Segments)
+	if opts.From > info.Segments {
+		return Result{}, fmt.Errorf("vodclient: resume segment %d beyond %d", opts.From, info.Segments)
 	}
 
-	// Rebuild the 1-based period vector and arm the STB oracle.
+	// Rebuild the 1-based period vector and arm the STB oracle — even a
+	// tolerant session wants the oracle's validation of the schedule.
 	periods := make([]int, info.Segments+1)
 	for j := uint32(1); j <= info.Segments; j++ {
 		periods[j] = int(info.Periods[j-1])
 	}
-	stb, err := client.NewFrom(int(info.AdmitSlot), periods, int(from))
+	stb, err := client.NewFrom(int(info.AdmitSlot), periods, int(opts.From))
 	if err != nil {
 		return Result{}, fmt.Errorf("vodclient: %w", err)
 	}
+	qoe := newQoETracker(int(info.AdmitSlot), periods, int(opts.From))
+	// A report is only owed when both sides speak v2 and nobody opted out.
+	sendReport := !legacy && info.Version >= wire.ProtoV2 && !opts.NoReport
 
 	res := Result{
 		VideoID:   info.VideoID,
 		Segments:  int(info.Segments),
 		AdmitSlot: info.AdmitSlot,
+		TraceID:   info.TraceID,
 	}
 	// The session ends when the shifted suffix's last deadline passes.
-	lastSlot := int(info.AdmitSlot) + maxPeriod(periods[:int(info.Segments)-int(from)+2])
+	lastSlot := int(info.AdmitSlot) + maxPeriod(periods[:int(info.Segments)-int(opts.From)+2])
 	var slotSegments []int
 	for {
 		msg, err := wire.ReadFrame(conn)
@@ -112,8 +207,8 @@ func FetchFrom(addr string, videoID, from uint32, timeout time.Duration) (Result
 		}
 		switch m := msg.(type) {
 		case wire.Segment:
-			if m.VideoID != videoID {
-				return Result{}, fmt.Errorf("vodclient: frame for video %d on a video-%d subscription", m.VideoID, videoID)
+			if m.VideoID != opts.VideoID {
+				return Result{}, fmt.Errorf("vodclient: frame for video %d on a video-%d subscription", m.VideoID, opts.VideoID)
 			}
 			if res.FirstByte == 0 {
 				res.FirstByte = time.Since(start)
@@ -125,22 +220,41 @@ func FetchFrom(addr string, videoID, from uint32, timeout time.Duration) (Result
 			if !bytes.Equal(m.Payload, want) {
 				return Result{}, fmt.Errorf("vodclient: corrupt payload for segment %d", m.Segment)
 			}
-			if stb.Received(int(m.Segment)) {
+			if qoe.seen(int(m.Segment)) {
 				res.SharedFrames++
 			}
 			res.PayloadBytes += int64(len(m.Payload))
 			slotSegments = append(slotSegments, int(m.Segment))
 		case wire.SlotEnd:
-			if err := stb.ObserveSlot(int(m.Slot), slotSegments); err != nil {
-				return Result{}, fmt.Errorf("vodclient: %w", err)
+			if opts.StrictDeadlines {
+				if err := stb.ObserveSlot(int(m.Slot), slotSegments); err != nil {
+					return Result{}, fmt.Errorf("vodclient: %w", err)
+				}
 			}
+			qoe.observeSlot(int(m.Slot), slotSegments)
 			slotSegments = slotSegments[:0]
 			if int(m.Slot) >= lastSlot {
-				if !stb.Complete() {
+				qoe.finalize(int(m.Slot))
+				if opts.StrictDeadlines && !stb.Complete() {
 					return Result{}, fmt.Errorf("vodclient: stream ended with segments missing")
 				}
-				res.MaxBuffered = stb.MaxBuffered()
+				res.MaxBuffered = qoe.maxBuffered
+				res.StartupSlots = qoe.startup
+				res.DeadlineMisses = qoe.misses
+				res.Rebuffers = qoe.rebuffers
+				res.MissingSegments = qoe.needed() - qoe.receivedCount
+				res.MinSlackSlots = qoe.minSlack
+				res.MeanSlackSlots = qoe.meanSlack()
+				res.SessionSlots = qoe.sessionSlots
 				res.Elapsed = time.Since(start)
+				qoe.publish(opts.Registry, info.VideoID, res.PayloadBytes)
+				if sendReport {
+					report := qoe.report(info.VideoID, info.TraceID, info.SpanID,
+						res.SharedFrames, res.PayloadBytes)
+					if err := wire.WriteFrame(conn, report); err != nil {
+						return res, fmt.Errorf("vodclient: send report: %w", err)
+					}
+				}
 				return res, nil
 			}
 		case wire.ErrorMsg:

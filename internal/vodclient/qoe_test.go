@@ -1,0 +1,260 @@
+package vodclient
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"vodcast/internal/obs"
+	"vodcast/internal/wire"
+)
+
+// fakeServerV2 is fakeServer for scripts that need the decoded request (to
+// assert negotiation) or to keep the connection for a report read.
+func fakeServerV2(t *testing.T, script func(conn net.Conn, req wire.Request)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		msg, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		req, ok := msg.(wire.Request)
+		if !ok {
+			return
+		}
+		script(conn, req)
+	}()
+	return ln.Addr().String()
+}
+
+func v2Info() wire.ScheduleInfo {
+	info := goodInfo()
+	info.Version = wire.ProtoV2
+	info.TraceID = 0xABCD
+	info.SpanID = 77
+	return info
+}
+
+func streamAll(conn net.Conn, info wire.ScheduleInfo) {
+	for j := uint32(1); j <= info.Segments; j++ {
+		_ = wire.WriteFrame(conn, wire.Segment{
+			VideoID: info.VideoID, Segment: j, Slot: uint64(j),
+			Payload: wire.SegmentPayload(info.VideoID, j, info.SizeOf(j)),
+		})
+		_ = wire.WriteFrame(conn, wire.SlotEnd{Slot: uint64(j)})
+	}
+}
+
+func TestQoETrackerSlackMissesRebuffers(t *testing.T) {
+	// Video of 4 segments, deadlines admit+1..admit+4, admitted at slot 10.
+	q := newQoETracker(10, []int{0, 1, 2, 3, 4}, 1)
+	// Slot 11: segments 1 and 2 arrive — 1 is just in time (slack 0), 2 a
+	// slot early (slack 1). Segment 1's deadline settles in the same slot.
+	q.observeSlot(11, []int{1, 2})
+	// Slots 12 and 13 end empty: segment 3 misses its slot-13 deadline.
+	q.observeSlot(12, nil)
+	q.observeSlot(13, nil)
+	// Slot 14: 3 arrives late (slack -1); 4 never arrives and misses too.
+	q.observeSlot(14, []int{3})
+	q.finalize(14)
+
+	if q.misses != 2 {
+		t.Fatalf("misses = %d, want 2 (segment 3 late, segment 4 never)", q.misses)
+	}
+	if q.rebuffers != 1 {
+		t.Fatalf("rebuffers = %d, want 1 (slots 13 and 14 are one stall)", q.rebuffers)
+	}
+	if q.minSlack != -1 {
+		t.Fatalf("minSlack = %d, want -1", q.minSlack)
+	}
+	if q.startup != 1 {
+		t.Fatalf("startup = %d, want 1", q.startup)
+	}
+	if got := q.needed() - q.receivedCount; got != 1 {
+		t.Fatalf("missing = %d, want 1", got)
+	}
+	if q.sessionSlots != 4 {
+		t.Fatalf("sessionSlots = %d, want 4", q.sessionSlots)
+	}
+	if q.maxBuffered != 2 {
+		t.Fatalf("maxBuffered = %d, want 2", q.maxBuffered)
+	}
+	rep := q.report(1, 2, 3, 0, 64)
+	if rep.DeadlineMisses != 2 || rep.MinSlackSlots != -1 ||
+		rep.SegmentsReceived != 3 || rep.SegmentsNeeded != 4 ||
+		rep.TraceID != 2 || rep.SpanID != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestFetchWithToleratesMissedDeadline(t *testing.T) {
+	addr := fakeServerV2(t, func(conn net.Conn, req wire.Request) {
+		if req.Version != wire.ProtoV2 {
+			t.Errorf("request version = %d, want %d", req.Version, wire.ProtoV2)
+		}
+		info := v2Info()
+		_ = wire.WriteFrame(conn, info)
+		// Slot 1 ends without segment 1 (deadline slot 1): a strict client
+		// dies here, a tolerant one records the miss and keeps receiving.
+		_ = wire.WriteFrame(conn, wire.SlotEnd{Slot: 1})
+		_ = wire.WriteFrame(conn, wire.Segment{
+			VideoID: 1, Segment: 1, Slot: 2, Payload: wire.SegmentPayload(1, 1, 32)})
+		_ = wire.WriteFrame(conn, wire.Segment{
+			VideoID: 1, Segment: 2, Slot: 2, Payload: wire.SegmentPayload(1, 2, 32)})
+		_ = wire.WriteFrame(conn, wire.SlotEnd{Slot: 2})
+		_, _ = wire.ReadFrame(conn) // drain the report
+	})
+	res, err := FetchWith(addr, FetchOptions{VideoID: 1, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses != 1 || res.Rebuffers != 1 || res.MissingSegments != 0 {
+		t.Fatalf("result = %+v, want 1 miss, 1 rebuffer, 0 missing", res)
+	}
+	if res.MinSlackSlots != -1 {
+		t.Fatalf("MinSlackSlots = %d, want -1 (segment 1 one slot late)", res.MinSlackSlots)
+	}
+	if res.TraceID != 0xABCD {
+		t.Fatalf("TraceID = %#x, want 0xABCD", res.TraceID)
+	}
+}
+
+func TestFetchWithStrictStillRejectsMiss(t *testing.T) {
+	addr := fakeServerV2(t, func(conn net.Conn, req wire.Request) {
+		_ = wire.WriteFrame(conn, v2Info())
+		_ = wire.WriteFrame(conn, wire.SlotEnd{Slot: 1})
+	})
+	_, err := FetchWith(addr, FetchOptions{
+		VideoID: 1, Timeout: 2 * time.Second, StrictDeadlines: true})
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("strict miss error = %v, want deadline", err)
+	}
+}
+
+func TestFetchWithSendsReport(t *testing.T) {
+	got := make(chan wire.ClientReport, 1)
+	addr := fakeServerV2(t, func(conn net.Conn, req wire.Request) {
+		if req.Flags != 0 {
+			t.Errorf("request flags = %#x, want 0", req.Flags)
+		}
+		info := v2Info()
+		_ = wire.WriteFrame(conn, info)
+		streamAll(conn, info)
+		msg, err := wire.ReadFrame(conn)
+		if err != nil {
+			t.Errorf("read report: %v", err)
+			return
+		}
+		rep, ok := msg.(wire.ClientReport)
+		if !ok {
+			t.Errorf("got %T, want ClientReport", msg)
+			return
+		}
+		got <- rep
+	})
+	if _, err := FetchWith(addr, FetchOptions{VideoID: 1, Timeout: 2 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case rep := <-got:
+		if rep.TraceID != 0xABCD || rep.SpanID != 77 {
+			t.Fatalf("report trace = %#x/%d, want 0xabcd/77", rep.TraceID, rep.SpanID)
+		}
+		if rep.SegmentsNeeded != 2 || rep.SegmentsReceived != 2 ||
+			rep.DeadlineMisses != 0 || rep.PayloadBytes != 64 {
+			t.Fatalf("report = %+v", rep)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("server never received a report")
+	}
+}
+
+func TestFetchWithNoReportSetsFlagAndSkipsReport(t *testing.T) {
+	done := make(chan struct{})
+	addr := fakeServerV2(t, func(conn net.Conn, req wire.Request) {
+		defer close(done)
+		if req.Flags&wire.FlagNoReport == 0 {
+			t.Error("FlagNoReport not set on opt-out request")
+		}
+		info := v2Info()
+		_ = wire.WriteFrame(conn, info)
+		streamAll(conn, info)
+		// The client must close without writing a report frame.
+		if msg, err := wire.ReadFrame(conn); err == nil {
+			t.Errorf("unexpected frame after opt-out session: %T", msg)
+		}
+	})
+	if _, err := FetchWith(addr, FetchOptions{
+		VideoID: 1, Timeout: 2 * time.Second, NoReport: true}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+func TestFetchWithLegacyServerSkipsReport(t *testing.T) {
+	done := make(chan struct{})
+	addr := fakeServerV2(t, func(conn net.Conn, req wire.Request) {
+		defer close(done)
+		info := goodInfo() // version-less schedule: server negotiated down
+		_ = wire.WriteFrame(conn, info)
+		streamAll(conn, info)
+		if msg, err := wire.ReadFrame(conn); err == nil {
+			t.Errorf("client sent %T to a v1 server", msg)
+		}
+	})
+	res, err := FetchWith(addr, FetchOptions{VideoID: 1, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID != 0 {
+		t.Fatalf("TraceID = %d against a v1 server, want 0", res.TraceID)
+	}
+	<-done
+}
+
+func TestFetchWithPublishesRegistry(t *testing.T) {
+	addr := fakeServerV2(t, func(conn net.Conn, req wire.Request) {
+		info := v2Info()
+		_ = wire.WriteFrame(conn, info)
+		streamAll(conn, info)
+		_, _ = wire.ReadFrame(conn)
+	})
+	reg := obs.NewRegistry()
+	if _, err := FetchWith(addr, FetchOptions{
+		VideoID: 1, Timeout: 2 * time.Second, Registry: reg}); err != nil {
+		t.Fatal(err)
+	}
+	names := reg.Names()
+	for _, want := range []string{
+		"client_sessions_total", "client_payload_bytes_total",
+		"client_startup_slots", "client_deadline_slack_slots",
+		"client_miss_total", "client_rebuffer_total",
+	} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("family %s missing from local registry (have %v)", want, names)
+		}
+		if !obs.ValidMetricName(want) {
+			t.Errorf("family %s fails the metric-name lint", want)
+		}
+	}
+	if got := reg.Histogram("client_deadline_slack_slots", "", slackBuckets).Count(); got != 2 {
+		t.Fatalf("slack observations = %v, want 2", got)
+	}
+}

@@ -1,0 +1,213 @@
+package vodserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vodcast/internal/obs"
+	"vodcast/internal/vodclient"
+)
+
+// This file is the end-to-end test of the client QoE loop: a real server, N
+// concurrent real clients, reports landing in /statusz, client spans joining
+// the admit traces in /spanz, and an injected fault walking the miss alert
+// through pending → firing → resolved in /alertz.
+
+// alertzDoc mirrors the /alertz response shape.
+type alertzDoc struct {
+	Firing int               `json:"firing"`
+	Evals  uint64            `json:"evals"`
+	Rules  []obs.AlertStatus `json:"rules"`
+}
+
+func getAlertz(t *testing.T, s *Server) alertzDoc {
+	t.Helper()
+	code, body := get(t, s, "/alertz")
+	if code != http.StatusOK {
+		t.Fatalf("alertz status = %d", code)
+	}
+	var doc alertzDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("alertz body: %v\n%s", err, body)
+	}
+	return doc
+}
+
+func ruleState(t *testing.T, s *Server, name string) obs.AlertState {
+	t.Helper()
+	for _, r := range getAlertz(t, s).Rules {
+		if r.Name == name {
+			return r.State
+		}
+	}
+	t.Fatalf("rule %q not served by /alertz", name)
+	return ""
+}
+
+func TestE2EClientQoELoop(t *testing.T) {
+	// dropping suppresses every transmission of video 1's segment 1, so
+	// video-1 customers provably miss its deadline — the wire-level stand-in
+	// for sustained packet loss on one channel.
+	var dropping atomic.Bool
+	s, err := Start(Config{
+		Addr:            "127.0.0.1:0",
+		Videos:          []VideoConfig{{ID: 1, Segments: 6, SegmentBytes: 64}, {ID: 2, Segments: 6, SegmentBytes: 64}},
+		SlotDuration:    10 * time.Millisecond,
+		StatsAddr:       "127.0.0.1:0",
+		SpanSampleEvery: 1,
+		QoEWindow:       4,
+		// The test drives evaluations by hand for determinism; the ticker
+		// is parked out of the way.
+		AlertInterval:     time.Hour,
+		AlertFor:          50 * time.Millisecond,
+		MissRateThreshold: 0.5,
+		ReportStaleAfter:  time.Hour,
+		DropInstance: func(video uint32, segment, _ int) bool {
+			return dropping.Load() && video == 1 && segment == 1
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Phase 1 — healthy fleet: N concurrent clients across both videos,
+	// every session reporting back.
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		videoID := uint32(1 + i%2)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{
+				VideoID: videoID, Timeout: 10 * time.Second,
+			})
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The report read is concurrent with the client's return: poll until
+	// every one of the N reports has been folded in.
+	waitFor(t, "all reports ingested", func() bool {
+		return s.QoE().Reports >= n
+	})
+	snap := s.Status()
+	if snap.QoE.Slack.Count == 0 || snap.QoE.Startup.Count == 0 {
+		t.Fatalf("QoE windows empty after %d reports: %+v", n, snap.QoE)
+	}
+
+	// Every session was sampled, so every admit tree must have gained
+	// client-side children with intact parent links.
+	spans := s.Spans().Recent(0)
+	byID := make(map[uint64]obs.SpanRecord, len(spans))
+	for _, r := range spans {
+		byID[r.ID] = r
+	}
+	sessions, startups := 0, 0
+	for _, r := range spans {
+		switch r.Name {
+		case "client_session":
+			parent, ok := byID[r.Parent]
+			if !ok || parent.Name != "admit" {
+				t.Fatalf("client_session %+v not parented to an admit root", r)
+			}
+			sessions++
+		case "client_startup":
+			parent, ok := byID[r.Parent]
+			if !ok || parent.Name != "client_session" {
+				t.Fatalf("client_startup %+v not parented to a client_session", r)
+			}
+			startups++
+		}
+	}
+	if sessions < n || startups < n {
+		t.Fatalf("synthesized %d session / %d startup spans, want >= %d each", sessions, startups, n)
+	}
+
+	// The healthy window keeps the miss alert quiet.
+	s.Alerts().Eval()
+	if st := ruleState(t, s, "client_deadline_miss_rate"); st != obs.StateInactive {
+		t.Fatalf("healthy miss alert state = %s, want inactive", st)
+	}
+
+	// Phase 2 — fault injection: drop video 1 segment 1 so its customers
+	// miss a deadline, and watch the rule walk pending → firing.
+	dropping.Store(true)
+	for i := 0; i < 4; i++ {
+		res, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{
+			VideoID: 1, Timeout: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DeadlineMisses == 0 || res.MissingSegments == 0 {
+			t.Fatalf("dropped segment not observed by client: %+v", res)
+		}
+	}
+	waitFor(t, "miss reports ingested", func() bool {
+		return s.QoE().Reports >= n+4
+	})
+	s.Alerts().Eval()
+	if st := ruleState(t, s, "client_deadline_miss_rate"); st != obs.StatePending {
+		t.Fatalf("breached miss alert state = %s, want pending (For not yet elapsed)", st)
+	}
+	time.Sleep(60 * time.Millisecond) // AlertFor is 50ms
+	s.Alerts().Eval()
+	if st := ruleState(t, s, "client_deadline_miss_rate"); st != obs.StateFiring {
+		t.Fatalf("held breach state = %s, want firing", st)
+	}
+	if doc := getAlertz(t, s); doc.Firing == 0 || doc.Evals == 0 {
+		t.Fatalf("alertz doc = %+v, want firing > 0 and evals > 0", doc)
+	}
+
+	// Phase 3 — recovery: healthy sessions roll the bad reports out of the
+	// miss-rate window and the rule resolves.
+	dropping.Store(false)
+	for i := 0; i < 4; i++ {
+		if _, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{
+			VideoID: 1, Timeout: 10 * time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "recovery reports ingested", func() bool {
+		return s.QoE().Reports >= n+8
+	})
+	s.Alerts().Eval()
+	if st := ruleState(t, s, "client_deadline_miss_rate"); st != obs.StateResolved {
+		t.Fatalf("recovered miss alert state = %s, want resolved", st)
+	}
+
+	// The lifetime counters keep the evidence the window rolled past.
+	if misses := s.clientMiss(1).Value(); misses < 4 {
+		t.Fatalf("client_miss_total{video=1} = %v, want >= 4", misses)
+	}
+	if s.clientMiss(2).Value() != 0 {
+		t.Fatalf("client_miss_total{video=2} = %v, want 0", s.clientMiss(2).Value())
+	}
+}
+
+// waitFor polls cond with a generous deadline, failing the test with the
+// label on timeout.
+func waitFor(t *testing.T, label string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", label)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,170 @@
+package vodserver
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"vodcast/internal/obs"
+	"vodcast/internal/wire"
+)
+
+// This file is the server half of the client QoE loop: it reads the
+// wire.ClientReport a v2 session sends at its end, folds it into the
+// client_* metric families and rolling windows /statusz serves, synthesizes
+// the client's side of the admit trace into /spanz, and arms the alert rules
+// that watch the folded signals. The server-side windows deliberately track
+// per-REPORT aggregates (mean slack, misses per report) rather than
+// per-segment samples: a report is one customer's session, which is the
+// granularity operators alert on.
+
+// clientStartupBuckets and clientSlackBuckets match the client-local
+// families in internal/vodclient, so a fleet scrape and a server scrape bin
+// identically. Slack is signed: negative buckets are late segments.
+var (
+	clientStartupBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	clientSlackBuckets   = []float64{-16, -8, -4, -2, -1, 0, 1, 2, 4, 8, 16, 32, 64, 128}
+)
+
+// armAlerts registers the built-in rules plus any operator-supplied ones and
+// starts the evaluation ticker. Called once from Start.
+func (s *Server) armAlerts() error {
+	// Pre-register the per-video report families so the inventory (and the
+	// metric-name lint walking it) is complete from boot, not from the
+	// first report.
+	for _, vc := range s.cfg.Videos {
+		s.clientMiss(vc.ID)
+		s.clientRebuffer(vc.ID)
+	}
+	missThreshold := s.cfg.MissRateThreshold
+	if missThreshold == 0 {
+		missThreshold = 0.5
+	}
+	// The miss alert watches the windowed mean of misses-per-report, not
+	// the lifetime counter: counters never come back down, the window does,
+	// so the rule can resolve once healthy sessions roll the bad ones out.
+	miss := obs.WindowMeanRule("client_deadline_miss_rate", s.qoeMissRate,
+		obs.CmpAbove, missThreshold, s.cfg.AlertFor)
+	miss.Severity = "critical"
+	miss.Help = fmt.Sprintf(
+		"clients are missing delivery deadlines (windowed mean misses/report > %g)", missThreshold)
+	if err := s.alerts.Add(miss); err != nil {
+		return err
+	}
+	burn := obs.BurnRateRule("first_byte_slo_burn", s.firstByte, 2.0, s.cfg.AlertFor)
+	burn.Help = "admit-to-first-byte SLO error budget burning at more than 2x"
+	if err := s.alerts.Add(burn); err != nil {
+		return err
+	}
+	if s.cfg.ReportStaleAfter > 0 {
+		stale := obs.StalenessRule("client_reports_stale",
+			func() float64 { return s.mReports.Value() }, s.cfg.ReportStaleAfter)
+		stale.Help = fmt.Sprintf("no client report for %v", s.cfg.ReportStaleAfter)
+		if err := s.alerts.Add(stale); err != nil {
+			return err
+		}
+	}
+	for _, r := range s.cfg.AlertRules {
+		if err := s.alerts.Add(r); err != nil {
+			return err
+		}
+	}
+	s.alerts.Start(s.cfg.AlertInterval)
+	return nil
+}
+
+// readReport collects the end-of-session ClientReport a v2 subscriber owes.
+// The read is bounded: a client that never reports just times out and costs
+// nothing. Reports for the wrong video are discarded.
+func (s *Server) readReport(conn net.Conn, videoID uint32) {
+	timeout := 4 * s.cfg.SlotDuration
+	if timeout < time.Second {
+		timeout = time.Second
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return
+	}
+	msg, err := wire.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	rep, ok := msg.(wire.ClientReport)
+	if !ok || rep.VideoID != videoID {
+		return
+	}
+	s.ingestReport(rep)
+}
+
+// ingestReport folds one client report into the metric families, the QoE
+// windows, and — when the session carried trace identifiers — the span ring,
+// where the client's playback becomes children of the server's admit span.
+func (s *Server) ingestReport(rep wire.ClientReport) {
+	s.mReports.Inc()
+	s.qoeStartup.Observe(float64(rep.StartupSlots))
+	s.mClientStartup.Observe(float64(rep.StartupSlots))
+	if rep.SegmentsReceived > 0 {
+		meanSlack := float64(rep.SumSlackSlots) / float64(rep.SegmentsReceived)
+		s.qoeSlack.Observe(meanSlack)
+		s.mClientSlack.Observe(meanSlack)
+	}
+	s.qoeMissRate.Observe(float64(rep.DeadlineMisses))
+	s.clientMiss(rep.VideoID).Add(float64(rep.DeadlineMisses))
+	s.clientRebuffer(rep.VideoID).Add(float64(rep.Rebuffers))
+
+	if rep.SpanID == 0 {
+		return
+	}
+	// Synthesize the client's side of the trace. The report arrives after
+	// the fact, so the spans are back-dated on the trace clock: the session
+	// span covers SessionSlots slots ending now, and the startup span is
+	// its prefix up to the first needed segment.
+	slotSec := s.cfg.SlotDuration.Seconds()
+	end := s.spans.Now()
+	sessDur := float64(rep.SessionSlots) * slotSec
+	session := s.spans.RecordChild(rep.SpanID, "client_session",
+		end-sessDur, sessDur, rep.VideoID, map[string]string{
+			"misses":    fmt.Sprint(rep.DeadlineMisses),
+			"rebuffers": fmt.Sprint(rep.Rebuffers),
+			"received":  fmt.Sprintf("%d/%d", rep.SegmentsReceived, rep.SegmentsNeeded),
+			"min_slack": fmt.Sprint(rep.MinSlackSlots),
+		})
+	s.spans.RecordChild(session, "client_startup",
+		end-sessDur, float64(rep.StartupSlots)*slotSec, rep.VideoID, nil)
+}
+
+// clientMiss and clientRebuffer return the per-video report counters. The
+// registry caches children, so repeated lookups are cheap and idempotent.
+func (s *Server) clientMiss(videoID uint32) *obs.Counter {
+	return s.reg.CounterWith("client_miss_total",
+		"Client-reported segments that missed their delivery deadline.",
+		obs.Labels{"video": fmt.Sprint(videoID)})
+}
+
+func (s *Server) clientRebuffer(videoID uint32) *obs.Counter {
+	return s.reg.CounterWith("client_rebuffer_total",
+		"Client-reported playback stalls caused by deadline misses.",
+		obs.Labels{"video": fmt.Sprint(videoID)})
+}
+
+// QoESnapshot is the client-side view of the pipeline as reported back by
+// the set-top boxes, served inside /statusz.
+type QoESnapshot struct {
+	// Reports counts sessions that reported back.
+	Reports uint64 `json:"reports"`
+	// Startup is the startup-delay window (slots); Slack the per-report
+	// mean slack-to-deadline window (slots, negative = late); MissRate the
+	// misses-per-report window the miss alert watches.
+	Startup  obs.WindowSnapshot `json:"startup_slots"`
+	Slack    obs.WindowSnapshot `json:"slack_slots"`
+	MissRate obs.WindowSnapshot `json:"miss_rate"`
+}
+
+// QoE assembles the client-side telemetry snapshot.
+func (s *Server) QoE() QoESnapshot {
+	return QoESnapshot{
+		Reports:  uint64(s.mReports.Value()),
+		Startup:  s.qoeStartup.Snapshot(),
+		Slack:    s.qoeSlack.Snapshot(),
+		MissRate: s.qoeMissRate.Snapshot(),
+	}
+}

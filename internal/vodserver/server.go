@@ -104,6 +104,31 @@ type Config struct {
 	// (0 selects 0.99). /statusz reports the burn rate of the implied
 	// error budget.
 	SLOObjective float64
+	// QoEWindow bounds the rolling windows folded from client reports
+	// (startup delay, deadline slack, miss rate); 0 selects
+	// obs.DefaultWindowSize.
+	QoEWindow int
+	// AlertInterval is the alert engine's evaluation period; 0 selects 1s.
+	AlertInterval time.Duration
+	// AlertFor is the pending hold of the built-in alert rules: how long a
+	// condition must persist before pending becomes firing. 0 fires on the
+	// first breached evaluation.
+	AlertFor time.Duration
+	// MissRateThreshold is the windowed mean of deadline misses per client
+	// report above which the client_deadline_miss_rate alert trips; 0
+	// selects 0.5.
+	MissRateThreshold float64
+	// ReportStaleAfter arms the client_reports_stale rule: it fires when no
+	// client report has arrived for this long. 0 disables the rule.
+	ReportStaleAfter time.Duration
+	// AlertRules appends operator-defined rules to the built-ins.
+	AlertRules []obs.AlertRule
+	// DropInstance, when non-nil, suppresses the transmission of scheduled
+	// broadcast instances for which it returns true — fault injection for
+	// tests and operator drills. The scheduler still counts the instance;
+	// only the wire frame is withheld, so subscribed clients miss the
+	// segment's deadline exactly as they would under packet loss.
+	DropInstance func(video uint32, segment, slot int) bool
 }
 
 // DefaultSpanSampleEvery is the admission span sampling period when the
@@ -171,11 +196,19 @@ type Server struct {
 	reg    *obs.Registry
 	tracer *obs.Tracer
 	spans  *obs.SpanTracer
+	alerts *obs.AlertEngine
 	// firstByte and fanout are the rolling windows behind /statusz:
 	// admit-to-first-byte latency (with the SLO armed on it) and the
-	// per-tick fan-out service time.
-	firstByte *obs.Window
-	fanout    *obs.Window
+	// per-tick fan-out service time. qoeStartup, qoeSlack and qoeMissRate
+	// are their client-side counterparts, folded from ClientReports: startup
+	// delay in slots, per-report mean slack to deadline, and deadline
+	// misses per report (the windowed signal the miss alert watches, so it
+	// can resolve when healthy reports roll the bad ones out).
+	firstByte   *obs.Window
+	fanout      *obs.Window
+	qoeStartup  *obs.Window
+	qoeSlack    *obs.Window
+	qoeMissRate *obs.Window
 	// Registry handles, bound once at startup so the hot paths never
 	// touch the registry's name map.
 	mRequests       *obs.Counter
@@ -185,6 +218,9 @@ type Server struct {
 	mDropped        *obs.Counter
 	mAdmitLatency   *obs.Histogram
 	mFanout         *obs.Histogram
+	mReports        *obs.Counter
+	mClientStartup  *obs.Histogram
+	mClientSlack    *obs.Histogram
 
 	// mu guards subscriptions, connections, stats and the closed flag; the
 	// schedulers live behind the station's shard locks, so admissions only
@@ -287,15 +323,19 @@ func Start(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("vodserver: %w", err)
 	}
 	s := &Server{
-		cfg:       cfg,
-		ln:        ln,
-		station:   st,
-		started:   time.Now(),
-		reg:       reg,
-		tracer:    tracer,
-		spans:     obs.NewSpanTracer(cfg.SpanWriter, cfg.TraceEvents, cfg.SpanSampleEvery, cfg.SpanSeed),
-		firstByte: firstByte,
-		fanout:    obs.NewWindow(0),
+		cfg:         cfg,
+		ln:          ln,
+		station:     st,
+		started:     time.Now(),
+		reg:         reg,
+		tracer:      tracer,
+		spans:       obs.NewSpanTracer(cfg.SpanWriter, cfg.TraceEvents, cfg.SpanSampleEvery, cfg.SpanSeed),
+		alerts:      obs.NewAlertEngine(),
+		firstByte:   firstByte,
+		fanout:      obs.NewWindow(0),
+		qoeStartup:  obs.NewWindow(cfg.QoEWindow),
+		qoeSlack:    obs.NewWindow(cfg.QoEWindow),
+		qoeMissRate: obs.NewWindow(cfg.QoEWindow),
 		mRequests: reg.Counter("vod_requests_total",
 			"Admitted customer requests (including interactive resumes)."),
 		mRejects: reg.Counter("vod_rejects_total",
@@ -310,8 +350,20 @@ func Start(cfg Config) (*Server, error) {
 			"Latency from request admission to the first broadcast byte reaching the subscriber.", nil),
 		mFanout: reg.Histogram("vod_fanout_seconds",
 			"Per-tick fan-out service time: encoding every video's slot batch and distributing it.", nil),
+		mReports: reg.Counter("client_reports_total",
+			"QoE reports received from clients at session end."),
+		mClientStartup: reg.Histogram("client_startup_slots",
+			"Client-reported slots from admission to the first needed segment.",
+			clientStartupBuckets),
+		mClientSlack: reg.Histogram("client_deadline_slack_slots",
+			"Client-reported per-report mean slack to the delivery deadline, in slots.",
+			clientSlackBuckets),
 		videos: videos,
 		conns:  make(map[net.Conn]struct{}),
+	}
+	if err := s.armAlerts(); err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("vodserver: %w", err)
 	}
 	reg.GaugeFunc("vod_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.started).Seconds() })
@@ -373,6 +425,10 @@ type StatusSnapshot struct {
 	Fanout    obs.WindowSnapshot `json:"fanout"`
 	// Spans summarizes pipeline span sampling.
 	Spans obs.SpanStats `json:"spans"`
+	// QoE is the client-side view folded from session reports; Alerts is
+	// the rule table the vodtop alert pane renders.
+	QoE    QoESnapshot       `json:"qoe"`
+	Alerts []obs.AlertStatus `json:"alerts"`
 }
 
 // Status assembles the operator snapshot served at /statusz.
@@ -384,8 +440,13 @@ func (s *Server) Status() StatusSnapshot {
 		FirstByte:     s.firstByte.Snapshot(),
 		Fanout:        s.fanout.Snapshot(),
 		Spans:         s.spans.Stats(),
+		QoE:           s.QoE(),
+		Alerts:        s.alerts.Snapshot(),
 	}
 }
+
+// Alerts exposes the server's alert engine, the source of /alertz.
+func (s *Server) Alerts() *obs.AlertEngine { return s.alerts }
 
 // Station exposes the broadcast engine (shard layout, per-video slots).
 func (s *Server) Station() *station.Station { return s.station }
@@ -434,6 +495,7 @@ func (s *Server) Close() error {
 	// Stop the clock after releasing mu: a concurrent fanOut may be waiting
 	// on the mutex and will observe closed. station.Close waits for the
 	// clock goroutine to exit.
+	s.alerts.Stop()
 	s.station.Close()
 	s.wg.Wait()
 	return err
@@ -487,6 +549,15 @@ func (s *Server) handleConn(conn net.Conn) {
 		_ = wire.WriteFrame(conn, wire.ErrorMsg{Text: "expected a request frame"})
 		return
 	}
+	// Version negotiation: a version-less request is an old client — serve
+	// it a v1 session with no trace fields and expect no report. Anything
+	// announcing v2 or later negotiates down to our v2.
+	proto := uint16(0)
+	if req.Version >= wire.ProtoV2 {
+		proto = wire.MaxProto
+	}
+	wantReport := proto >= wire.ProtoV2 && req.Flags&wire.FlagNoReport == 0
+	wantTrace := proto >= wire.ProtoV2 && req.Flags&wire.FlagNoTrace == 0
 
 	// The root span covers the whole pipeline from admit to the first
 	// fan-out byte reaching this subscriber; an unsampled request gets a
@@ -505,6 +576,17 @@ func (s *Server) handleConn(conn net.Conn) {
 		root.SetAttr("reject", err.Error())
 		_ = wire.WriteFrame(conn, wire.ErrorMsg{Text: err.Error()})
 		return
+	}
+	if proto >= wire.ProtoV2 {
+		info.Version = proto
+		if wantTrace {
+			// The session joins the admit span's tree: the client echoes
+			// these identifiers in its report and the server synthesizes its
+			// playback as child spans. An unsampled root hands out zero and
+			// the session stays traceless.
+			info.TraceID = root.ID()
+			info.SpanID = root.ID()
+		}
 	}
 	if err := wire.WriteFrame(conn, info); err != nil {
 		s.unsubscribe(req.VideoID, sub)
@@ -535,6 +617,11 @@ func (s *Server) handleConn(conn net.Conn) {
 			wait.End()
 			root.End()
 		}
+	}
+	// The subscription ended cleanly (channel closed at the last slot). A
+	// v2 session that did not opt out now owes us a ClientReport.
+	if wantReport {
+		s.readReport(conn, req.VideoID)
 	}
 }
 
@@ -667,6 +754,9 @@ func (s *Server) fanOut(reports []core.SlotReport) {
 		var buf bytes.Buffer
 		payloadBytes := int64(0)
 		for _, seg := range rep.Segments {
+			if s.cfg.DropInstance != nil && s.cfg.DropInstance(vc.ID, seg, rep.Slot) {
+				continue
+			}
 			payload := wire.SegmentPayload(vc.ID, uint32(seg), uint32(vc.sizeOf(seg)))
 			frame := wire.Segment{
 				VideoID: vc.ID,

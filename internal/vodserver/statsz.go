@@ -8,6 +8,8 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"time"
+
+	"vodcast/internal/obs"
 )
 
 // This file is the server's live introspection surface:
@@ -19,6 +21,7 @@ import (
 //	GET /metricsz     the obs registry in Prometheus text format
 //	GET /tracez?n=N   the most recent N scheduler events (default: all buffered)
 //	GET /spanz?n=N    the most recent N finished pipeline spans
+//	GET /alertz       the alert rule table with per-rule state and a firing count
 //	GET /debug/pprof  the standard Go profiling endpoints
 //
 // Every handler is routed through guardGET: it answers only its exact path
@@ -117,6 +120,24 @@ func (s *Server) tracez(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.tracer.Recent(n))
 }
 
+// alertz serves the alert engine's rule table: every rule with its state
+// (inactive/pending/firing/resolved), observed value and threshold, plus a
+// firing count so a scripted probe needs no client-side aggregation.
+func (s *Server) alertz(w http.ResponseWriter, r *http.Request) {
+	if !guardGET(w, r, "/alertz") {
+		return
+	}
+	writeJSON(w, struct {
+		Firing int               `json:"firing"`
+		Evals  uint64            `json:"evals"`
+		Rules  []obs.AlertStatus `json:"rules"`
+	}{
+		Firing: s.alerts.Firing(),
+		Evals:  s.alerts.Evals(),
+		Rules:  s.alerts.Snapshot(),
+	})
+}
+
 // spanz serves the most recent finished pipeline spans; ?n=N bounds the
 // window.
 func (s *Server) spanz(w http.ResponseWriter, r *http.Request) {
@@ -145,6 +166,7 @@ func (s *Server) serveStats(addr string) (net.Listener, error) {
 	mux.HandleFunc("/metricsz", s.metricsz)
 	mux.HandleFunc("/tracez", s.tracez)
 	mux.HandleFunc("/spanz", s.spanz)
+	mux.HandleFunc("/alertz", s.alertz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

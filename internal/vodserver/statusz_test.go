@@ -161,6 +161,7 @@ func TestRouteGuards(t *testing.T) {
 		{"/metricsz", "text/plain; version=0.0.4; charset=utf-8"},
 		{"/tracez", "application/json"},
 		{"/spanz", "application/json"},
+		{"/alertz", "application/json"},
 	}
 	client := &http.Client{}
 	for _, ep := range endpoints {
@@ -225,6 +226,8 @@ func TestRegisteredMetricNamesValid(t *testing.T) {
 		"station_clock_tick_lag_seconds", "station_clock_slot_drift_slots",
 		"station_clock_ticks_total", "station_shard_queue_depth",
 		"go_goroutines", "go_heap_alloc_bytes",
+		"client_reports_total", "client_startup_slots",
+		"client_deadline_slack_slots", "client_miss_total", "client_rebuffer_total",
 	}
 	have := make(map[string]bool, len(names))
 	for _, n := range names {

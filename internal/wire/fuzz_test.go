@@ -9,14 +9,22 @@ import (
 // FuzzReadFrame feeds arbitrary bytes to the frame decoder: it must never
 // panic, never allocate unboundedly, and round-trip anything it accepts.
 func FuzzReadFrame(f *testing.F) {
-	// Seed with one valid frame of each type.
+	// Seed with one valid frame of each type, both protocol versions.
 	seeds := []any{
 		Request{VideoID: 1},
+		Request{VideoID: 1, FromSegment: 2, Version: ProtoV2,
+			Flags: FlagNoReport, TraceID: 7, SpanID: 8},
 		ScheduleInfo{VideoID: 1, Segments: 2, SlotMillis: 10, SegmentBytes: 64,
 			AdmitSlot: 5, Periods: []uint32{1, 2}},
+		ScheduleInfo{VideoID: 1, Segments: 2, SlotMillis: 10, SegmentBytes: 64,
+			AdmitSlot: 5, Version: ProtoV2, TraceID: 3, SpanID: 4,
+			Periods: []uint32{1, 2}, SegmentSizes: []uint32{32, 64}},
 		Segment{VideoID: 1, Segment: 2, Slot: 3, Payload: []byte("abc")},
 		SlotEnd{Slot: 9},
 		ErrorMsg{Text: "boom"},
+		ClientReport{Version: ProtoV2, VideoID: 1, TraceID: 7, SpanID: 8,
+			AdmitSlot: 5, SegmentsNeeded: 2, SegmentsReceived: 2,
+			MinSlackSlots: -1, SumSlackSlots: 3, PayloadBytes: 128},
 	}
 	for _, msg := range seeds {
 		var buf bytes.Buffer
@@ -58,7 +66,8 @@ func checkEqualFrames(t *testing.T, a, b any) {
 	case ScheduleInfo:
 		bm, ok := b.(ScheduleInfo)
 		if !ok || am.VideoID != bm.VideoID || am.Segments != bm.Segments ||
-			len(am.Periods) != len(bm.Periods) {
+			len(am.Periods) != len(bm.Periods) || am.Version != bm.Version ||
+			am.TraceID != bm.TraceID || am.SpanID != bm.SpanID {
 			t.Fatalf("schedule round trip mismatch: %+v vs %+v", a, b)
 		}
 	default:

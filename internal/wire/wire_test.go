@@ -45,6 +45,85 @@ func TestRoundTripAllTypes(t *testing.T) {
 	}
 }
 
+// TestRoundTripVersionedFrames covers the v2 layouts: versioned requests
+// with flags and trace ids, schedule infos carrying the negotiated version
+// and trace block (with and without VBR sizes), and the client report.
+func TestRoundTripVersionedFrames(t *testing.T) {
+	msgs := []any{
+		Request{VideoID: 7, FromSegment: 3, Version: ProtoV2},
+		Request{VideoID: 7, Version: ProtoV2, Flags: FlagNoReport | FlagNoTrace,
+			TraceID: 0xDEADBEEF, SpanID: 42},
+		ScheduleInfo{
+			VideoID: 1, Segments: 3, SlotMillis: 50, SegmentBytes: 4096,
+			AdmitSlot: 123456789, Version: ProtoV2, TraceID: 99, SpanID: 100,
+			Periods: []uint32{1, 2, 3},
+		},
+		ScheduleInfo{
+			VideoID: 1, Segments: 2, SlotMillis: 50, AdmitSlot: 5,
+			Version: ProtoV2, Periods: []uint32{1, 2}, SegmentSizes: []uint32{64, 80},
+		},
+		ScheduleInfo{Version: ProtoV2, TraceID: 1, SpanID: 2}, // zero segments
+		ClientReport{
+			Version: ProtoV2, VideoID: 4, TraceID: 11, SpanID: 12, AdmitSlot: 9,
+			FromSegment: 2, SegmentsNeeded: 5, SegmentsReceived: 4, SharedFrames: 3,
+			StartupSlots: 1, DeadlineMisses: 1, Rebuffers: 1, MaxBuffered: 2,
+			SessionSlots: 6, MinSlackSlots: -2, SumSlackSlots: 7, PayloadBytes: 1 << 40,
+		},
+	}
+	for _, msg := range msgs {
+		got := roundTrip(t, msg)
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("round trip %T:\n got %+v\nwant %+v", msg, got, msg)
+		}
+	}
+}
+
+// TestVersionNegotiationLayouts pins the backward-compat contract: a
+// versionless request is exactly the original 8 bytes, versioned frames are
+// structurally distinguishable, and half-versioned frames are rejected at
+// encode time.
+func TestVersionNegotiationLayouts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Request{VideoID: 3, FromSegment: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 5+8 {
+		t.Fatalf("versionless request is %d bytes on the wire, want 13", buf.Len())
+	}
+	buf.Reset()
+	if err := WriteFrame(&buf, Request{VideoID: 3, Version: ProtoV2}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 5+28 {
+		t.Fatalf("v2 request is %d bytes on the wire, want 33", buf.Len())
+	}
+
+	// Trace fields without a version must not silently vanish.
+	if err := WriteFrame(&buf, Request{VideoID: 3, TraceID: 1}); err == nil {
+		t.Error("request with trace id but no version accepted")
+	}
+	if err := WriteFrame(&buf, Request{VideoID: 3, Version: ProtoV1}); err == nil {
+		t.Error("request with explicit v1 layout accepted")
+	}
+	if err := WriteFrame(&buf, ScheduleInfo{Segments: 1, Periods: []uint32{1}, TraceID: 9}); err == nil {
+		t.Error("schedule info with trace id but no version accepted")
+	}
+	if err := WriteFrame(&buf, ClientReport{Version: 0}); err == nil {
+		t.Error("versionless client report accepted")
+	}
+
+	// A decoded versioned frame must announce at least v2.
+	buf.Reset()
+	if err := WriteFrame(&buf, Request{VideoID: 3, Version: ProtoV2}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[5+9] = 0 // patch announced version to 0
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Error("versioned request announcing version 0 accepted")
+	}
+}
+
 func TestRoundTripEmptyPayload(t *testing.T) {
 	got := roundTrip(t, Segment{VideoID: 1, Segment: 1, Slot: 1, Payload: []byte{}})
 	seg, ok := got.(Segment)

@@ -80,12 +80,31 @@ type LatencySnapshot = obs.WindowSnapshot
 // selects the default).
 func NewLatencyWindow(size int) *LatencyWindow { return obs.NewWindow(size) }
 
-// StationStatus is the station's operator snapshot: shard table, stage
-// latency windows and clock health.
+// AlertEngine evaluates declarative alert rules over live metrics on a
+// ticker, walking each rule through the inactive/pending/firing/resolved
+// state machine the /alertz endpoint and vodtop render.
+type AlertEngine = obs.AlertEngine
+
+// AlertRule is one declarative rule: a value source, a comparison against a
+// threshold (or a staleness watch), and hold/retention durations.
+type AlertRule = obs.AlertRule
+
+// AlertStatus is the exported state of one rule after an evaluation.
+type AlertStatus = obs.AlertStatus
+
+// NewAlertEngine builds an empty alert engine; add rules then Start it, or
+// hand rules to ServeConfig.AlertRules and let the server drive it.
+func NewAlertEngine() *AlertEngine { return obs.NewAlertEngine() }
+
+// StationStatus is the station's operator snapshot: shard table, per-video
+// rows, stage latency windows and clock health.
 type StationStatus = station.Status
 
 // StationShardStatus is one row of the shard table.
 type StationShardStatus = station.ShardStatus
+
+// StationVideoStatus is one per-video row of the station snapshot.
+type StationVideoStatus = station.VideoStatus
 
 // StationClockStatus describes the broadcast clock's tick lag and drift.
 type StationClockStatus = station.ClockStatus
@@ -138,16 +157,42 @@ func NewVBRVideo(id uint32, tr *Trace, plan VBRSolution, scale float64) (ServeVi
 	return vodserver.NewVBRVideo(id, tr, plan, scale)
 }
 
-// FetchResult describes one completed client session.
+// FetchResult describes one completed client session, including its QoE
+// telemetry (startup delay, deadline slack, misses and rebuffers).
 type FetchResult = vodclient.Result
+
+// FetchOptions parameterizes a client session: video, resume point, timeout,
+// and the v2 behaviours (trace join, end-of-session report, strict
+// deadlines).
+type FetchOptions = vodclient.FetchOptions
+
+// ClientReport is the wire-level QoE summary a v2 session sends back to the
+// server at its end.
+type ClientReport = wire.ClientReport
+
+// QoESnapshot is the server's aggregated view of reported client sessions,
+// served inside /statusz.
+type QoESnapshot = vodserver.QoESnapshot
+
+// FetchWith requests a video with explicit options; the returned result
+// carries the session's QoE telemetry.
+func FetchWith(addr string, opts FetchOptions) (FetchResult, error) {
+	return vodclient.FetchWith(addr, opts)
+}
 
 // Fetch requests a video from a running server, verifying every byte and
 // every delivery deadline.
+//
+// Deprecated: use FetchWith, which tolerates missed deadlines (recording
+// them as QoE), joins the server's trace and reports telemetry back. Fetch
+// keeps the strict legacy protocol-v1 behaviour.
 func Fetch(addr string, videoID uint32, timeout time.Duration) (FetchResult, error) {
 	return vodclient.Fetch(addr, videoID, timeout)
 }
 
 // FetchFrom is Fetch for an interactive customer resuming at a segment.
+//
+// Deprecated: use FetchWith with FetchOptions.From.
 func FetchFrom(addr string, videoID, from uint32, timeout time.Duration) (FetchResult, error) {
 	return vodclient.FetchFrom(addr, videoID, from, timeout)
 }
