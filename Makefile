@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-core bench-obs bench-station bench-wire ci fuzz experiments examples cover clean
+.PHONY: all build test race bench bench-core bench-load bench-obs bench-station bench-wire ci fuzz experiments examples cover clean
 
 all: build test
 
@@ -34,11 +34,20 @@ ci:
 		{ echo "coverage $$total% below floor $(COVER_FLOOR)%"; exit 1; }
 	$(GO) test -run '^TestRegisteredMetricNamesValid$$' -count=1 ./internal/vodserver/
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./internal/...
+	$(GO) run ./cmd/vodload -sessions 200 -duration 2s -slot-ms 5 -report /dev/null
 	@rm -f ci-cover.out
 	@echo "ci: all gates passed"
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/...
+
+# The closed-loop load harness against a self-contained server: three ramp
+# steps, live capacity telemetry, and the analytic DHB gate. The reference
+# run lives in BENCH_load.json; the target fails when the gate does.
+bench-load:
+	$(GO) run ./cmd/vodload -sessions 200 -steps 3 -duration 6s -slot-ms 5 \
+		-report BENCH_load.json -interval 1s
+	@echo "bench-load: report in BENCH_load.json"
 
 # The admission fast path A/B (RMQ ring + same-slot memo versus the linear
 # reference): the matrix behind BENCH_core.json.

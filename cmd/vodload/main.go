@@ -1,0 +1,233 @@
+// Command vodload is the closed-loop load harness for vodserver: it drives
+// a server with concurrent QoE-tracking client sessions over a bounded
+// connection pool, steps the fleet through a ramp, soak or spike profile,
+// renders live capacity telemetry while it runs, and gates every step's
+// measurements against the analytic DHB envelopes — exiting non-zero when
+// the server breaks its own capacity model.
+//
+// Usage, against a running server:
+//
+//	vodserver -addr 127.0.0.1:4800 -stats-addr 127.0.0.1:4900 &
+//	vodload -addr 127.0.0.1:4800 -status-addr 127.0.0.1:4900 -sessions 200 -duration 30s
+//
+// or fully self-contained (boots an in-process server, wires its live
+// counters into the server's /statusz so vodtop shows the load pane):
+//
+//	vodload -sessions 200 -duration 2s -report BENCH_load.json
+//
+// The exit status is the gate verdict: 0 when every gated step sat inside
+// the analytic envelopes, 1 when any check failed, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"vodcast/internal/load"
+	"vodcast/internal/vodserver"
+	"vodcast/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "vodserver address; empty boots a self-contained in-process server")
+		statusAddr = flag.String("status-addr", "", "server stats address for the bandwidth gate (automatic in self-contained mode)")
+
+		sessions = flag.Int("sessions", 200, "peak concurrent sessions")
+		steps    = flag.Int("steps", 3, "ramp plateaus (ramp profile)")
+		duration = flag.Duration("duration", 6*time.Second, "total run duration across all steps")
+		profile  = flag.String("profile", "ramp", "load shape: ramp, soak or spike")
+		base     = flag.Int("base", 0, "spike profile base sessions (0 = sessions/10)")
+
+		videos       = flag.Int("videos", 2, "catalogue size, video ids 1..n")
+		segments     = flag.Int("segments", 6, "segments per video (self-contained server)")
+		segmentBytes = flag.Int("segment-bytes", 64, "payload bytes per segment (self-contained server)")
+		slotMillis   = flag.Int("slot-ms", 10, "slot duration in milliseconds (self-contained server)")
+
+		conns    = flag.Int("conns", 256, "connection pool bound the sessions multiplex over")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-session timeout, dial included")
+		seed     = flag.Int64("seed", 1, "video sampling seed")
+		skew     = flag.Float64("skew", 1.0, "Zipf popularity skew across the catalogue")
+		rate     = flag.Float64("rate", 0, "open-loop arrival pacing in requests/hour (0 = fully closed loop)")
+		interval = flag.Duration("interval", time.Second, "live progress interval")
+
+		reportPath = flag.String("report", "", "write the final JSON report here (empty = stdout)")
+		stepLog    = flag.String("step-log", "", "append one JSON line per finished step here")
+		noGate     = flag.Bool("no-gate", false, "measure only; skip the analytic pass/fail gate")
+	)
+	flag.Parse()
+	code, err := run(runOpts{
+		addr: *addr, statusAddr: *statusAddr,
+		sessions: *sessions, steps: *steps, duration: *duration,
+		profile: *profile, base: *base,
+		videos: *videos, segments: *segments, segmentBytes: *segmentBytes, slotMillis: *slotMillis,
+		conns: *conns, timeout: *timeout, seed: *seed, skew: *skew, rate: *rate,
+		interval: *interval, reportPath: *reportPath, stepLog: *stepLog, noGate: *noGate,
+	}, os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vodload:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// runOpts carries the parsed flag set.
+type runOpts struct {
+	addr, statusAddr                           string
+	sessions, steps, base                      int
+	duration, timeout, interval                time.Duration
+	profile                                    string
+	videos, segments, segmentBytes, slotMillis int
+	conns                                      int
+	seed                                       int64
+	skew, rate                                 float64
+	reportPath, stepLog                        string
+	noGate                                     bool
+}
+
+// run executes one harness run and returns the process exit code (the gate
+// verdict). Usage and setup problems surface as errors instead.
+func run(o runOpts, stdout, stderr io.Writer) (int, error) {
+	if o.videos <= 0 {
+		return 0, fmt.Errorf("video count %d must be positive", o.videos)
+	}
+	catalogue := make([]uint32, o.videos)
+	for i := range catalogue {
+		catalogue[i] = uint32(i + 1)
+	}
+
+	prof, err := buildProfile(o)
+	if err != nil {
+		return 0, err
+	}
+
+	addr, statusAddr := o.addr, o.statusAddr
+	var wire func(*load.Harness) // self-contained mode publishes Live into /statusz
+	if addr == "" {
+		srv, err := vodserver.Start(vodserver.Config{
+			Addr:         "127.0.0.1:0",
+			StatsAddr:    "127.0.0.1:0",
+			Videos:       selfCatalogue(catalogue, o.segments, o.segmentBytes),
+			SlotDuration: time.Duration(o.slotMillis) * time.Millisecond,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("self-contained server: %w", err)
+		}
+		defer srv.Close()
+		addr, statusAddr = srv.Addr(), srv.StatsAddr()
+		fmt.Fprintf(stderr, "vodload: self-contained server on %s (statusz on %s)\n", addr, statusAddr)
+		wire = func(h *load.Harness) {
+			srv.SetLoadStatus(func() vodserver.LoadStatus {
+				return vodserver.LoadStatus(h.Live())
+			})
+		}
+	}
+
+	var stepW io.Writer
+	if o.stepLog != "" {
+		f, err := os.OpenFile(o.stepLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return 0, fmt.Errorf("step log: %w", err)
+		}
+		defer f.Close()
+		stepW = f
+	}
+	var arrivals workload.RateFunc
+	if o.rate > 0 {
+		arrivals = workload.Soak(o.rate)
+	}
+
+	h, err := load.New(load.Config{
+		Addr:           addr,
+		StatusAddr:     statusAddr,
+		Videos:         catalogue,
+		ZipfSkew:       o.skew,
+		Profile:        prof,
+		MaxConns:       o.conns,
+		SessionTimeout: o.timeout,
+		Seed:           o.seed,
+		Interval:       o.interval,
+		Progress:       stderr,
+		StepLog:        stepW,
+		Arrivals:       arrivals,
+		Gate:           load.Gate{Disabled: o.noGate},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if wire != nil {
+		wire(h)
+	}
+
+	// Interrupt stops the run at the next session boundary; the report then
+	// covers the completed steps and fails the gate.
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	go func() {
+		<-sig
+		close(done)
+	}()
+
+	report, err := h.Run(done)
+	if err != nil {
+		return 0, err
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	if o.reportPath == "" {
+		fmt.Fprintf(stdout, "%s\n", out)
+	} else if err := os.WriteFile(o.reportPath, append(out, '\n'), 0o644); err != nil {
+		return 0, fmt.Errorf("report: %w", err)
+	}
+
+	if report.Pass {
+		fmt.Fprintf(stderr, "vodload: PASS — %d steps inside the analytic envelopes\n", len(report.Steps))
+		return 0, nil
+	}
+	fmt.Fprintf(stderr, "vodload: FAIL\n")
+	for _, f := range report.Failures {
+		fmt.Fprintf(stderr, "  %s\n", f)
+	}
+	return 1, nil
+}
+
+// buildProfile assembles the step sequence the flags describe.
+func buildProfile(o runOpts) ([]load.Step, error) {
+	switch strings.ToLower(o.profile) {
+	case "ramp":
+		return load.RampProfile(o.sessions, o.steps, o.duration)
+	case "soak":
+		return load.SoakProfile(o.sessions, o.duration)
+	case "spike":
+		base := o.base
+		if base == 0 {
+			base = o.sessions / 10
+		}
+		if base < 1 {
+			base = 1
+		}
+		return load.SpikeProfile(base, o.sessions, o.duration)
+	default:
+		return nil, fmt.Errorf("unknown profile %q (want ramp, soak or spike)", o.profile)
+	}
+}
+
+// selfCatalogue builds the in-process server's video set.
+func selfCatalogue(ids []uint32, segments, segmentBytes int) []vodserver.VideoConfig {
+	vs := make([]vodserver.VideoConfig, len(ids))
+	for i, id := range ids {
+		vs[i] = vodserver.VideoConfig{ID: id, Segments: segments, SegmentBytes: segmentBytes}
+	}
+	return vs
+}

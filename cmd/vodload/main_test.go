@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vodcast/internal/load"
+)
+
+func TestBuildProfile(t *testing.T) {
+	ramp, err := buildProfile(runOpts{profile: "ramp", sessions: 30, steps: 3, duration: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ramp) != 3 || ramp[2].Sessions != 30 {
+		t.Fatalf("ramp = %+v", ramp)
+	}
+	soak, err := buildProfile(runOpts{profile: "Soak", sessions: 10, duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(soak) != 1 {
+		t.Fatalf("soak = %+v", soak)
+	}
+	spike, err := buildProfile(runOpts{profile: "spike", sessions: 40, duration: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spike[0].Sessions != 4 || spike[1].Sessions != 40 {
+		t.Fatalf("spike defaulted base wrong: %+v", spike)
+	}
+	if _, err := buildProfile(runOpts{profile: "sawtooth"}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+// TestRunSelfContained: the full CLI path in self-contained mode — boots
+// its own server, runs a short ramp, writes the report and the step log,
+// and exits 0 with the gate passing.
+func TestRunSelfContained(t *testing.T) {
+	dir := t.TempDir()
+	reportPath := filepath.Join(dir, "report.json")
+	stepPath := filepath.Join(dir, "steps.jsonl")
+	var stdout, stderr bytes.Buffer
+	code, err := run(runOpts{
+		sessions: 12, steps: 3, duration: 1500 * time.Millisecond, profile: "ramp",
+		videos: 2, segments: 6, segmentBytes: 48, slotMillis: 5,
+		conns: 16, timeout: 10 * time.Second, seed: 3, skew: 1.0,
+		interval:   250 * time.Millisecond,
+		reportPath: reportPath, stepLog: stepPath,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report load.Report
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	if !report.Pass || len(report.Steps) != 3 {
+		t.Fatalf("report pass=%v steps=%d failures=%v", report.Pass, len(report.Steps), report.Failures)
+	}
+	for _, st := range report.Steps {
+		if !st.Gated {
+			t.Fatalf("step %s ungated (sessions=%d)", st.Name, st.Sessions)
+		}
+	}
+	f, err := os.Open(stepPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("step log lines = %d, want 3", lines)
+	}
+	if !strings.Contains(stderr.String(), "PASS") {
+		t.Fatalf("stderr missing verdict:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "self-contained server on") {
+		t.Fatalf("stderr missing server banner:\n%s", stderr.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run(runOpts{videos: 0}, &out, &out); err == nil {
+		t.Fatal("zero catalogue accepted")
+	}
+	if _, err := run(runOpts{videos: 1, profile: "nope"}, &out, &out); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

@@ -1,0 +1,182 @@
+package load_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"vodcast/internal/load"
+	"vodcast/internal/vodserver"
+)
+
+// startLoadServer boots a two-video station with the monitoring endpoint
+// bound, optionally with fault injection.
+func startLoadServer(t *testing.T, drop func(video uint32, segment, slot int) bool) *vodserver.Server {
+	t.Helper()
+	s, err := vodserver.Start(vodserver.Config{
+		Addr:      "127.0.0.1:0",
+		StatsAddr: "127.0.0.1:0",
+		Videos: []vodserver.VideoConfig{
+			{ID: 1, Segments: 6, SegmentBytes: 48},
+			{ID: 2, Segments: 6, SegmentBytes: 48},
+		},
+		SlotDuration: 5 * time.Millisecond,
+		DropInstance: drop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestE2ELoadHarnessHealthy: a short ramp against a healthy server — every
+// step's measured bandwidth, startup delay and error rate must sit inside
+// the analytic envelopes, and the run artifacts (live progress, JSONL step
+// log, final report) must all be produced.
+func TestE2ELoadHarnessHealthy(t *testing.T) {
+	s := startLoadServer(t, nil)
+	profile, err := load.RampProfile(24, 3, 2100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progress, stepLog bytes.Buffer
+	h, err := load.New(load.Config{
+		Addr:           s.Addr(),
+		StatusAddr:     s.StatsAddr(),
+		Videos:         []uint32{1, 2},
+		Profile:        profile,
+		MaxConns:       16,
+		SessionTimeout: 10 * time.Second,
+		Seed:           42,
+		Interval:       250 * time.Millisecond,
+		Progress:       &progress,
+		StepLog:        &stepLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := h.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Pass {
+		t.Fatalf("healthy run failed the gate: %v", report.Failures)
+	}
+	if len(report.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3", len(report.Steps))
+	}
+	if report.SlotMillis != 5 {
+		t.Fatalf("learned slot = %dms, want 5", report.SlotMillis)
+	}
+	for _, st := range report.Steps {
+		if !st.Gated {
+			t.Fatalf("step %s not gated (sessions=%d)", st.Name, st.Sessions)
+		}
+		if st.Errors != 0 {
+			t.Fatalf("step %s: %d session errors", st.Name, st.Errors)
+		}
+		if st.Server == nil || len(st.Server.PerVideo) != 2 {
+			t.Fatalf("step %s missing server delta: %+v", st.Name, st.Server)
+		}
+		if st.SessionsPerCore <= 0 || st.AdmitsPerSec <= 0 {
+			t.Fatalf("step %s rates not computed: %+v", st.Name, st)
+		}
+		// Both catalogue videos must be bandwidth-gated against their own
+		// schedules (wire ids 1 and 2, not station indices).
+		checks := map[string]bool{}
+		for _, c := range st.Checks {
+			checks[c.Name] = true
+		}
+		for _, want := range []string{"bandwidth_saturated_video_1", "bandwidth_saturated_video_2"} {
+			if !checks[want] {
+				t.Fatalf("step %s missing %s: %v", st.Name, want, checks)
+			}
+		}
+	}
+	// The fleet outgrew the 16-connection pool at step 3 (24 sessions), so
+	// the pool must have bounded, not errored.
+	if report.Pool.Peak > 16 {
+		t.Fatalf("pool peak %d exceeded bound", report.Pool.Peak)
+	}
+	if report.Pool.Dials == 0 {
+		t.Fatal("pool recorded no dials")
+	}
+
+	// Live progress lines rendered on the interval.
+	if !strings.Contains(progress.String(), "step=ramp-1") {
+		t.Fatalf("no live progress rendered:\n%s", progress.String())
+	}
+	// The JSONL step log parses line by line back into StepResults.
+	lines := 0
+	sc := bufio.NewScanner(&stepLog)
+	for sc.Scan() {
+		var st load.StepResult
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+			t.Fatalf("step log line %d: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("step log lines = %d, want 3", lines)
+	}
+	// The run is over; the live view must say so.
+	if live := h.Live(); live.Running || live.ActiveSessions != 0 {
+		t.Fatalf("live after run: %+v", live)
+	}
+}
+
+// TestE2ELoadHarnessFaultInjection: the same harness against a server that
+// drops every scheduled instance of video 1's first segment. The streams
+// still complete (the tolerant client records the holes as QoE damage), so
+// only the analytic gate can tell this server is broken — and it must.
+func TestE2ELoadHarnessFaultInjection(t *testing.T) {
+	s := startLoadServer(t, func(video uint32, segment, slot int) bool {
+		return video == 1 && segment == 1
+	})
+	profile, err := load.SoakProfile(12, 900*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := load.New(load.Config{
+		Addr:           s.Addr(),
+		StatusAddr:     s.StatsAddr(),
+		Videos:         []uint32{1, 2},
+		Profile:        profile,
+		MaxConns:       16,
+		SessionTimeout: 10 * time.Second,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := h.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Pass {
+		t.Fatal("gate passed a server dropping segment deadlines")
+	}
+	if len(report.Failures) == 0 {
+		t.Fatal("failed report names no failures")
+	}
+	// The damage is client-visible QoE, so the miss-rate envelope (and with
+	// segment 1 gone, the startup envelope) must be what tripped.
+	failed := map[string]bool{}
+	for _, st := range report.Steps {
+		for _, c := range st.Checks {
+			if !c.Pass {
+				failed[c.Name] = true
+			}
+		}
+	}
+	if !failed["miss_rate"] {
+		t.Fatalf("miss_rate did not trip; failed checks: %v (failures %v)", failed, report.Failures)
+	}
+	if !failed["startup_p99_slots"] {
+		t.Fatalf("startup_p99_slots did not trip; failed checks: %v", failed)
+	}
+}

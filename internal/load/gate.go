@@ -1,0 +1,392 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"vodcast/internal/analysis"
+	"vodcast/internal/obs"
+	"vodcast/internal/vodclient"
+)
+
+// Gate tunes the analytic pass/fail envelopes a step must sit inside. The
+// zero value selects the documented defaults; Disabled skips gating (every
+// step passes and Checks stays empty).
+type Gate struct {
+	Disabled bool
+
+	// ErrorBudget bounds the fraction of sessions that may fail outright
+	// (admit rejects, disconnects, timeouts). Default 0.01.
+	ErrorBudget float64
+	// MissBudget bounds deadline misses per completed session — the paper's
+	// delivery guarantee says zero, so the budget only absorbs measurement
+	// edge effects. Default 0.01.
+	MissBudget float64
+	// StartupSlackSlots pads the waiting-time envelope: p99 startup delay
+	// must not exceed T[1] + StartupSlackSlots. DHB promises segment 1
+	// within T[1] slots of admission; the slack absorbs the half-open slot
+	// the admission itself lands in. Default 1.
+	StartupSlackSlots float64
+	// SaturatedTolerance pads the hard bandwidth ceiling: each video's
+	// measured broadcast load may exceed DHBSaturated by this fraction
+	// (absorbing boundary effects of short steps). Default 0.15.
+	SaturatedTolerance float64
+	// MeanTolerance and MeanSlackStreams pad the renewal-model envelope:
+	// measured load must stay under DHBMean(measured rate)×(1+MeanTolerance)
+	// + MeanSlackStreams. The relative term absorbs model error, the
+	// absolute term short-step variance at low rates. Defaults 0.5 and 0.5.
+	MeanTolerance    float64
+	MeanSlackStreams float64
+	// MinSessions is the smallest completed-session count a step needs
+	// before its client-side distributions are gated; MinSlots the smallest
+	// per-video slot delta before its bandwidth is gated. Too-small samples
+	// are skipped, not failed. Defaults 20 and 20.
+	MinSessions int
+	MinSlots    int
+}
+
+func (g Gate) withDefaults() Gate {
+	if g.ErrorBudget == 0 {
+		g.ErrorBudget = 0.01
+	}
+	if g.MissBudget == 0 {
+		g.MissBudget = 0.01
+	}
+	if g.StartupSlackSlots == 0 {
+		g.StartupSlackSlots = 1
+	}
+	if g.SaturatedTolerance == 0 {
+		g.SaturatedTolerance = 0.15
+	}
+	if g.MeanTolerance == 0 {
+		g.MeanTolerance = 0.5
+	}
+	if g.MeanSlackStreams == 0 {
+		g.MeanSlackStreams = 0.5
+	}
+	if g.MinSessions == 0 {
+		g.MinSessions = 20
+	}
+	if g.MinSlots == 0 {
+		g.MinSlots = 20
+	}
+	return g
+}
+
+// Check is one gate verdict: a measured quantity against its analytic
+// limit.
+type Check struct {
+	Name     string  `json:"name"`
+	Measured float64 `json:"measured"`
+	Limit    float64 `json:"limit"`
+	Pass     bool    `json:"pass"`
+	Detail   string  `json:"detail,omitempty"`
+}
+
+func check(name string, measured, limit float64, detail string) Check {
+	return Check{Name: name, Measured: measured, Limit: limit, Pass: measured <= limit, Detail: detail}
+}
+
+// StepResult is one finished load step: the merged client-side digests,
+// the server-side delta when /statusz was polled, and the gate verdicts.
+type StepResult struct {
+	Name            string  `json:"name"`
+	TargetSessions  int     `json:"target_sessions"`
+	DurationSeconds float64 `json:"duration_seconds"`
+
+	Sessions         uint64  `json:"sessions"`
+	Errors           uint64  `json:"errors"`
+	Misses           uint64  `json:"deadline_misses"`
+	SessionsPerSec   float64 `json:"sessions_per_sec"`
+	SessionsPerCore  float64 `json:"sessions_per_core"`
+	AdmitsPerSec     float64 `json:"admits_per_sec"`
+	ErrorRate        float64 `json:"error_rate"`
+	MissesPerSession float64 `json:"misses_per_session"`
+
+	Startup   obs.WindowSnapshot `json:"startup_slots"`
+	Slack     obs.WindowSnapshot `json:"slack_slots"`
+	Dial      obs.WindowSnapshot `json:"dial_seconds"`
+	PoolWait  obs.WindowSnapshot `json:"pool_wait_seconds"`
+	FirstByte obs.WindowSnapshot `json:"first_byte_seconds"`
+
+	Server *ServerDelta `json:"server,omitempty"`
+	Checks []Check      `json:"checks,omitempty"`
+	// Gated reports whether the gate evaluated this step; Pass is its
+	// verdict (true when ungated — an ungated step cannot fail).
+	Gated bool `json:"gated"`
+	Pass  bool `json:"pass"`
+}
+
+// Report is the final machine-readable artifact of a run.
+type Report struct {
+	Addr       string              `json:"addr"`
+	Cores      int                 `json:"cores"`
+	Zipf       float64             `json:"zipf_skew"`
+	SlotMillis int                 `json:"slot_millis"`
+	Steps      []StepResult        `json:"steps"`
+	Pool       vodclient.PoolStats `json:"pool"`
+	// Pass is the run verdict: every gated step passed and the run was not
+	// interrupted. Failures names what went wrong, one line per failed
+	// check.
+	Pass     bool     `json:"pass"`
+	Failures []string `json:"failures,omitempty"`
+}
+
+func (r *Report) finalize(interrupted bool) {
+	r.Pass = true
+	if interrupted {
+		r.Pass = false
+		r.Failures = append(r.Failures, "run interrupted before the profile completed")
+	}
+	for i := range r.Steps {
+		st := &r.Steps[i]
+		if st.Pass {
+			continue
+		}
+		r.Pass = false
+		for _, c := range st.Checks {
+			if !c.Pass {
+				r.Failures = append(r.Failures,
+					fmt.Sprintf("step %s: %s measured %.4g > limit %.4g (%s)",
+						st.Name, c.Name, c.Measured, c.Limit, c.Detail))
+			}
+		}
+	}
+}
+
+// gateStep evaluates the envelopes for one finished step in place.
+func (h *Harness) gateStep(res *StepResult) {
+	g := h.cfg.Gate
+	res.Pass = true
+	if g.Disabled {
+		return
+	}
+	total := res.Sessions + res.Errors
+	if total < uint64(g.MinSessions) {
+		return
+	}
+	res.Gated = true
+
+	// Session health: errors and deadline misses against their budgets.
+	res.Checks = append(res.Checks,
+		check("error_rate", res.ErrorRate, g.ErrorBudget,
+			fmt.Sprintf("%d of %d sessions failed", res.Errors, total)),
+		check("miss_rate", res.MissesPerSession, g.MissBudget,
+			fmt.Sprintf("%d deadline misses over %d sessions", res.Misses, res.Sessions)))
+
+	// Waiting time: DHB delivers segment 1 within T[1] slots of admission,
+	// so p99 startup delay is gated at max T[1] over the catalogue plus
+	// slack. Needs at least one learned schedule.
+	periods := h.periodsLearned()
+	if maxT1 := maxFirstPeriod(periods); maxT1 > 0 && res.Startup.Count > 0 {
+		res.Checks = append(res.Checks,
+			check("startup_p99_slots", res.Startup.P99, float64(maxT1)+g.StartupSlackSlots,
+				fmt.Sprintf("T[1]=%d over %d videos", maxT1, len(periods))))
+	}
+
+	// Bandwidth: each video's measured broadcast load (instances per slot,
+	// from the server-side delta) against the saturation ceiling and the
+	// renewal-model mean at the measured arrival rate.
+	if res.Server == nil {
+		return
+	}
+	slotSec := float64(h.slotMillisLearned()) / 1000
+	for i := range res.Server.PerVideo {
+		v := &res.Server.PerVideo[i]
+		p, ok := periods[v.Video]
+		if !ok || v.Slots < h.cfg.Gate.MinSlots || slotSec <= 0 {
+			continue
+		}
+		sat, err := analysis.DHBSaturated(p)
+		if err != nil {
+			continue
+		}
+		v.Saturated = sat
+		res.Checks = append(res.Checks,
+			check(fmt.Sprintf("bandwidth_saturated_video_%d", v.Video), v.Load, sat*(1+g.SaturatedTolerance),
+				fmt.Sprintf("measured %.3f streams over %d slots, H ceiling %.3f", v.Load, v.Slots, sat)))
+		if v.RatePerHour > 0 {
+			mean, err := analysis.DHBMean(p, v.RatePerHour, slotSec)
+			if err == nil {
+				v.MeanEnvelope = mean
+				res.Checks = append(res.Checks,
+					check(fmt.Sprintf("bandwidth_mean_video_%d", v.Video), v.Load, mean*(1+g.MeanTolerance)+g.MeanSlackStreams,
+						fmt.Sprintf("renewal model %.3f streams at %.0f req/h", mean, v.RatePerHour)))
+			}
+		}
+	}
+	for _, c := range res.Checks {
+		if !c.Pass {
+			res.Pass = false
+		}
+	}
+}
+
+func maxFirstPeriod(periods map[uint32][]int) int {
+	max := 0
+	for _, p := range periods {
+		if len(p) > 1 && p[1] > max {
+			max = p[1]
+		}
+	}
+	return max
+}
+
+// ServerDelta is the server's own accounting over one step, from /statusz
+// samples at the step boundaries.
+type ServerDelta struct {
+	Requests  int64        `json:"requests"`
+	Instances int64        `json:"instances"`
+	Slots     int          `json:"slots"`
+	PerVideo  []VideoDelta `json:"per_video,omitempty"`
+}
+
+// VideoDelta is one video's step delta plus the analytic envelopes the
+// gate compared it against.
+type VideoDelta struct {
+	Video     uint32 `json:"video"`
+	Requests  int64  `json:"requests"`
+	Instances int64  `json:"instances"`
+	Slots     int    `json:"slots"`
+	// Load is the measured broadcast bandwidth, instances per slot (streams
+	// in consumption-rate units); RatePerHour the measured arrival rate.
+	Load        float64 `json:"load"`
+	RatePerHour float64 `json:"rate_per_hour"`
+	// MeanEnvelope and Saturated are the analytic references, filled by the
+	// gate when it evaluated this video.
+	MeanEnvelope float64 `json:"mean_envelope,omitempty"`
+	Saturated    float64 `json:"saturated,omitempty"`
+}
+
+// serverSample is the slice of the /statusz document the gate consumes —
+// decoded structurally so the harness does not import the server.
+type serverSample struct {
+	Stats struct {
+		Requests  int64 `json:"Requests"`
+		Instances int64 `json:"Instances"`
+	} `json:"stats"`
+	Station struct {
+		PerVideo []struct {
+			// Video is the station's 0-based catalogue index; Name carries
+			// the wire-level video ID the schedules are granted under.
+			Video     int    `json:"video"`
+			Name      string `json:"name"`
+			Slot      int    `json:"slot"`
+			Requests  int64  `json:"requests"`
+			Instances int64  `json:"instances"`
+		} `json:"per_video"`
+		Clock struct {
+			Ticks uint64 `json:"ticks"`
+		} `json:"clock"`
+	} `json:"station"`
+}
+
+// wireID recovers the wire-level video ID from a station per-video row:
+// vodserver names each station video after its wire ID. Rows with
+// non-numeric names (foreign station layouts) report ok=false and are
+// skipped rather than misattributed.
+func wireID(name string) (uint32, bool) {
+	id, err := strconv.ParseUint(name, 10, 32)
+	if err != nil {
+		return 0, false
+	}
+	return uint32(id), true
+}
+
+type statusPoller struct {
+	url    string
+	client *http.Client
+}
+
+// newStatusPoller returns a poller for the server's stats address, or nil
+// when addr is empty (server-side gating disabled).
+func newStatusPoller(addr string) *statusPoller {
+	if addr == "" {
+		return nil
+	}
+	return &statusPoller{
+		url:    "http://" + addr + "/statusz",
+		client: &http.Client{Timeout: 5 * time.Second},
+	}
+}
+
+// sample fetches one /statusz snapshot; nil on any failure (a missing
+// sample downgrades the step to client-side gating only).
+func (p *statusPoller) sample() *serverSample {
+	if p == nil {
+		return nil
+	}
+	resp, err := p.client.Get(p.url)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var s serverSample
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return nil
+	}
+	return &s
+}
+
+// delta samples again and subtracts before, converting per-video counter
+// deltas into measured load and arrival rate over the step.
+func (p *statusPoller) delta(before *serverSample, stepSeconds float64) *ServerDelta {
+	if p == nil || before == nil {
+		return nil
+	}
+	after := p.sample()
+	if after == nil {
+		return nil
+	}
+	d := &ServerDelta{
+		Requests:  after.Stats.Requests - before.Stats.Requests,
+		Instances: after.Stats.Instances - before.Stats.Instances,
+		Slots:     int(after.Station.Clock.Ticks - before.Station.Clock.Ticks),
+	}
+	prev := make(map[uint32]struct {
+		slot      int
+		requests  int64
+		instances int64
+	}, len(before.Station.PerVideo))
+	for _, v := range before.Station.PerVideo {
+		id, ok := wireID(v.Name)
+		if !ok {
+			continue
+		}
+		prev[id] = struct {
+			slot      int
+			requests  int64
+			instances int64
+		}{v.Slot, v.Requests, v.Instances}
+	}
+	for _, v := range after.Station.PerVideo {
+		id, ok := wireID(v.Name)
+		if !ok {
+			continue
+		}
+		b, ok := prev[id]
+		if !ok {
+			continue
+		}
+		vd := VideoDelta{
+			Video:     id,
+			Requests:  v.Requests - b.requests,
+			Instances: v.Instances - b.instances,
+			Slots:     v.Slot - b.slot,
+		}
+		if vd.Slots > 0 {
+			vd.Load = float64(vd.Instances) / float64(vd.Slots)
+		}
+		if stepSeconds > 0 {
+			vd.RatePerHour = float64(vd.Requests) / stepSeconds * 3600
+		}
+		d.PerVideo = append(d.PerVideo, vd)
+	}
+	return d
+}

@@ -63,6 +63,19 @@ type Result struct {
 	// the session was not sampled (or tracing was declined). The matching
 	// spans are visible in the server's /spanz.
 	TraceID uint64
+
+	// Dial is the TCP connection establishment latency; PoolWait is the time
+	// the session queued for a connection slot before dialing (always zero
+	// outside a Pool). Load harnesses fold both into their step digests.
+	Dial     time.Duration
+	PoolWait time.Duration
+
+	// Periods is the 1-based DHB period vector the server granted (index 0
+	// unused) and SlotMillis its slot duration — the schedule parameters an
+	// analytic capacity model needs to gate measured results against
+	// internal/analysis envelopes.
+	Periods    []int
+	SlotMillis int
 }
 
 // FetchOptions parameterizes a fetch. The zero value of every field is the
@@ -123,21 +136,37 @@ func FetchWith(addr string, opts FetchOptions) (Result, error) {
 	return fetch(addr, opts, false)
 }
 
-// fetch is the shared session loop. legacy selects the version-less v1
-// request (byte-identical to the pre-v2 client) — servers negotiate down
-// and expect no report.
-func fetch(addr string, opts FetchOptions, legacy bool) (Result, error) {
+// checkOptions validates the fields every session entry point shares.
+func checkOptions(opts FetchOptions) error {
 	if opts.Timeout <= 0 {
-		return Result{}, fmt.Errorf("vodclient: timeout %v must be positive", opts.Timeout)
+		return fmt.Errorf("vodclient: timeout %v must be positive", opts.Timeout)
 	}
 	if opts.From < 1 {
-		return Result{}, fmt.Errorf("vodclient: resume segment %d must be at least 1", opts.From)
+		return fmt.Errorf("vodclient: resume segment %d must be at least 1", opts.From)
+	}
+	return nil
+}
+
+// fetch dials its own connection and runs one session over it. legacy
+// selects the version-less v1 request (byte-identical to the pre-v2 client)
+// — servers negotiate down and expect no report.
+func fetch(addr string, opts FetchOptions, legacy bool) (Result, error) {
+	if err := checkOptions(opts); err != nil {
+		return Result{}, err
 	}
 	start := time.Now()
 	conn, err := net.DialTimeout("tcp", addr, opts.Timeout)
 	if err != nil {
 		return Result{}, fmt.Errorf("vodclient: dial: %w", err)
 	}
+	return runSession(conn, start, time.Since(start), opts, legacy)
+}
+
+// runSession speaks one session over an established connection; it owns the
+// connection and closes it on return. start anchors the session timeout and
+// the first-byte clock (set it before dialing so both cover the dial), dial
+// is the recorded connection establishment latency.
+func runSession(conn net.Conn, start time.Time, dial time.Duration, opts FetchOptions, legacy bool) (Result, error) {
 	defer conn.Close()
 	if err := conn.SetDeadline(start.Add(opts.Timeout)); err != nil {
 		return Result{}, fmt.Errorf("vodclient: set deadline: %w", err)
@@ -192,10 +221,13 @@ func fetch(addr string, opts FetchOptions, legacy bool) (Result, error) {
 	sendReport := !legacy && info.Version >= wire.ProtoV2 && !opts.NoReport
 
 	res := Result{
-		VideoID:   info.VideoID,
-		Segments:  int(info.Segments),
-		AdmitSlot: info.AdmitSlot,
-		TraceID:   info.TraceID,
+		VideoID:    info.VideoID,
+		Segments:   int(info.Segments),
+		AdmitSlot:  info.AdmitSlot,
+		TraceID:    info.TraceID,
+		Dial:       dial,
+		Periods:    periods,
+		SlotMillis: int(info.SlotMillis),
 	}
 	// The session ends when the shifted suffix's last deadline passes.
 	lastSlot := int(info.AdmitSlot) + maxPeriod(periods[:int(info.Segments)-int(opts.From)+2])

@@ -1,0 +1,158 @@
+package vodclient
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"vodcast/internal/vodserver"
+)
+
+func startPoolServer(t *testing.T, segments int) *vodserver.Server {
+	t.Helper()
+	s, err := vodserver.Start(vodserver.Config{
+		Addr:         "127.0.0.1:0",
+		Videos:       []vodserver.VideoConfig{{ID: 1, Segments: segments, SegmentBytes: 32}},
+		SlotDuration: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool("", 4); err == nil {
+		t.Fatal("empty address accepted")
+	}
+	if _, err := NewPool("127.0.0.1:1", 0); err == nil {
+		t.Fatal("zero-size pool accepted")
+	}
+	p, err := NewPool("127.0.0.1:1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Addr() != "127.0.0.1:1" {
+		t.Fatalf("Addr = %q", p.Addr())
+	}
+	if _, err := p.Fetch(FetchOptions{VideoID: 1}); err == nil {
+		t.Fatal("zero timeout accepted")
+	}
+}
+
+// TestPoolBoundsConcurrency: many concurrent sessions share the pool; the
+// socket high-water mark never exceeds the bound, the overflow sessions
+// queue (recording a pool wait), and every session still verifies its
+// stream end to end.
+func TestPoolBoundsConcurrency(t *testing.T) {
+	s := startPoolServer(t, 4)
+	const maxConns, sessions = 3, 24
+	p, err := NewPool(s.Addr(), maxConns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make(chan Result, sessions)
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := p.Fetch(FetchOptions{VideoID: 1, Timeout: 20 * time.Second})
+			if err != nil {
+				errs <- err
+				return
+			}
+			results <- res
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	close(results)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	waited := 0
+	for res := range results {
+		if res.Segments != 4 || res.MissingSegments != 0 {
+			t.Fatalf("session incomplete: %+v", res)
+		}
+		if res.PoolWait > 0 {
+			waited++
+		}
+	}
+	st := p.Stats()
+	if st.Peak > maxConns {
+		t.Fatalf("peak connections %d exceeded bound %d", st.Peak, maxConns)
+	}
+	if st.Active != 0 {
+		t.Fatalf("active = %d after all sessions returned, want 0", st.Active)
+	}
+	if st.Dials != sessions {
+		t.Fatalf("dials = %d, want %d", st.Dials, sessions)
+	}
+	// 24 sessions over 3 slots must have queued somewhere; Stats agrees with
+	// the per-result waits.
+	if st.Waits == 0 || waited == 0 {
+		t.Fatalf("no session waited (stats %d, results %d) — bound not enforced?", st.Waits, waited)
+	}
+}
+
+// openFDs counts this process's open file descriptors (Linux-only).
+func openFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("cannot count fds: %v", err)
+	}
+	return len(ents)
+}
+
+// TestPoolSequentialSessionsNoFDLeak: a thousand sequential sessions through
+// a two-slot pool leave the process's descriptor count where it started —
+// the regression test for socket leaks in the dial/session/release cycle.
+func TestPoolSequentialSessionsNoFDLeak(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("fd accounting uses /proc")
+	}
+	sessions := 1000
+	if testing.Short() {
+		sessions = 100
+	}
+	s := startPoolServer(t, 1)
+	p, err := NewPool(s.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up (lazily-created runtime fds: epoll, netpoll pipe) before the
+	// baseline.
+	if _, err := p.Fetch(FetchOptions{VideoID: 1, Timeout: 10 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	before := openFDs(t)
+	for i := 0; i < sessions; i++ {
+		res, err := p.Fetch(FetchOptions{VideoID: 1, Timeout: 10 * time.Second})
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		if res.MissingSegments != 0 {
+			t.Fatalf("session %d incomplete: %+v", i, res)
+		}
+	}
+	after := openFDs(t)
+	// TIME_WAIT sockets belong to the kernel, not our fd table; the only
+	// slack allowed is transient server-side accept/close churn.
+	if after > before+8 {
+		t.Fatalf("fd count grew %d -> %d across %d sessions: descriptor leak", before, after, sessions)
+	}
+	st := p.Stats()
+	if st.Active != 0 {
+		t.Fatalf("active = %d after sequential run, want 0", st.Active)
+	}
+	if int(st.Dials) != sessions+1 {
+		t.Fatalf("dials = %d, want %d", st.Dials, sessions+1)
+	}
+}

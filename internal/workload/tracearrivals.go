@@ -71,18 +71,34 @@ func WriteArrivalTrace(w io.Writer, tr *ArrivalTrace) error {
 	return bw.Flush()
 }
 
-// Count reports the number of recorded arrivals.
-func (a *ArrivalTrace) Count() int { return len(a.times) }
-
-// Duration reports the time of the last arrival.
-func (a *ArrivalTrace) Duration() float64 { return a.times[len(a.times)-1] }
-
-// MeanRatePerHour reports the trace's empirical arrival rate.
-func (a *ArrivalTrace) MeanRatePerHour() float64 {
-	if a.Duration() == 0 {
+// Count reports the number of recorded arrivals (zero for a nil trace).
+func (a *ArrivalTrace) Count() int {
+	if a == nil {
 		return 0
 	}
-	return float64(len(a.times)) / a.Duration() * 3600
+	return len(a.times)
+}
+
+// Duration reports the time of the last arrival. A degenerate trace (nil,
+// empty, or a zero-value ArrivalTrace that skipped the constructor) reports
+// zero instead of panicking: downstream consumers divide by it and are
+// expected to handle zero, not recover.
+func (a *ArrivalTrace) Duration() float64 {
+	if a == nil || len(a.times) == 0 {
+		return 0
+	}
+	return a.times[len(a.times)-1]
+}
+
+// MeanRatePerHour reports the trace's empirical arrival rate. Degenerate
+// traces — empty, or single-point/simultaneous ones whose duration is zero —
+// report zero: there is no interval to define a rate over.
+func (a *ArrivalTrace) MeanRatePerHour() float64 {
+	d := a.Duration()
+	if d == 0 {
+		return 0
+	}
+	return float64(len(a.times)) / d * 3600
 }
 
 // Slotted converts the trace into per-slot arrival counts for a slotted

@@ -43,6 +43,43 @@ func TestMeanRatePerHour(t *testing.T) {
 	}
 }
 
+// TestDegenerateTraces: accessors on traces the constructor would reject —
+// nil receivers and zero values reached through struct embedding or decoding
+// — report zeros instead of panicking, and zero-duration traces define no
+// rate.
+func TestDegenerateTraces(t *testing.T) {
+	tests := []struct {
+		name string
+		tr   *ArrivalTrace
+	}{
+		{"nil trace", nil},
+		{"zero value", &ArrivalTrace{}},
+		{"single point at origin", &ArrivalTrace{times: []float64{0}}},
+		{"simultaneous burst at origin", &ArrivalTrace{times: []float64{0, 0, 0}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if d := tc.tr.Duration(); d != 0 {
+				t.Fatalf("Duration = %v, want 0", d)
+			}
+			if r := tc.tr.MeanRatePerHour(); r != 0 {
+				t.Fatalf("MeanRatePerHour = %v, want 0 (no interval to rate over)", r)
+			}
+		})
+	}
+	if n := (*ArrivalTrace)(nil).Count(); n != 0 {
+		t.Fatalf("nil Count = %d, want 0", n)
+	}
+	// A single arrival off the origin has a duration and therefore a rate.
+	single := &ArrivalTrace{times: []float64{7.2}}
+	if single.Duration() != 7.2 {
+		t.Fatalf("Duration = %v, want 7.2", single.Duration())
+	}
+	if r := single.MeanRatePerHour(); math.Abs(r-3600/7.2) > 1e-9 {
+		t.Fatalf("MeanRatePerHour = %v, want %v", r, 3600/7.2)
+	}
+}
+
 func TestSlotted(t *testing.T) {
 	tr, err := NewArrivalTrace([]float64{0, 5, 5.5, 19, 20})
 	if err != nil {
