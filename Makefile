@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-core bench-load bench-obs bench-station bench-wire ci fuzz experiments examples cover clean
+.PHONY: all build test race bench bench-core bench-fanout bench-load bench-obs bench-station bench-wire ci fuzz experiments examples cover clean
 
 all: build test
 
@@ -33,6 +33,11 @@ ci:
 	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= floor+0) }' || \
 		{ echo "coverage $$total% below floor $(COVER_FLOOR)%"; exit 1; }
 	$(GO) test -run '^TestRegisteredMetricNamesValid$$' -count=1 ./internal/vodserver/
+	# The zero-alloc gate runs without -race (race instrumentation itself
+	# allocates, so the test skips under the race suite above), then a
+	# one-iteration smoke of the fan-out A/B matrix.
+	$(GO) test -run '^TestSteadyStateZeroAlloc$$' -count=1 ./internal/fanout/
+	$(GO) test -run '^$$' -bench 'BenchmarkFanOut' -benchtime=1x ./internal/fanout/
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./internal/...
 	$(GO) run ./cmd/vodload -sessions 200 -duration 2s -slot-ms 5 -report /dev/null
 	@rm -f ci-cover.out
@@ -48,6 +53,12 @@ bench-load:
 	$(GO) run ./cmd/vodload -sessions 200 -steps 3 -duration 6s -slot-ms 5 \
 		-report BENCH_load.json -interval 1s
 	@echo "bench-load: report in BENCH_load.json"
+
+# The zero-copy data plane A/B (shared ref-counted slot frames + write
+# rings versus the serialize-per-tick reference): the videos x subscribers
+# matrix behind BENCH_fanout.json. The zero-copy rows must hold 0 allocs/op.
+bench-fanout:
+	$(GO) test -run '^$$' -bench 'BenchmarkFanOut' -benchmem ./internal/fanout/
 
 # The admission fast path A/B (RMQ ring + same-slot memo versus the linear
 # reference): the matrix behind BENCH_core.json.

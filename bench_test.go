@@ -143,7 +143,7 @@ func BenchmarkDHBAdmitSaturated(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dhb.Admit()
+		dhb.AdmitRequest(vodcast.AdmitOptions{})
 		dhb.AdvanceSlot()
 	}
 }
@@ -157,7 +157,7 @@ func BenchmarkDHBAdmitIdle(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dhb.Admit()
+		dhb.AdmitRequest(vodcast.AdmitOptions{})
 		// Drain the horizon so the next admission hits an idle schedule.
 		for k := 0; k < 99; k++ {
 			dhb.AdvanceSlot()
@@ -292,7 +292,7 @@ func BenchmarkCappedDHBAdmit(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dhb.Admit()
+		dhb.AdmitRequest(vodcast.AdmitOptions{})
 		dhb.AdvanceSlot()
 	}
 }
@@ -317,7 +317,7 @@ func BenchmarkStorageEvaluate(b *testing.B) {
 	}
 	sched := vodcast.DiskSchedule{SlotSeconds: 72.7}
 	for slot := 0; slot < 2000; slot++ {
-		dhb.Admit()
+		dhb.AdmitRequest(vodcast.AdmitOptions{})
 		rep := dhb.AdvanceSlot()
 		reads := make([]vodcast.DiskRead, 0, len(rep.Segments))
 		for _, seg := range rep.Segments {

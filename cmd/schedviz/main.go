@@ -162,7 +162,7 @@ func runDHB(n, second int) error {
 	if err != nil {
 		return err
 	}
-	s.Admit()
+	s.AdmitRequest(core.AdmitOptions{})
 	fmt.Printf("DHB: request arriving during slot 1 (n = %d)\n", n)
 	last := 1 + n
 	// Rows are rendered straight to their label strings: retired slots from
@@ -188,7 +188,7 @@ func runDHB(n, second int) error {
 			rep := s.AdvanceSlot()
 			rows[rep.Slot] = renderSegs(rep.Segments)
 		}
-		s.Admit()
+		s.AdmitRequest(core.AdmitOptions{})
 		fmt.Printf("second request arriving during slot %d\n", second)
 		if second+n > last {
 			last = second + n

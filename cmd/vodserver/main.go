@@ -39,6 +39,7 @@ func main() {
 		alertFor      = flag.Duration("alert-for", 0, "how long a breach must hold before a rule fires (0 = fire immediately)")
 		missThreshold = flag.Float64("miss-threshold", 0, "windowed mean deadline misses per client report that fires the miss alert (0 = 0.5)")
 		reportStale   = flag.Duration("report-stale", 0, "fire a staleness alert when no client report arrives for this long (0 = disabled)")
+		fanoutMode    = flag.String("fanout", "zerocopy", "broadcast data plane: zerocopy (shared ref-counted frames over write rings) or reference (per-subscriber copies over channels)")
 	)
 	flag.Parse()
 	opts := serveOpts{
@@ -48,6 +49,7 @@ func main() {
 		sloMillis: *sloMillis, sloObjective: *sloObjective,
 		alertInterval: *alertInterval, alertFor: *alertFor,
 		missThreshold: *missThreshold, reportStale: *reportStale,
+		fanoutMode: *fanoutMode,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "vodserver:", err)
@@ -63,11 +65,15 @@ type serveOpts struct {
 	sloMillis, sloObjective                    float64
 	alertInterval, alertFor, reportStale       time.Duration
 	missThreshold                              float64
+	fanoutMode                                 string
 }
 
 func run(o serveOpts) error {
 	if o.videos <= 0 {
 		return fmt.Errorf("video count %d must be positive", o.videos)
+	}
+	if o.fanoutMode != "zerocopy" && o.fanoutMode != "reference" {
+		return fmt.Errorf("fanout mode %q must be zerocopy or reference", o.fanoutMode)
 	}
 	catalogue := make([]vodserver.VideoConfig, o.videos)
 	for i := range catalogue {
@@ -110,6 +116,7 @@ func run(o serveOpts) error {
 		AlertFor:          o.alertFor,
 		MissRateThreshold: o.missThreshold,
 		ReportStaleAfter:  o.reportStale,
+		FanoutReference:   o.fanoutMode == "reference",
 	}
 	if traceFile != nil {
 		cfg.TraceWriter = traceFile
@@ -122,8 +129,8 @@ func run(o serveOpts) error {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("vodserver listening on %s (%d videos, %d segments, %d ms slots, %d shards)\n",
-		srv.Addr(), o.videos, o.segments, o.slotMillis, srv.Station().Shards())
+	fmt.Printf("vodserver listening on %s (%d videos, %d segments, %d ms slots, %d shards, %s fan-out)\n",
+		srv.Addr(), o.videos, o.segments, o.slotMillis, srv.Station().Shards(), o.fanoutMode)
 	if srv.StatsAddr() != "" {
 		fmt.Printf("introspection on http://%s/{statsz,statusz,healthz,metricsz,tracez,spanz,alertz,debug/pprof}\n", srv.StatsAddr())
 		fmt.Printf("live dashboard: go run ./cmd/vodtop -addr %s\n", srv.StatsAddr())

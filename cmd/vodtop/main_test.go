@@ -196,7 +196,7 @@ func TestOnceAgainstLiveServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if _, err := vodclient.Fetch(s.Addr(), 1, 10*time.Second); err != nil {
+	if _, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 1, Timeout: 10 * time.Second, StrictDeadlines: true}); err != nil {
 		t.Fatal(err)
 	}
 

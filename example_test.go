@@ -19,7 +19,7 @@ func ExampleNewDHB() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dhb.Admit()
+	dhb.AdmitRequest(vodcast.AdmitOptions{})
 	for slot := 2; slot <= 7; slot++ {
 		fmt.Printf("slot %d: S%d\n", slot, dhb.ScheduledAt(slot)[0])
 	}

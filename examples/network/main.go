@@ -40,7 +40,9 @@ func main() {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			results[id], errs[id] = vodclient.Fetch(srv.Addr(), 1, 30*time.Second)
+			results[id], errs[id] = vodclient.FetchWith(srv.Addr(), vodclient.FetchOptions{
+				VideoID: 1, Timeout: 30 * time.Second, StrictDeadlines: true,
+			})
 		}(c)
 	}
 	wg.Wait()

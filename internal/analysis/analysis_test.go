@@ -132,7 +132,7 @@ func TestDHBModelMatchesNaiveSimulation(t *testing.T) {
 		if rate >= 100 {
 			hours = 150
 		}
-		measured := simulateSlotted(t, func() { s.Admit() },
+		measured := simulateSlotted(t, func() { s.AdmitRequest(core.AdmitOptions{}) },
 			func() int { return s.AdvanceSlot().Load }, rate, hours, 5)
 		if relErr(measured, model) > 0.04 {
 			t.Errorf("rate %v: naive DHB simulated %.3f vs model %.3f (%.1f%% off)",
@@ -160,7 +160,7 @@ func TestDHBHeuristicPremiumOverModel(t *testing.T) {
 		if rate >= 100 {
 			hours = 150
 		}
-		measured := simulateSlotted(t, func() { s.Admit() },
+		measured := simulateSlotted(t, func() { s.AdmitRequest(core.AdmitOptions{}) },
 			func() int { return s.AdvanceSlot().Load }, rate, hours, 5)
 		if measured < model*0.93 || measured > model*1.18 {
 			t.Errorf("rate %v: heuristic DHB %.3f outside [%.3f, %.3f] around the model",

@@ -141,7 +141,7 @@ func TestDHBServesEveryCustomer(t *testing.T) {
 		var live []*STB
 		for step := 0; step < 3000; step++ {
 			for a := 0; a < rng.Poisson(0.5); a++ {
-				s.Admit()
+				s.AdmitRequest(core.AdmitOptions{})
 				stb, err := New(s.CurrentSlot(), periods)
 				if err != nil {
 					t.Fatal(err)
@@ -175,7 +175,7 @@ func TestDHBWithWorkAheadPeriodsServesEveryCustomer(t *testing.T) {
 	var live []*STB
 	for step := 0; step < 4000; step++ {
 		for a := 0; a < rng.Poisson(0.8); a++ {
-			s.Admit()
+			s.AdmitRequest(core.AdmitOptions{})
 			stb, err := New(s.CurrentSlot(), periods)
 			if err != nil {
 				t.Fatal(err)

@@ -6,7 +6,7 @@ import "fmt"
 // surface grew one method per variant — Admit, AdmitTraced, AdmitFrom,
 // AdmitFromTraced — which forced every new option into a combinatorial
 // method family. AdmitRequest collapses them into one options/result pair;
-// the old methods remain as deprecated one-line wrappers.
+// the old wrapper methods are gone (see DESIGN.md's API-compatibility note).
 
 // AdmitOptions selects what one admission should do.
 type AdmitOptions struct {
@@ -107,48 +107,6 @@ func (s *Scheduler) AdmitBatch(count int, opts AdmitOptions) (AdmitResult, error
 	}
 	res.Placed = placed
 	return res, nil
-}
-
-// Admit processes one full-viewing request and reports how many new
-// instances it added.
-//
-// Deprecated: use AdmitRequest. Admit remains as a thin wrapper (and the
-// Slotted adapter surface) and will not grow new behaviour.
-func (s *Scheduler) Admit() int {
-	return s.admit(nil)
-}
-
-// AdmitTraced is Admit returning the full per-segment assignment: result[j]
-// is the slot whose instance of segment j serves this request (either newly
-// scheduled or shared). result[0] is unused. It allocates; large simulations
-// use Admit.
-//
-// Deprecated: use AdmitRequest with WantAssignment.
-func (s *Scheduler) AdmitTraced() []int {
-	assignment := make([]int, s.n+1)
-	s.admit(assignment)
-	return assignment
-}
-
-// AdmitFrom processes one request resuming playback at segment from
-// (1 <= from <= n; from == 1 is exactly Admit) and reports how many new
-// instances it scheduled.
-//
-// Deprecated: use AdmitRequest with From set.
-func (s *Scheduler) AdmitFrom(from int) (int, error) {
-	return s.admitFrom(from, nil)
-}
-
-// AdmitFromTraced is AdmitFrom returning the per-segment serving slots:
-// result[j] is the slot serving segment j for j >= from and zero below.
-//
-// Deprecated: use AdmitRequest with From and WantAssignment set.
-func (s *Scheduler) AdmitFromTraced(from int) ([]int, error) {
-	assignment := make([]int, s.n+1)
-	if _, err := s.admitFrom(from, assignment); err != nil {
-		return nil, err
-	}
-	return assignment, nil
 }
 
 // badResume builds the ErrBadResumePoint error shared by the admission

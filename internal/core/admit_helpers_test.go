@@ -1,0 +1,28 @@
+package core
+
+// Shorthand wrappers over AdmitRequest for the test suites, matching the
+// shapes of the retired method family (Admit, AdmitTraced, AdmitFrom,
+// AdmitFromTraced) so scenario tests stay terse.
+
+func admit(s *Scheduler) int {
+	res, _ := s.AdmitRequest(AdmitOptions{})
+	return res.Placed
+}
+
+func admitTraced(s *Scheduler) []int {
+	res, _ := s.AdmitRequest(AdmitOptions{WantAssignment: true})
+	return res.Assignment
+}
+
+func admitFrom(s *Scheduler, from int) (int, error) {
+	res, err := s.AdmitRequest(AdmitOptions{From: from})
+	return res.Placed, err
+}
+
+func admitFromTraced(s *Scheduler, from int) ([]int, error) {
+	res, err := s.AdmitRequest(AdmitOptions{From: from, WantAssignment: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.Assignment, nil
+}

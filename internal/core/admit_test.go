@@ -6,11 +6,12 @@ import (
 	"testing"
 )
 
-// TestAdmitRequestMatchesLegacyMethods drives two identical schedulers, one
-// through AdmitRequest and one through the deprecated method family, across
-// a randomized mix of full viewings, resumes and slot advances: every
-// result field must agree, call for call.
-func TestAdmitRequestMatchesLegacyMethods(t *testing.T) {
+// TestAdmitRequestOptionShapesAgree drives two identical schedulers through
+// AdmitRequest with different option shapes — one allocating a fresh
+// assignment per call, one reusing a caller-owned buffer, with count-only
+// calls mixed in — across a randomized sequence of full viewings, resumes
+// and slot advances: every result field must agree, call for call.
+func TestAdmitRequestOptionShapesAgree(t *testing.T) {
 	const n = 24
 	newSched := func() *Scheduler {
 		s, err := New(Config{Segments: n})
@@ -20,16 +21,22 @@ func TestAdmitRequestMatchesLegacyMethods(t *testing.T) {
 		return s
 	}
 	a, b := newSched(), newSched()
+	buf := make([]int, 0, n+1)
 	rng := rand.New(rand.NewSource(7))
 	for step := 0; step < 400; step++ {
 		switch op := rng.Intn(4); op {
-		case 0: // full viewing, count only
+		case 0: // full viewing, count only vs buffer-reusing
 			res, err := a.AdmitRequest(AdmitOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if want := b.Admit(); res.Placed != want {
-				t.Fatalf("step %d: AdmitRequest placed %d, Admit %d", step, res.Placed, want)
+			other, err := b.AdmitRequest(AdmitOptions{Assignment: buf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf = other.Assignment
+			if res.Placed != other.Placed {
+				t.Fatalf("step %d: count-only placed %d, buffered %d", step, res.Placed, other.Placed)
 			}
 			if res.Slot != b.CurrentSlot() {
 				t.Fatalf("step %d: slot %d, want %d", step, res.Slot, b.CurrentSlot())
@@ -37,34 +44,39 @@ func TestAdmitRequestMatchesLegacyMethods(t *testing.T) {
 			if res.Assignment != nil {
 				t.Fatalf("step %d: unsolicited assignment", step)
 			}
-		case 1: // full viewing, traced
+		case 1: // full viewing, traced both ways
 			res, err := a.AdmitRequest(AdmitOptions{WantAssignment: true})
 			if err != nil {
 				t.Fatal(err)
 			}
-			want := b.AdmitTraced()
-			if len(res.Assignment) != len(want) {
-				t.Fatalf("step %d: assignment length %d, want %d", step, len(res.Assignment), len(want))
+			other, err := b.AdmitRequest(AdmitOptions{Assignment: buf})
+			if err != nil {
+				t.Fatal(err)
 			}
-			for j := range want {
-				if res.Assignment[j] != want[j] {
-					t.Fatalf("step %d: assignment[%d] = %d, want %d", step, j, res.Assignment[j], want[j])
+			buf = other.Assignment
+			if len(res.Assignment) != len(other.Assignment) {
+				t.Fatalf("step %d: assignment length %d, want %d", step, len(res.Assignment), len(other.Assignment))
+			}
+			for j := range other.Assignment {
+				if res.Assignment[j] != other.Assignment[j] {
+					t.Fatalf("step %d: assignment[%d] = %d, want %d", step, j, res.Assignment[j], other.Assignment[j])
 				}
 			}
-		case 2: // resume, traced
+		case 2: // resume, traced both ways
 			from := 1 + rng.Intn(n)
 			res, err := a.AdmitRequest(AdmitOptions{From: from, WantAssignment: true})
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, err := b.AdmitFromTraced(from)
+			other, err := b.AdmitRequest(AdmitOptions{From: from, Assignment: buf})
 			if err != nil {
 				t.Fatal(err)
 			}
-			for j := range want {
-				if res.Assignment[j] != want[j] {
+			buf = other.Assignment
+			for j := range other.Assignment {
+				if res.Assignment[j] != other.Assignment[j] {
 					t.Fatalf("step %d: resume(%d) assignment[%d] = %d, want %d",
-						step, from, j, res.Assignment[j], want[j])
+						step, from, j, res.Assignment[j], other.Assignment[j])
 				}
 			}
 		default:

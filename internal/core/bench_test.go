@@ -35,7 +35,7 @@ func BenchmarkAdmit(b *testing.B) {
 					b.ResetTimer()
 					k := 0
 					for i := 0; i < b.N; i++ {
-						s.Admit()
+						admit(s)
 						if k++; k == arrivals {
 							k = 0
 							s.AdvanceSlot()

@@ -46,7 +46,7 @@ func TestCappedRespectsClientBandwidth(t *testing.T) {
 		for step := 0; step < 2500; step++ {
 			i := s.CurrentSlot()
 			for a := 0; a < rng.Poisson(0.6); a++ {
-				got := s.AdmitTraced()
+				got := admitTraced(s)
 				if c := concurrency(got); c > cap {
 					t.Fatalf("cap %d: request at slot %d downloads %d streams at once", cap, i, c)
 				}
@@ -68,7 +68,7 @@ func TestCapOneIsSequentialJustInTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := s.AdmitTraced()
+	got := admitTraced(s)
 	for j := 1; j <= 12; j++ {
 		if got[j] != 1+j {
 			t.Fatalf("segment %d at slot %d, want %d", j, got[j], 1+j)
@@ -81,10 +81,10 @@ func TestCappedSharingStillHappens(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Admit()
+	admit(s)
 	s.AdvanceSlot()
 	s.AdvanceSlot()
-	added := s.Admit()
+	added := admit(s)
 	if added >= 30 {
 		t.Fatalf("second request scheduled %d instances: no sharing under cap 2", added)
 	}
@@ -109,7 +109,7 @@ func TestCappedBandwidthMonotoneInCap(t *testing.T) {
 		const horizon = 8000
 		for slot := 0; slot < horizon; slot++ {
 			for a := 0; a < rng.Poisson(0.5); a++ {
-				s.Admit()
+				admit(s)
 			}
 			total += s.AdvanceSlot().Load
 		}
@@ -143,7 +143,7 @@ func TestCappedTwoOrThreeStreamsCloseToUncapped(t *testing.T) {
 		const horizon = 6000
 		for slot := 0; slot < horizon; slot++ {
 			for a := 0; a < rng.Poisson(2.0); a++ {
-				s.Admit()
+				admit(s)
 			}
 			total += s.AdvanceSlot().Load
 		}
@@ -165,7 +165,7 @@ func TestCappedInstanceConservation(t *testing.T) {
 	var transmitted int64
 	for step := 0; step < 3000; step++ {
 		for a := 0; a < rng.Poisson(0.4); a++ {
-			s.Admit()
+			admit(s)
 		}
 		transmitted += int64(s.AdvanceSlot().Load)
 	}
@@ -187,7 +187,7 @@ func TestCappedWithStretchedPeriods(t *testing.T) {
 	for step := 0; step < 3000; step++ {
 		i := s.CurrentSlot()
 		for a := 0; a < rng.Poisson(0.9); a++ {
-			got := s.AdmitTraced()
+			got := admitTraced(s)
 			if c := concurrency(got); c > 2 {
 				t.Fatalf("concurrency %d under cap 2", c)
 			}

@@ -211,7 +211,7 @@ func TestMemoObserverDisablesFastPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := 0; k < 3; k++ {
-		s.Admit()
+		admit(s)
 	}
 	if want := 3 * 12; rec.decisions != want {
 		t.Fatalf("observed %d decisions, want %d (full loop per duplicate)", rec.decisions, want)
@@ -238,10 +238,10 @@ func (o *countingObserver) ObserveRetire(slot, load int, segments []int) { o.ret
 func TestMemoInvalidatedByAdvance(t *testing.T) {
 	fast, ref := diffPair(t, diffScenario{name: "inv", n: 20, policy: PolicyHeuristic})
 	for step := 0; step < 60; step++ {
-		fast.Admit()
-		fast.Admit() // memo hit
-		ref.Admit()
-		ref.Admit()
+		admit(fast)
+		admit(fast) // memo hit
+		admit(ref)
+		admit(ref)
 		fr, rr := fast.AdvanceSlot(), ref.AdvanceSlot()
 		if fr.Load != rr.Load {
 			t.Fatalf("step %d: load %d, reference %d", step, fr.Load, rr.Load)
@@ -259,12 +259,12 @@ func TestAdmitSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := 0; k < 200; k++ { // reach steady state
-		s.Admit()
+		admit(s)
 		s.AdvanceSlot()
 	}
 	if allocs := testing.AllocsPerRun(200, func() {
-		s.Admit()
-		s.Admit() // same-slot memo hit
+		admit(s)
+		admit(s) // same-slot memo hit
 		s.AdvanceSlot()
 	}); allocs != 0 {
 		t.Fatalf("steady-state admit path allocates %.1f/op, want 0", allocs)

@@ -44,11 +44,11 @@ func FuzzSchedulerInvariants(f *testing.F) {
 		// reference.
 		admitBoth := func(idx, from int) {
 			i := s.CurrentSlot()
-			got, err := s.AdmitFromTraced(from)
+			got, err := admitFromTraced(s, from)
 			if err != nil {
 				t.Fatalf("cmd %d: %v", idx, err)
 			}
-			want, err := ref.AdmitFromTraced(from)
+			want, err := admitFromTraced(ref, from)
 			if err != nil {
 				t.Fatalf("cmd %d: reference: %v", idx, err)
 			}
@@ -123,7 +123,7 @@ func FuzzPeriodVectors(f *testing.F) {
 		}
 		for step := 0; step < 50; step++ {
 			i := s.CurrentSlot()
-			got := s.AdmitTraced()
+			got := admitTraced(s)
 			for j := 1; j <= n; j++ {
 				if got[j] < i+1 || got[j] > i+periods[j] {
 					t.Fatalf("segment %d at %d outside [%d, %d]", j, got[j], i+1, i+periods[j])

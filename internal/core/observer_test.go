@@ -10,7 +10,7 @@ type recordingObserver struct {
 	admits     int
 	resumes    int
 	decisions  int
-	newPlaced  int // non-shared decisions since the last admit callback
+	newPlaced  int         // non-shared decisions since the last admit callback
 	starts     map[int]int // slot -> instances started
 	retires    []int       // retired slots in order
 	lastRetire int
@@ -75,10 +75,10 @@ func driveObserved(t *testing.T, cfg Config, slots int) {
 	}
 	for k := 0; k < slots; k++ {
 		if k%2 == 0 {
-			s.Admit()
+			admit(s)
 		}
 		if k%5 == 3 {
-			if _, err := s.AdmitFrom(1 + k%s.N()); err != nil {
+			if _, err := admitFrom(s, 1+k%s.N()); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -127,7 +127,7 @@ func TestObserverNilSafe(t *testing.T) {
 		var loads []int
 		for k := 0; k < 100; k++ {
 			if k%3 == 0 {
-				s.Admit()
+				admit(s)
 			}
 			loads = append(loads, s.AdvanceSlot().Load)
 		}
@@ -145,9 +145,10 @@ func TestObserverNilSafe(t *testing.T) {
 // noopObserver measures pure hook-dispatch overhead.
 type noopObserver struct{}
 
-func (noopObserver) ObserveAdmit(slot, from, placed int)                                        {}
-func (noopObserver) ObserveDecision(reqSlot, segment, slot, windowLo, windowHi, load int, shared bool) {}
-func (noopObserver) ObserveRetire(slot, load int, segments []int)                               {}
+func (noopObserver) ObserveAdmit(slot, from, placed int) {}
+func (noopObserver) ObserveDecision(reqSlot, segment, slot, windowLo, windowHi, load int, shared bool) {
+}
+func (noopObserver) ObserveRetire(slot, load int, segments []int) {}
 
 // benchScheduler drives the Figure 7 steady-state pattern: one arrival per
 // slot at n = 99.
@@ -160,7 +161,7 @@ func benchScheduler(b *testing.B, obs Observer) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for k := 0; k < b.N; k++ {
-		s.Admit()
+		admit(s)
 		s.AdvanceSlot()
 	}
 }

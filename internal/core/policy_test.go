@@ -19,7 +19,7 @@ func runPolicy(t *testing.T, policy Policy, meanPerSlot float64, seed int64) (av
 	const warmup, horizon = 300, 12000
 	for slot := 0; slot < horizon; slot++ {
 		for a := 0; a < rng.Poisson(meanPerSlot); a++ {
-			s.Admit()
+			admit(s)
 		}
 		load := s.AdvanceSlot().Load
 		if slot < warmup {
@@ -42,7 +42,7 @@ func TestMinLoadEarliestDeadlines(t *testing.T) {
 	for step := 0; step < 2000; step++ {
 		i := s.CurrentSlot()
 		for a := 0; a < rng.Poisson(0.5); a++ {
-			got := s.AdmitTraced()
+			got := admitTraced(s)
 			for j := 1; j <= 20; j++ {
 				if got[j] < i+1 || got[j] > i+j {
 					t.Fatalf("segment %d served at %d outside [%d, %d]", j, got[j], i+1, i+j)

@@ -8,10 +8,12 @@ import (
 
 func TestAdmitFromValidation(t *testing.T) {
 	s := mustNew(t, Config{Segments: 10})
-	if _, err := s.AdmitFrom(0); err == nil {
-		t.Error("from 0 accepted")
+	// AdmitRequest reads From 0 as "the beginning" — only genuinely
+	// out-of-range resume points are rejected.
+	if _, err := admitFrom(s, -1); err == nil {
+		t.Error("negative from accepted")
 	}
-	if _, err := s.AdmitFrom(11); err == nil {
+	if _, err := admitFrom(s, 11); err == nil {
 		t.Error("from beyond n accepted")
 	}
 }
@@ -19,11 +21,11 @@ func TestAdmitFromValidation(t *testing.T) {
 func TestAdmitFromOneEqualsAdmit(t *testing.T) {
 	a := mustNew(t, Config{Segments: 15, StartSlot: 1})
 	b := mustNew(t, Config{Segments: 15, StartSlot: 1})
-	fromOne, err := a.AdmitFromTraced(1)
+	fromOne, err := admitFromTraced(a, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain := b.AdmitTraced()
+	plain := admitTraced(b)
 	for j := 1; j <= 15; j++ {
 		if fromOne[j] != plain[j] {
 			t.Fatalf("segment %d: resume-from-1 slot %d vs admit slot %d", j, fromOne[j], plain[j])
@@ -35,7 +37,7 @@ func TestResumeDeadlines(t *testing.T) {
 	// A resume from segment k consumes segment j during slot i + (j-k+1),
 	// so the instance must arrive no later than that.
 	s := mustNew(t, Config{Segments: 12, StartSlot: 1})
-	got, err := s.AdmitFromTraced(5)
+	got, err := admitFromTraced(s, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,12 +56,12 @@ func TestResumeDeadlines(t *testing.T) {
 
 func TestResumeSharesWithOrdinaryRequests(t *testing.T) {
 	s := mustNew(t, Config{Segments: 20, StartSlot: 1})
-	s.Admit() // full request schedules S_j at slot 1+j
+	admit(s) // full request schedules S_j at slot 1+j
 	// A resume from segment 10 in the same slot needs S10..S20 by slots
 	// 2..12; the full request's instances sit at 11..21, too late for the
 	// early suffix but fine for nothing — the resume must schedule its own
 	// early copies yet share none too late.
-	added, err := s.AdmitFrom(10)
+	added, err := admitFrom(s, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,12 +75,12 @@ func TestResumeSharesWithOrdinaryRequests(t *testing.T) {
 
 func TestOrdinaryRequestsShareResumeInstances(t *testing.T) {
 	s := mustNew(t, Config{Segments: 10, StartSlot: 1})
-	if _, err := s.AdmitFrom(6); err != nil {
+	if _, err := admitFrom(s, 6); err != nil {
 		t.Fatal(err)
 	}
 	// Segments 6..10 now sit in slots 2..6. A full request in the same
 	// slot has deadlines 1+j >= those slots, so it shares all of them.
-	added := s.Admit()
+	added := admit(s)
 	if added != 5 {
 		t.Fatalf("full request scheduled %d new instances, want 5 (S1..S5 only)", added)
 	}
@@ -91,7 +93,7 @@ func TestResumeTimelinessUnderLoad(t *testing.T) {
 		i := s.CurrentSlot()
 		for a := 0; a < rng.Poisson(0.5); a++ {
 			from := 1 + rng.Intn(25)
-			got, err := s.AdmitFromTraced(from)
+			got, err := admitFromTraced(s, from)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -114,7 +116,7 @@ func TestResumeCappedRespectsClientBandwidth(t *testing.T) {
 		i := s.CurrentSlot()
 		for a := 0; a < rng.Poisson(0.6); a++ {
 			from := 1 + rng.Intn(20)
-			got, err := s.AdmitFromTraced(from)
+			got, err := admitFromTraced(s, from)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -136,7 +138,7 @@ func TestResumeCappedRespectsClientBandwidth(t *testing.T) {
 
 func TestResumeFromLastSegment(t *testing.T) {
 	s := mustNew(t, Config{Segments: 8, StartSlot: 1})
-	added, err := s.AdmitFrom(8)
+	added, err := admitFrom(s, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +156,7 @@ func TestResumeConservation(t *testing.T) {
 	var transmitted int64
 	for step := 0; step < 2000; step++ {
 		for a := 0; a < rng.Poisson(0.4); a++ {
-			if _, err := s.AdmitFrom(1 + rng.Intn(15)); err != nil {
+			if _, err := admitFrom(s, 1+rng.Intn(15)); err != nil {
 				t.Fatal(err)
 			}
 		}

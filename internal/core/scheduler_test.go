@@ -41,7 +41,7 @@ func TestDHBFigure4(t *testing.T) {
 	// Figure 4: one request arriving during slot 1 into an idle system
 	// schedules S_i in slot i+1 for every i.
 	s := mustNew(t, Config{Segments: 6, TrackSegments: true, StartSlot: 1})
-	added := s.Admit()
+	added := admit(s)
 	if added != 6 {
 		t.Fatalf("Admit scheduled %d instances, want 6", added)
 	}
@@ -57,13 +57,13 @@ func TestDHBFigure5(t *testing.T) {
 	// Figure 5: a second request during slot 3 shares S3..S6 with the first
 	// request and schedules only S1 in slot 4 and S2 in slot 5.
 	s := mustNew(t, Config{Segments: 6, TrackSegments: true, StartSlot: 1})
-	s.Admit()
+	admit(s)
 	s.AdvanceSlot() // finish slot 1
 	s.AdvanceSlot() // finish slot 2
 	if s.CurrentSlot() != 3 {
 		t.Fatalf("current slot = %d, want 3", s.CurrentSlot())
 	}
-	added := s.Admit()
+	added := admit(s)
 	if added != 2 {
 		t.Fatalf("second request scheduled %d new instances, want 2 (S1 and S2)", added)
 	}
@@ -83,7 +83,7 @@ func TestDHBFigure5(t *testing.T) {
 
 func TestAdmitTracedSharing(t *testing.T) {
 	s := mustNew(t, Config{Segments: 6, StartSlot: 1})
-	first := s.AdmitTraced()
+	first := admitTraced(s)
 	for j := 1; j <= 6; j++ {
 		if first[j] != 1+j {
 			t.Fatalf("first request: segment %d served at slot %d, want %d", j, first[j], 1+j)
@@ -91,7 +91,7 @@ func TestAdmitTracedSharing(t *testing.T) {
 	}
 	s.AdvanceSlot()
 	s.AdvanceSlot()
-	second := s.AdmitTraced()
+	second := admitTraced(s)
 	// S3..S6 must be shared with the first request's instances.
 	for j := 3; j <= 6; j++ {
 		if second[j] != first[j] {
@@ -113,7 +113,7 @@ func TestHeuristicNeverDelaysPastDeadline(t *testing.T) {
 		arrivals := rng.Poisson(0.7)
 		i := s.CurrentSlot()
 		for a := 0; a < arrivals; a++ {
-			got := s.AdmitTraced()
+			got := admitTraced(s)
 			for j := 1; j <= s.N(); j++ {
 				if got[j] < i+1 || got[j] > i+j {
 					t.Fatalf("slot %d: segment %d served at %d outside [%d, %d]",
@@ -131,7 +131,7 @@ func TestNaivePolicyDeadlines(t *testing.T) {
 	for step := 0; step < 2000; step++ {
 		i := s.CurrentSlot()
 		if rng.Float64() < 0.5 {
-			got := s.AdmitTraced()
+			got := admitTraced(s)
 			for j := 1; j <= s.N(); j++ {
 				if got[j] < i+1 || got[j] > i+j {
 					t.Fatalf("naive: segment %d served at %d outside [%d, %d]", j, got[j], i+1, i+j)
@@ -149,7 +149,7 @@ func TestStretchedPeriodsRespected(t *testing.T) {
 	for step := 0; step < 3000; step++ {
 		i := s.CurrentSlot()
 		if rng.Float64() < 0.8 {
-			got := s.AdmitTraced()
+			got := admitTraced(s)
 			for j := 1; j <= 5; j++ {
 				if got[j] < i+1 || got[j] > i+periods[j] {
 					t.Fatalf("segment %d served at %d outside [%d, %d]", j, got[j], i+1, i+periods[j])
@@ -162,7 +162,7 @@ func TestStretchedPeriodsRespected(t *testing.T) {
 
 func TestSingleRequestCostsOneInstancePerSegment(t *testing.T) {
 	s := mustNew(t, Config{Segments: 99})
-	s.Admit()
+	admit(s)
 	total := 0
 	for slot := 0; slot < 200; slot++ {
 		total += s.AdvanceSlot().Load
@@ -177,11 +177,11 @@ func TestSingleRequestCostsOneInstancePerSegment(t *testing.T) {
 
 func TestSameSlotRequestsShareEverything(t *testing.T) {
 	s := mustNew(t, Config{Segments: 50})
-	if added := s.Admit(); added != 50 {
+	if added := admit(s); added != 50 {
 		t.Fatalf("first request added %d, want 50", added)
 	}
 	for r := 0; r < 10; r++ {
-		if added := s.Admit(); added != 0 {
+		if added := admit(s); added != 0 {
 			t.Fatalf("same-slot request added %d new instances, want 0", added)
 		}
 	}
@@ -197,7 +197,7 @@ func TestSaturatedLoadNearHarmonicBound(t *testing.T) {
 	const warmup, horizon = 500, 20000
 	var total int
 	for slot := 0; slot < horizon; slot++ {
-		s.Admit()
+		admit(s)
 		rep := s.AdvanceSlot()
 		if slot >= warmup {
 			total += rep.Load
@@ -216,7 +216,7 @@ func TestNaivePeaksExplodeHeuristicPeaksDoNot(t *testing.T) {
 	run := func(policy Policy) (maxLoad int) {
 		s := mustNew(t, Config{Segments: 120, Policy: policy})
 		for slot := 0; slot < 10000; slot++ {
-			s.Admit()
+			admit(s)
 			if rep := s.AdvanceSlot(); rep.Load > maxLoad {
 				maxLoad = rep.Load
 			}
@@ -238,11 +238,11 @@ func TestLowRateSharingBeatsIsolatedCost(t *testing.T) {
 	// instance count for two requests i slots apart (i < n) is strictly
 	// less than 2n.
 	s := mustNew(t, Config{Segments: 30})
-	s.Admit()
+	admit(s)
 	for k := 0; k < 10; k++ {
 		s.AdvanceSlot()
 	}
-	s.Admit()
+	admit(s)
 	total := 0
 	for k := 0; k < 100; k++ {
 		total += s.AdvanceSlot().Load
@@ -266,7 +266,7 @@ func TestInstanceConservationProperty(t *testing.T) {
 		var transmitted int64
 		for _, p := range pattern {
 			for a := 0; a < int(p%3); a++ {
-				s.Admit()
+				admit(s)
 			}
 			transmitted += int64(s.AdvanceSlot().Load)
 		}
@@ -306,7 +306,7 @@ func TestConfigPeriodsCopied(t *testing.T) {
 
 func TestLoadAt(t *testing.T) {
 	s := mustNew(t, Config{Segments: 5, StartSlot: 1})
-	s.Admit()
+	admit(s)
 	if got := s.LoadAt(2); got != 1 {
 		t.Fatalf("LoadAt(2) = %d, want 1", got)
 	}

@@ -129,7 +129,7 @@ func TestPlanVBRSchedulerConfigRuns(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", v, err)
 		}
-		s.Admit()
+		admit(s)
 		total := 0
 		for k := 0; k < 2*plans[v].Segments; k++ {
 			total += s.AdvanceSlot().Load

@@ -81,7 +81,10 @@ func BufferStudy(cfg Config) ([]BufferRow, error) {
 			return nil, fmt.Errorf("experiments: %w", err)
 		}
 		row.DHBMean, row.DHBMax = measureBuffers(seed+1, rate, d, horizonSlots,
-			dhb.CurrentSlot, dhb.AdmitTraced, func() { dhb.AdvanceSlot() })
+			dhb.CurrentSlot, func() []int {
+				res, _ := dhb.AdmitRequest(core.AdmitOptions{WantAssignment: true})
+				return res.Assignment
+			}, func() { dhb.AdvanceSlot() })
 
 		ud, err := dynamic.UD(cfg.Segments)
 		if err != nil {

@@ -198,7 +198,7 @@ func Sweep(cfg Config) ([]SweepRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: DHB: %w", err)
 		}
-		row.DHBAvg, row.DHBMax = runSlotted(dhb, func() int { return dhb.AdvanceSlot().Load },
+		row.DHBAvg, row.DHBMax = runSlotted(dhbAdapter{s: dhb}, func() int { return dhb.AdvanceSlot().Load },
 			seed+3, rate, d, horizonSlots, cfg.WarmupSlots)
 
 		if cfg.IncludeAblation {
@@ -238,7 +238,7 @@ func Peaks(segments, horizonSlots int) (PeaksResult, error) {
 		}
 		max, total := 0, 0
 		for slot := 0; slot < horizonSlots; slot++ {
-			s.Admit()
+			s.AdmitRequest(core.AdmitOptions{})
 			load := s.AdvanceSlot().Load
 			total += load
 			if load > max {
@@ -365,7 +365,7 @@ func Fig9(cfg VBRConfig) ([]Fig9Row, map[core.VBRVariant]core.VBRSolution, error
 			if err != nil {
 				return nil, nil, fmt.Errorf("experiments: %v: %w", v, err)
 			}
-			avg, _ := runSlotted(sched, func() int { return sched.AdvanceSlot().Load },
+			avg, _ := runSlotted(dhbAdapter{s: sched}, func() int { return sched.AdvanceSlot().Load },
 				seed+int64(v)+1, rate, plan.SlotDuration, horizon, cfg.WarmupSlots)
 			*dst = avg * plan.Rate / mb
 		}

@@ -45,7 +45,7 @@ func ClientCap(cfg Config) ([]ClientCapRow, error) {
 			if err != nil {
 				return nil, fmt.Errorf("experiments: client cap %d: %w", cap, err)
 			}
-			avg, _ := runSlotted(s, func() int { return s.AdvanceSlot().Load },
+			avg, _ := runSlotted(dhbAdapter{s: s}, func() int { return s.AdvanceSlot().Load },
 				seed+int64(cap), rate, d, horizonSlots, cfg.WarmupSlots)
 			*dst = avg
 		}
@@ -160,7 +160,7 @@ func WaitTradeoff(cfg Config, segmentCounts []int) ([]WaitTradeoffRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %w", err)
 		}
-		avg, max := runSlotted(s, func() int { return s.AdvanceSlot().Load },
+		avg, max := runSlotted(dhbAdapter{s: s}, func() int { return s.AdvanceSlot().Load },
 			cfg.Seed+int64(i)*100, rate, d, horizonSlots, warmup)
 		sat, err := analysis.DHBSaturated(video.DefaultPeriods(n))
 		if err != nil {
@@ -215,7 +215,7 @@ func ConfidenceSweep(cfg Config, replicates int) ([]CIRow, error) {
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %w", err)
 			}
-			avg, _ := runSlotted(dhb, func() int { return dhb.AdvanceSlot().Load },
+			avg, _ := runSlotted(dhbAdapter{s: dhb}, func() int { return dhb.AdvanceSlot().Load },
 				seed+1, rate, d, horizonSlots, cfg.WarmupSlots)
 			dhbR.Add(avg)
 
@@ -292,7 +292,7 @@ func Models(cfg Config) ([]ModelRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %w", err)
 		}
-		row.DHBSim, _ = runSlotted(dhb, func() int { return dhb.AdvanceSlot().Load },
+		row.DHBSim, _ = runSlotted(dhbAdapter{s: dhb}, func() int { return dhb.AdvanceSlot().Load },
 			seed+1, rate, d, horizonSlots, cfg.WarmupSlots)
 
 		ud, err := dynamic.UD(cfg.Segments)
@@ -361,7 +361,7 @@ func DSBComparison(cfg Config) ([]DSBRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: DHB: %w", err)
 		}
-		row.DHB, _ = runSlotted(dhb, func() int { return dhb.AdvanceSlot().Load },
+		row.DHB, _ = runSlotted(dhbAdapter{s: dhb}, func() int { return dhb.AdvanceSlot().Load },
 			seed+3, rate, d, horizonSlots, cfg.WarmupSlots)
 
 		rows = append(rows, row)

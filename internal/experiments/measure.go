@@ -23,7 +23,10 @@ type Slotted interface {
 
 type dhbAdapter struct{ s *core.Scheduler }
 
-func (a dhbAdapter) Admit() int   { return a.s.Admit() }
+func (a dhbAdapter) Admit() int {
+	res, _ := a.s.AdmitRequest(core.AdmitOptions{})
+	return res.Placed
+}
 func (a dhbAdapter) Advance() int { return a.s.AdvanceSlot().Load }
 
 // AdaptDHB exposes a DHB scheduler through the Slotted interface.

@@ -81,7 +81,7 @@ func Storage(cfg StorageConfig) ([]StorageRow, error) {
 		peak := 0
 		for slot := 0; slot < cfg.HorizonSlots; slot++ {
 			for a := 0; a < arrivals.Next(); a++ {
-				s.Admit()
+				s.AdmitRequest(core.AdmitOptions{})
 			}
 			rep := s.AdvanceSlot()
 			if rep.Load > peak {

@@ -113,7 +113,7 @@ func TraceDHB(cfg TraceConfig, sink io.Writer) (TraceResult, error) {
 	for slot := 0; slot < cfg.HorizonSlots; slot++ {
 		now = float64(slot) * cfg.SlotSeconds
 		for a := 0; a < arrivals.Next(); a++ {
-			sched.Admit()
+			sched.AdmitRequest(core.AdmitOptions{})
 		}
 		rep := sched.AdvanceSlot()
 		if slot >= cfg.WarmupSlots {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package fanout
+
+const raceEnabled = false

@@ -1,0 +1,124 @@
+package fanout
+
+import "sync"
+
+// Ring is one subscriber's bounded write queue: a fixed-capacity circular
+// buffer of frame references pushed by the broadcast clock and batch-drained
+// by the connection's writer goroutine. Pushes never block — a full ring
+// means the subscriber fell a whole buffer behind and the caller disconnects
+// it (Drop) rather than stall the slot tick; the drain side blocks until at
+// least one frame or closure arrives and takes everything available in one
+// call, which is what lets the writer coalesce frames into a single
+// vectored write.
+//
+// Reference ownership: a successful Push transfers one reference to the
+// ring; PopAll transfers the queued references to the consumer, which must
+// Release each frame after writing it. Close and Drop may race with a
+// concurrent PopAll; Drop releases whatever is still queued.
+type Ring struct {
+	mu      sync.Mutex
+	ready   sync.Cond
+	buf     []*Frame
+	head    int // index of the oldest queued frame
+	n       int // queued frame count
+	closed  bool
+	dropped bool
+}
+
+// NewRing returns a ring holding at most capacity frames; capacity must be
+// at least 1.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := &Ring{buf: make([]*Frame, capacity)}
+	r.ready.L = &r.mu
+	return r
+}
+
+// Push enqueues one frame reference without blocking. It returns false —
+// and takes no ownership, so the caller must Release — when the ring is
+// full or already closed.
+func (r *Ring) Push(f *Frame) bool {
+	r.mu.Lock()
+	if r.closed || r.n == len(r.buf) {
+		r.mu.Unlock()
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = f
+	r.n++
+	if r.n == 1 {
+		r.ready.Signal()
+	}
+	r.mu.Unlock()
+	return true
+}
+
+// PopAll blocks until the ring has frames or is closed, then appends every
+// queued frame to dst (reusing its capacity) and returns the extended slice
+// plus ok=false once the ring is closed. A single call can deliver the
+// final frames and report closure together; after ok=false no further
+// frames will ever arrive. The consumer owns the returned references.
+func (r *Ring) PopAll(dst []*Frame) ([]*Frame, bool) {
+	r.mu.Lock()
+	for r.n == 0 && !r.closed {
+		r.ready.Wait()
+	}
+	for r.n > 0 {
+		dst = append(dst, r.buf[r.head])
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+	}
+	ok := !r.closed
+	r.mu.Unlock()
+	return dst, ok
+}
+
+// Close marks the ring finished from the producer side: queued frames are
+// still delivered, subsequent pushes fail, and the consumer's next PopAll
+// observes closure. Idempotent.
+func (r *Ring) Close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		r.ready.Signal()
+	}
+	r.mu.Unlock()
+}
+
+// Drop closes the ring because the subscriber fell behind: every queued
+// frame is released (the consumer will never write them), and Dropped
+// reports true so the connection handler can skip end-of-session work.
+// Idempotent, and safe alongside a concurrent PopAll.
+func (r *Ring) Drop() {
+	r.mu.Lock()
+	r.dropped = true
+	r.closed = true
+	for r.n > 0 {
+		f := r.buf[r.head]
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+		f.Release()
+	}
+	r.ready.Signal()
+	r.mu.Unlock()
+}
+
+// Dropped reports whether the ring was closed by Drop (subscriber fell
+// behind) rather than a clean Close.
+func (r *Ring) Dropped() bool {
+	r.mu.Lock()
+	d := r.dropped
+	r.mu.Unlock()
+	return d
+}
+
+// Depth returns the number of frames currently queued.
+func (r *Ring) Depth() int {
+	r.mu.Lock()
+	n := r.n
+	r.mu.Unlock()
+	return n
+}

@@ -83,7 +83,7 @@ func TestEnqueueCoalescingMatchesSequential(t *testing.T) {
 			if err := st.Enqueue(0, 0); err != nil {
 				t.Fatal(err)
 			}
-			refs[0].Admit()
+			refs[0].AdmitRequest(core.AdmitOptions{})
 		}
 		if rng.Intn(2) == 0 {
 			from := 1 + rng.Intn(12)
@@ -91,7 +91,7 @@ func TestEnqueueCoalescingMatchesSequential(t *testing.T) {
 				if err := st.Enqueue(1, from); err != nil {
 					t.Fatal(err)
 				}
-				if _, err := refs[1].AdmitFrom(from); err != nil {
+				if _, err := refs[1].AdmitRequest(core.AdmitOptions{From: from}); err != nil {
 					t.Fatal(err)
 				}
 			}

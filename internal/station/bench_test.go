@@ -32,7 +32,7 @@ func newSingleMutexEngine(b *testing.B, videos, segments int) *singleMutexEngine
 
 func (e *singleMutexEngine) Admit(video int) {
 	e.mu.Lock()
-	e.scheds[video].Admit()
+	e.scheds[video].AdmitRequest(core.AdmitOptions{})
 	e.mu.Unlock()
 }
 

@@ -114,7 +114,7 @@ func TestEnqueueFlushesBeforeAdvance(t *testing.T) {
 		if err := st.Enqueue(0, 0); err != nil {
 			t.Fatal(err)
 		}
-		ref.Admit()
+		ref.AdmitRequest(core.AdmitOptions{})
 		if got := st.Pending(0); got != 1 {
 			t.Fatalf("slot %d: pending = %d before advance", slot, got)
 		}
@@ -253,7 +253,7 @@ func TestConcurrentEquivalence(t *testing.T) {
 		// Sequential reference admissions.
 		for v := 0; v < videos; v++ {
 			for a := 0; a < arrivals[s][v]; a++ {
-				refs[v].Admit()
+				refs[v].AdmitRequest(core.AdmitOptions{})
 			}
 		}
 

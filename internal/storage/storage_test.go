@@ -122,7 +122,7 @@ func recordSchedule(t *testing.T, policy core.Policy, segments, horizon int, seg
 	sched := Schedule{SlotSeconds: 7200.0 / float64(segments)}
 	for slot := 0; slot < horizon; slot++ {
 		for a := 0; a < rng.Poisson(1.5); a++ {
-			s.Admit()
+			s.AdmitRequest(core.AdmitOptions{})
 		}
 		rep := s.AdvanceSlot()
 		reads := make([]Read, 0, len(rep.Segments))

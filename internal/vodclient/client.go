@@ -95,35 +95,12 @@ type FetchOptions struct {
 	NoTrace bool
 	// NoReport opts out of the end-of-session ClientReport.
 	NoReport bool
-	// StrictDeadlines restores the oracle behavior of the deprecated
-	// Fetch/FetchFrom: the first missed deadline fails the fetch instead of
-	// being recorded as QoE telemetry.
+	// StrictDeadlines arms the full STB oracle: the first missed deadline
+	// fails the fetch instead of being recorded as QoE telemetry.
 	StrictDeadlines bool
 	// Registry, when non-nil, receives the session's client_* metric
 	// families for local scraping.
 	Registry *obs.Registry
-}
-
-// Fetch requests videoID from the server at addr, receives until every
-// segment has arrived and every deadline has been checked, and returns the
-// session summary. The timeout bounds the whole session.
-//
-// Deprecated: use FetchWith, which tolerates deadline misses, propagates
-// traces and reports QoE back to the server. Fetch keeps the wire-v1,
-// strict-oracle behavior for old deployments and tests.
-func Fetch(addr string, videoID uint32, timeout time.Duration) (Result, error) {
-	return FetchFrom(addr, videoID, 1, timeout)
-}
-
-// FetchFrom is Fetch for an interactive customer resuming playback at
-// segment from (1 = the beginning).
-//
-// Deprecated: use FetchWith with FetchOptions.From.
-func FetchFrom(addr string, videoID, from uint32, timeout time.Duration) (Result, error) {
-	return fetch(addr, FetchOptions{
-		VideoID: videoID, From: from, Timeout: timeout,
-		NoTrace: true, NoReport: true, StrictDeadlines: true,
-	}, true)
 }
 
 // FetchWith runs one session against the server at addr as configured by
@@ -133,7 +110,7 @@ func FetchWith(addr string, opts FetchOptions) (Result, error) {
 	if opts.From == 0 {
 		opts.From = 1
 	}
-	return fetch(addr, opts, false)
+	return fetch(addr, opts)
 }
 
 // checkOptions validates the fields every session entry point shares.
@@ -147,10 +124,8 @@ func checkOptions(opts FetchOptions) error {
 	return nil
 }
 
-// fetch dials its own connection and runs one session over it. legacy
-// selects the version-less v1 request (byte-identical to the pre-v2 client)
-// — servers negotiate down and expect no report.
-func fetch(addr string, opts FetchOptions, legacy bool) (Result, error) {
+// fetch dials its own connection and runs one session over it.
+func fetch(addr string, opts FetchOptions) (Result, error) {
 	if err := checkOptions(opts); err != nil {
 		return Result{}, err
 	}
@@ -159,28 +134,25 @@ func fetch(addr string, opts FetchOptions, legacy bool) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("vodclient: dial: %w", err)
 	}
-	return runSession(conn, start, time.Since(start), opts, legacy)
+	return runSession(conn, start, time.Since(start), opts)
 }
 
 // runSession speaks one session over an established connection; it owns the
 // connection and closes it on return. start anchors the session timeout and
 // the first-byte clock (set it before dialing so both cover the dial), dial
 // is the recorded connection establishment latency.
-func runSession(conn net.Conn, start time.Time, dial time.Duration, opts FetchOptions, legacy bool) (Result, error) {
+func runSession(conn net.Conn, start time.Time, dial time.Duration, opts FetchOptions) (Result, error) {
 	defer conn.Close()
 	if err := conn.SetDeadline(start.Add(opts.Timeout)); err != nil {
 		return Result{}, fmt.Errorf("vodclient: set deadline: %w", err)
 	}
 
-	req := wire.Request{VideoID: opts.VideoID, FromSegment: opts.From}
-	if !legacy {
-		req.Version = wire.ProtoV2
-		if opts.NoReport {
-			req.Flags |= wire.FlagNoReport
-		}
-		if opts.NoTrace {
-			req.Flags |= wire.FlagNoTrace
-		}
+	req := wire.Request{VideoID: opts.VideoID, FromSegment: opts.From, Version: wire.ProtoV2}
+	if opts.NoReport {
+		req.Flags |= wire.FlagNoReport
+	}
+	if opts.NoTrace {
+		req.Flags |= wire.FlagNoTrace
 	}
 	if err := wire.WriteFrame(conn, req); err != nil {
 		return Result{}, fmt.Errorf("vodclient: send request: %w", err)
@@ -218,7 +190,7 @@ func runSession(conn net.Conn, start time.Time, dial time.Duration, opts FetchOp
 	}
 	qoe := newQoETracker(int(info.AdmitSlot), periods, int(opts.From))
 	// A report is only owed when both sides speak v2 and nobody opted out.
-	sendReport := !legacy && info.Version >= wire.ProtoV2 && !opts.NoReport
+	sendReport := info.Version >= wire.ProtoV2 && !opts.NoReport
 
 	res := Result{
 		VideoID:    info.VideoID,

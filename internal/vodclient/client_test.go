@@ -45,7 +45,7 @@ func goodInfo() wire.ScheduleInfo {
 
 func fetchErr(t *testing.T, addr string) error {
 	t.Helper()
-	_, err := Fetch(addr, 1, 2*time.Second)
+	_, err := FetchWith(addr, FetchOptions{VideoID: 1, Timeout: 2 * time.Second, StrictDeadlines: true})
 	if err == nil {
 		t.Fatal("fetch succeeded against a misbehaving server")
 	}
@@ -53,11 +53,13 @@ func fetchErr(t *testing.T, addr string) error {
 }
 
 func TestFetchValidation(t *testing.T) {
-	if _, err := Fetch("127.0.0.1:1", 1, 0); err == nil {
+	if _, err := FetchWith("127.0.0.1:1", FetchOptions{VideoID: 1, Timeout: 0, StrictDeadlines: true}); err == nil {
 		t.Error("zero timeout accepted")
 	}
-	if _, err := FetchFrom("127.0.0.1:1", 1, 0, time.Second); err == nil {
-		t.Error("resume from 0 accepted")
+	// From 0 now means "the beginning" (FetchWith coerces it to 1), so only
+	// a non-positive timeout remains an option-level validation failure.
+	if _, err := FetchWith("127.0.0.1:1", FetchOptions{VideoID: 1, From: 5, Timeout: -time.Second, StrictDeadlines: true}); err == nil {
+		t.Error("negative timeout accepted")
 	}
 }
 
@@ -154,7 +156,7 @@ func TestFetchRejectsResumeBeyondSchedule(t *testing.T) {
 		}
 		_ = wire.WriteFrame(conn, goodInfo())
 	}()
-	if _, err := FetchFrom(ln.Addr().String(), 1, 5, 2*time.Second); err == nil {
+	if _, err := FetchWith(ln.Addr().String(), FetchOptions{VideoID: 1, From: 5, Timeout: 2 * time.Second, StrictDeadlines: true}); err == nil {
 		t.Fatal("resume beyond the schedule accepted")
 	}
 }
@@ -171,7 +173,7 @@ func TestFetchHappyPathAgainstScript(t *testing.T) {
 		})
 		_ = wire.WriteFrame(conn, wire.SlotEnd{Slot: 2})
 	})
-	res, err := Fetch(addr, 1, 2*time.Second)
+	res, err := FetchWith(addr, FetchOptions{VideoID: 1, Timeout: 2 * time.Second, StrictDeadlines: true})
 	if err != nil {
 		t.Fatal(err)
 	}

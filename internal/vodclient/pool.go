@@ -108,7 +108,7 @@ func (p *Pool) Fetch(opts FetchOptions) (Result, error) {
 		p.mu.Unlock()
 	}()
 
-	res, err := runSession(conn, start, dial, opts, false)
+	res, err := runSession(conn, start, dial, opts)
 	res.PoolWait = wait
 	return res, err
 }

@@ -29,7 +29,7 @@ func startObsServer(t *testing.T, traceSink io.Writer) *Server {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { s.Close() })
-	if _, err := vodclient.Fetch(s.Addr(), 1, 10*time.Second); err != nil {
+	if _, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 1, Timeout: 10 * time.Second, StrictDeadlines: true}); err != nil {
 		t.Fatal(err)
 	}
 	return s
@@ -189,7 +189,7 @@ func TestServerTraceSink(t *testing.T) {
 	sink := &syncBuffer{}
 	s := startObsServer(t, sink)
 	// Provoke a reject as well.
-	if _, err := vodclient.Fetch(s.Addr(), 99, 2*time.Second); err == nil {
+	if _, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 99, Timeout: 2 * time.Second, StrictDeadlines: true}); err == nil {
 		t.Fatal("unknown video accepted")
 	}
 	s.Close()

@@ -18,15 +18,16 @@
 package vodserver
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vodcast/internal/core"
+	"vodcast/internal/fanout"
 	"vodcast/internal/obs"
 	"vodcast/internal/station"
 	"vodcast/internal/wire"
@@ -129,6 +130,12 @@ type Config struct {
 	// only the wire frame is withheld, so subscribed clients miss the
 	// segment's deadline exactly as they would under packet loss.
 	DropInstance func(video uint32, segment, slot int) bool
+	// FanoutReference selects the retained channel-based fan-out (one
+	// encoded copy handed to per-subscriber channels) instead of the
+	// zero-copy shared-frame rings. It is the executable specification the
+	// differential tests and the BenchmarkFanOut A/B compare against;
+	// production servers leave it false.
+	FanoutReference bool
 }
 
 // DefaultSpanSampleEvery is the admission span sampling period when the
@@ -157,15 +164,22 @@ type video struct {
 	idx int
 	// periods is the resolved 1-based period vector.
 	periods []int
-	subs    map[*subscriber]struct{}
 	// load is the channel-load gauge vod_channel_load{video="..."},
 	// updated to each retired slot's instance count.
 	load *obs.Gauge
+
+	// mu guards subs, closed and the subscribers' lastSlot. The lock is
+	// per-video so one video's slow fan-out or teardown never stalls
+	// another's admit or disconnect path; nothing is held across a write or
+	// a channel send.
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	closed bool
 }
 
-// slotBatch is one slot's encoded broadcast, tagged with its slot so a
-// subscriber admitted concurrently with the clock can discard slots from
-// before its admission.
+// slotBatch is one slot's encoded broadcast on the reference path, tagged
+// with its slot so a subscriber admitted concurrently with the clock can
+// discard slots from before its admission.
 type slotBatch struct {
 	slot int
 	data []byte
@@ -173,15 +187,31 @@ type slotBatch struct {
 
 type subscriber struct {
 	conn net.Conn
-	// batches carries one encoded batch per slot; closed when the
-	// subscription ends.
+	// ring queues shared frame references on the zero-copy path; the
+	// connection's handler drains it with vectored writes. nil when the
+	// server runs the reference fan-out.
+	ring *fanout.Ring
+	// batches carries one encoded batch per slot on the reference path;
+	// closed when the subscription ends. nil on the zero-copy path.
 	batches chan slotBatch
 	// lastSlot is the final slot this subscriber needs. It starts at
 	// math.MaxInt (registration precedes admission) and is fixed, under the
-	// server mutex, once the admit slot is known.
+	// owning video's mutex, once the admit slot is known.
 	lastSlot int
 	// admitted stamps the admission for the first-byte latency histogram.
 	admitted time.Time
+}
+
+// finish ends the subscription from the producer side: a clean close of
+// whichever delivery primitive the subscriber uses. Callers must hold the
+// owning video's mutex and have already removed the subscriber from subs
+// (the map removal is what makes the channel close single-shot).
+func (sub *subscriber) finish() {
+	if sub.ring != nil {
+		sub.ring.Close()
+		return
+	}
+	close(sub.batches)
 }
 
 // Server is a running VOD server. Create with Start, stop with Close.
@@ -221,17 +251,26 @@ type Server struct {
 	mReports        *obs.Counter
 	mClientStartup  *obs.Histogram
 	mClientSlack    *obs.Histogram
+	mRingDepth      *obs.Gauge
 
-	// mu guards subscriptions, connections, stats and the closed flag; the
-	// schedulers live behind the station's shard locks, so admissions only
-	// brush this mutex to register and finalize the subscription. Lock
-	// order is mu before shard locks (Stats); no path acquires mu while
-	// holding a shard lock.
+	// enc is the zero-copy slot encoder (pre-generated payloads, pooled
+	// ref-counted frames); ref is the retained allocating path, built
+	// instead when cfg.FanoutReference is set.
+	enc *fanout.Encoder
+	ref *fanout.Reference
+
+	// videos is immutable after Start; per-subscriber state lives behind
+	// each video's own mutex so the server-wide lock never sits on the
+	// broadcast path. mu guards only the connection set; the counters the
+	// fan-out and admit paths touch are atomics.
 	mu     sync.Mutex
 	videos map[uint32]*video
 	conns  map[net.Conn]struct{}
-	stats  Stats
-	closed bool
+	closed atomic.Bool
+
+	statRequests       atomic.Int64
+	statBroadcastBytes atomic.Int64
+	statDropped        atomic.Int64
 
 	// loadMu guards loadFn, the optional load-harness live-status source
 	// installed with SetLoadStatus and published into /statusz.
@@ -273,6 +312,13 @@ func Start(cfg Config) (*Server, error) {
 	tracer := obs.NewTracer(cfg.TraceWriter, cfg.TraceEvents)
 	videos := make(map[uint32]*video, len(cfg.Videos))
 	stationVideos := make([]station.VideoConfig, len(cfg.Videos))
+	var enc *fanout.Encoder
+	var ref *fanout.Reference
+	if cfg.FanoutReference {
+		ref = fanout.NewFanoutReference()
+	} else {
+		enc = fanout.NewEncoder()
+	}
 	for i, vc := range cfg.Videos {
 		if len(vc.SegmentSizes) == 0 && vc.SegmentBytes <= 0 {
 			return nil, fmt.Errorf("vodserver: video %d: segment bytes %d must be positive", vc.ID, vc.SegmentBytes)
@@ -290,6 +336,22 @@ func Start(cfg Config) (*Server, error) {
 		}
 		if _, dup := videos[vc.ID]; dup {
 			return nil, fmt.Errorf("vodserver: duplicate video id %d", vc.ID)
+		}
+		// Hand the video's (possibly VBR) segment sizes to the data plane:
+		// the zero-copy encoder pre-generates every payload once here, at
+		// start-up, so the broadcast path never allocates one again.
+		sizes := make([]int, vc.Segments)
+		for j := 1; j <= vc.Segments; j++ {
+			sizes[j-1] = vc.sizeOf(j)
+		}
+		var err error
+		if cfg.FanoutReference {
+			err = ref.AddVideo(vc.ID, sizes)
+		} else {
+			err = enc.AddVideo(vc.ID, sizes)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("vodserver: %w", err)
 		}
 		stationVideos[i] = station.VideoConfig{
 			Name:          fmt.Sprint(vc.ID),
@@ -363,6 +425,10 @@ func Start(cfg Config) (*Server, error) {
 		mClientSlack: reg.Histogram("client_deadline_slack_slots",
 			"Client-reported per-report mean slack to the delivery deadline, in slots.",
 			clientSlackBuckets),
+		mRingDepth: reg.Gauge("vod_fanout_ring_depth_max",
+			"Deepest per-subscriber write ring observed during the most recent fan-out tick."),
+		enc:    enc,
+		ref:    ref,
 		videos: videos,
 		conns:  make(map[net.Conn]struct{}),
 	}
@@ -499,12 +565,16 @@ func (s *Server) Uptime() time.Duration { return time.Since(s.started) }
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
+	st := Stats{
+		Requests:       s.statRequests.Load(),
+		BroadcastBytes: s.statBroadcastBytes.Load(),
+		Dropped:        s.statDropped.Load(),
+	}
 	_, st.Instances = s.station.Totals()
 	for _, v := range s.videos {
+		v.mu.Lock()
 		st.ActiveSubscribers += len(v.subs)
+		v.mu.Unlock()
 	}
 	return st
 }
@@ -513,31 +583,35 @@ func (s *Server) Stats() Stats {
 // waits for all server goroutines to exit. It is safe to call more than
 // once.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Swap(true) {
 		s.station.Close()
 		return nil
 	}
-	s.closed = true
 	err := s.ln.Close()
 	if s.statsLn != nil {
 		s.statsLn.Close()
 	}
 	for _, v := range s.videos {
+		v.mu.Lock()
+		// The closed flag stops admit from registering a subscriber after
+		// this sweep — a late registration would otherwise hold a ring no
+		// producer ever closes.
+		v.closed = true
 		for sub := range v.subs {
-			close(sub.batches)
 			delete(v.subs, sub)
+			sub.finish()
 		}
+		v.mu.Unlock()
 	}
 	// Unblock handlers parked in reads or writes.
+	s.mu.Lock()
 	for conn := range s.conns {
 		conn.Close()
 	}
 	s.mu.Unlock()
-	// Stop the clock after releasing mu: a concurrent fanOut may be waiting
-	// on the mutex and will observe closed. station.Close waits for the
-	// clock goroutine to exit.
+	// A concurrent fanOut tick may still be pushing; it only sees live
+	// subscribers under the per-video locks, and station.Close waits for
+	// the clock goroutine to exit.
 	s.alerts.Stop()
 	s.station.Close()
 	s.wg.Wait()
@@ -549,7 +623,7 @@ func (s *Server) Close() error {
 func (s *Server) track(conn net.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return false
 	}
 	s.conns[conn] = struct{}{}
@@ -637,6 +711,19 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	admitSlot := int(info.AdmitSlot)
 	wait := root.Child("first_byte_wait")
+	if sub.ring != nil {
+		if !s.drainRing(conn, req.VideoID, sub, admitSlot, wait, root) {
+			return
+		}
+		// The subscription ended cleanly (ring closed at the last slot). A
+		// v2 session that did not opt out now owes us a ClientReport; a
+		// subscriber the fan-out dropped for falling behind gets
+		// disconnected instead.
+		if wantReport && !sub.ring.Dropped() {
+			s.readReport(conn, req.VideoID)
+		}
+		return
+	}
 	firstByte := false
 	for batch := range sub.batches {
 		// The subscription was registered before the admission reached the
@@ -665,6 +752,65 @@ func (s *Server) handleConn(conn net.Conn) {
 	// v2 session that did not opt out now owes us a ClientReport.
 	if wantReport {
 		s.readReport(conn, req.VideoID)
+	}
+}
+
+// drainRing is the zero-copy delivery loop: it batch-pops the shared frame
+// references queued on the subscriber's ring and hands them to the kernel
+// as one vectored write per batch, releasing each frame only after its
+// bytes are out. It reports false when the connection failed mid-stream
+// (the session is already torn down) and true on clean ring closure.
+func (s *Server) drainRing(conn net.Conn, videoID uint32, sub *subscriber, admitSlot int, wait, root *obs.Span) bool {
+	var (
+		frames    []*fanout.Frame
+		scratch   [][]byte
+		firstByte bool
+	)
+	release := func() {
+		for _, f := range frames {
+			f.Release()
+		}
+	}
+	for {
+		var open bool
+		frames, open = sub.ring.PopAll(frames[:0])
+		// The subscription was registered before the admission reached the
+		// scheduler, so the ring may carry slots from before the admit
+		// slot; the customer's service starts at admitSlot+1.
+		scratch = scratch[:0]
+		for _, f := range frames {
+			if f.Slot() > admitSlot {
+				scratch = append(scratch, f.Bytes())
+			}
+		}
+		if len(scratch) != 0 {
+			// net.Buffers.WriteTo consumes the slice it is called on (and
+			// rewrites its elements on partial writes), so it gets its own
+			// header over scratch, which is rebuilt from the frames each
+			// iteration anyway.
+			vec := net.Buffers(scratch)
+			_, err := vec.WriteTo(conn)
+			if err != nil {
+				release()
+				// unsubscribe Drops the ring, which releases anything still
+				// queued and refuses further pushes, so every outstanding
+				// frame reference is now accounted for.
+				s.unsubscribe(videoID, sub)
+				return false
+			}
+			if !firstByte {
+				firstByte = true
+				lat := time.Since(sub.admitted).Seconds()
+				s.mAdmitLatency.Observe(lat)
+				s.firstByte.Observe(lat)
+				wait.End()
+				root.End()
+			}
+		}
+		release()
+		if !open {
+			return true
+		}
 	}
 }
 
@@ -698,17 +844,21 @@ func (s *Server) admit(videoID, fromSegment uint32, conn net.Conn, root *obs.Spa
 	}
 	sub := &subscriber{
 		conn:     conn,
-		batches:  make(chan slotBatch, s.cfg.SubscriberBuffer),
 		lastSlot: math.MaxInt,
 		admitted: time.Now(),
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.cfg.FanoutReference {
+		sub.batches = make(chan slotBatch, s.cfg.SubscriberBuffer)
+	} else {
+		sub.ring = fanout.NewRing(s.cfg.SubscriberBuffer)
+	}
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
 		return nil, wire.ScheduleInfo{}, fmt.Errorf("server shutting down")
 	}
 	v.subs[sub] = struct{}{}
-	s.mu.Unlock()
+	v.mu.Unlock()
 
 	root.SetShard(s.station.ShardOf(v.idx))
 	span := root.Child("station_admit")
@@ -728,12 +878,12 @@ func (s *Server) admit(videoID, fromSegment uint32, conn net.Conn, root *obs.Spa
 			suffixMax = p
 		}
 	}
-	s.mu.Lock()
+	v.mu.Lock()
 	if _, live := v.subs[sub]; live {
 		sub.lastSlot = admitSlot + suffixMax
 	}
-	s.stats.Requests++
-	s.mu.Unlock()
+	v.mu.Unlock()
+	s.statRequests.Add(1)
 	s.mRequests.Inc()
 
 	periods := make([]uint32, v.cfg.Segments)
@@ -757,26 +907,44 @@ func (s *Server) admit(videoID, fromSegment uint32, conn net.Conn, root *obs.Spa
 	return sub, info, nil
 }
 
-// unsubscribe removes the subscription and closes its channel if the
-// fan-out has not already done so, which lets the caller drain without
-// blocking.
+// unsubscribe removes the subscription after an abnormal termination
+// (failed admit, dead connection) and ends its delivery primitive if the
+// fan-out has not already done so. Rings are Dropped rather than Closed so
+// any queued frame references are returned to the pool immediately — the
+// handler will never write them.
 func (s *Server) unsubscribe(videoID uint32, sub *subscriber) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	v, ok := s.videos[videoID]
 	if !ok {
 		return
 	}
+	v.mu.Lock()
 	if _, live := v.subs[sub]; live {
 		delete(v.subs, sub)
-		close(sub.batches)
+		if sub.ring != nil {
+			sub.ring.Drop()
+		} else {
+			close(sub.batches)
+		}
 	}
+	v.mu.Unlock()
+}
+
+// dropHook adapts the fault-injection hook to one video and slot. It is
+// only materialized when DropInstance is armed, so the production fan-out
+// never allocates a closure per tick.
+func (s *Server) dropHook(videoID uint32, slot int) func(segment int) bool {
+	if s.cfg.DropInstance == nil {
+		return nil
+	}
+	return func(seg int) bool { return s.cfg.DropInstance(videoID, seg, slot) }
 }
 
 // fanOut runs on the station's clock goroutine once per retired slot: it
-// encodes each video's broadcast instances exactly once and distributes the
-// batches to the subscribers. Encoding happens before taking the mutex —
-// only the subscriber maps and stats need it.
+// encodes each video's broadcast instances exactly once into a shared
+// ref-counted frame and pushes one reference per subscriber ring — the
+// per-audience cost is a pointer, not a copy. Counters are atomics and
+// subscriber maps sit behind per-video locks, so nothing here touches the
+// server-wide mutex and one video's teardown can't stall another's tick.
 func (s *Server) fanOut(reports []core.SlotReport) {
 	t0 := time.Now()
 	defer func() {
@@ -784,71 +952,89 @@ func (s *Server) fanOut(reports []core.SlotReport) {
 		s.mFanout.Observe(d)
 		s.fanout.Observe(d)
 	}()
-	type encoded struct {
-		v     *video
-		rep   core.SlotReport
-		batch slotBatch
-		bytes int64
+	if s.closed.Load() {
+		return
 	}
-	out := make([]encoded, 0, len(s.cfg.Videos))
+	if s.cfg.FanoutReference {
+		s.fanOutReference(reports)
+		return
+	}
+	maxDepth := 0
 	for _, vc := range s.cfg.Videos {
 		v := s.videos[vc.ID]
 		rep := reports[v.idx]
-		var buf bytes.Buffer
-		payloadBytes := int64(0)
-		for _, seg := range rep.Segments {
-			if s.cfg.DropInstance != nil && s.cfg.DropInstance(vc.ID, seg, rep.Slot) {
-				continue
-			}
-			payload := wire.SegmentPayload(vc.ID, uint32(seg), uint32(vc.sizeOf(seg)))
-			frame := wire.Segment{
-				VideoID: vc.ID,
-				Segment: uint32(seg),
-				Slot:    uint64(rep.Slot),
-				Payload: payload,
-			}
-			if err := wire.WriteFrame(&buf, frame); err != nil {
-				continue // unreachable: in-memory write
-			}
-			payloadBytes += int64(len(payload))
+		v.load.Set(float64(rep.Load))
+		s.mInstances.Add(float64(rep.Load))
+		frame, err := s.enc.EncodeSlot(vc.ID, rep.Slot, rep.Segments, s.dropHook(vc.ID, rep.Slot))
+		if err != nil {
+			continue // unreachable: the catalogue was built from the same configs
 		}
-		if err := wire.WriteFrame(&buf, wire.SlotEnd{Slot: uint64(rep.Slot)}); err != nil {
-			continue
-		}
-		out = append(out, encoded{
-			v:     v,
-			rep:   rep,
-			batch: slotBatch{slot: rep.Slot, data: buf.Bytes()},
-			bytes: payloadBytes,
-		})
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return
-	}
-	for _, e := range out {
-		e.v.load.Set(float64(e.rep.Load))
-		s.mInstances.Add(float64(e.rep.Load))
-		s.stats.BroadcastBytes += e.bytes
-		s.mBroadcastBytes.Add(float64(e.bytes))
-		for sub := range e.v.subs {
-			select {
-			case sub.batches <- e.batch:
-			default:
-				// The subscriber fell a full buffer behind: disconnect it
+		s.statBroadcastBytes.Add(frame.PayloadBytes())
+		s.mBroadcastBytes.Add(float64(frame.PayloadBytes()))
+		v.mu.Lock()
+		for sub := range v.subs {
+			frame.Retain()
+			if !sub.ring.Push(frame) {
+				// The subscriber fell a full ring behind: disconnect it
 				// rather than stall the broadcast.
-				delete(e.v.subs, sub)
-				close(sub.batches)
-				s.stats.Dropped++
+				frame.Release()
+				delete(v.subs, sub)
+				sub.ring.Drop()
+				s.statDropped.Add(1)
 				s.mDropped.Inc()
 				continue
 			}
-			if e.rep.Slot >= sub.lastSlot {
-				delete(e.v.subs, sub)
+			if d := sub.ring.Depth(); d > maxDepth {
+				maxDepth = d
+			}
+			if rep.Slot >= sub.lastSlot {
+				delete(v.subs, sub)
+				sub.ring.Close()
+			}
+		}
+		v.mu.Unlock()
+		// Drop the encoder's own reference; subscribers now hold theirs and
+		// the frame recycles once the last write completes.
+		frame.Release()
+	}
+	s.mRingDepth.Set(float64(maxDepth))
+}
+
+// fanOutReference is the retained channel-based distribution path, selected
+// by Config.FanoutReference: one encoded byte slice per (video, slot),
+// handed to per-subscriber buffered channels. It is the executable spec the
+// differential test compares the zero-copy path against.
+func (s *Server) fanOutReference(reports []core.SlotReport) {
+	for _, vc := range s.cfg.Videos {
+		v := s.videos[vc.ID]
+		rep := reports[v.idx]
+		v.load.Set(float64(rep.Load))
+		s.mInstances.Add(float64(rep.Load))
+		data, payloadBytes, err := s.ref.EncodeSlot(vc.ID, rep.Slot, rep.Segments, s.dropHook(vc.ID, rep.Slot))
+		if err != nil {
+			continue // unreachable: the catalogue was built from the same configs
+		}
+		s.statBroadcastBytes.Add(payloadBytes)
+		s.mBroadcastBytes.Add(float64(payloadBytes))
+		batch := slotBatch{slot: rep.Slot, data: data}
+		v.mu.Lock()
+		for sub := range v.subs {
+			select {
+			case sub.batches <- batch:
+			default:
+				// The subscriber fell a full buffer behind: disconnect it
+				// rather than stall the broadcast.
+				delete(v.subs, sub)
+				close(sub.batches)
+				s.statDropped.Add(1)
+				s.mDropped.Inc()
+				continue
+			}
+			if rep.Slot >= sub.lastSlot {
+				delete(v.subs, sub)
 				close(sub.batches)
 			}
 		}
+		v.mu.Unlock()
 	}
 }

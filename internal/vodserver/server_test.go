@@ -8,7 +8,10 @@ import (
 	"testing"
 	"time"
 
+	"bytes"
+
 	"vodcast/internal/core"
+	"vodcast/internal/fanout"
 	"vodcast/internal/trace"
 	"vodcast/internal/vodclient"
 	"vodcast/internal/wire"
@@ -82,7 +85,7 @@ func TestStartValidation(t *testing.T) {
 // video and must receive every segment, byte-perfect, by its deadline.
 func TestEndToEndSingleClient(t *testing.T) {
 	s := startTestServer(t)
-	res, err := vodclient.Fetch(s.Addr(), 1, 10*time.Second)
+	res, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 1, Timeout: 10 * time.Second, StrictDeadlines: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +119,7 @@ func TestEndToEndConcurrentClientsShare(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := vodclient.Fetch(s.Addr(), 1, 10*time.Second); err != nil {
+			if _, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 1, Timeout: 10 * time.Second, StrictDeadlines: true}); err != nil {
 				mu.Lock()
 				errs = append(errs, err)
 				mu.Unlock()
@@ -145,7 +148,7 @@ func TestEndToEndConcurrentClientsShare(t *testing.T) {
 func TestStaggeredClients(t *testing.T) {
 	s := startTestServer(t, VideoConfig{ID: 1, Segments: 8, SegmentBytes: 128})
 	for c := 0; c < 3; c++ {
-		res, err := vodclient.Fetch(s.Addr(), 1, 10*time.Second)
+		res, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 1, Timeout: 10 * time.Second, StrictDeadlines: true})
 		if err != nil {
 			t.Fatalf("client %d: %v", c, err)
 		}
@@ -168,7 +171,7 @@ func TestMultipleVideos(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i], errs[i] = vodclient.Fetch(s.Addr(), id, 10*time.Second)
+			results[i], errs[i] = vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: id, Timeout: 10 * time.Second, StrictDeadlines: true})
 		}()
 	}
 	wg.Wait()
@@ -184,7 +187,7 @@ func TestMultipleVideos(t *testing.T) {
 
 func TestUnknownVideoRejected(t *testing.T) {
 	s := startTestServer(t)
-	_, err := vodclient.Fetch(s.Addr(), 99, 5*time.Second)
+	_, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 99, Timeout: 5 * time.Second, StrictDeadlines: true})
 	if err == nil {
 		t.Fatal("unknown video accepted")
 	}
@@ -232,7 +235,7 @@ func TestCloseTerminatesCleanly(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
 	}
-	if _, err := vodclient.Fetch(s.Addr(), 1, time.Second); err == nil {
+	if _, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 1, Timeout: time.Second, StrictDeadlines: true}); err == nil {
 		t.Fatal("fetch succeeded after Close")
 	}
 }
@@ -246,7 +249,7 @@ func TestDHBDPeriodsOverTheWire(t *testing.T) {
 		Periods:      []int{0, 1, 3, 3, 5, 6, 8},
 		SegmentBytes: 256,
 	})
-	res, err := vodclient.Fetch(s.Addr(), 7, 10*time.Second)
+	res, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 7, Timeout: 10 * time.Second, StrictDeadlines: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +274,7 @@ func TestClientTimeout(t *testing.T) {
 		}
 	}()
 	start := time.Now()
-	_, err = vodclient.Fetch(ln.Addr().String(), 1, 300*time.Millisecond)
+	_, err = vodclient.FetchWith(ln.Addr().String(), vodclient.FetchOptions{VideoID: 1, Timeout: 300 * time.Millisecond, StrictDeadlines: true})
 	if err == nil {
 		t.Fatal("fetch succeeded against a mute server")
 	}
@@ -305,7 +308,7 @@ func TestVBRVideoOverTheWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	res, err := vodclient.Fetch(s.Addr(), 9, 30*time.Second)
+	res, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 9, Timeout: 30 * time.Second, StrictDeadlines: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +357,7 @@ func TestVBRVideoVariantB(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if _, err := vodclient.Fetch(s.Addr(), 3, 30*time.Second); err != nil {
+	if _, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 3, Timeout: 30 * time.Second, StrictDeadlines: true}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -396,11 +399,11 @@ func TestStartRejectsBadSegmentSizes(t *testing.T) {
 func TestResumeOverTheWire(t *testing.T) {
 	s := startTestServer(t, VideoConfig{ID: 1, Segments: 12, SegmentBytes: 256})
 	// A full viewing and a resume from segment 9 share the suffix.
-	full, err := vodclient.Fetch(s.Addr(), 1, 10*time.Second)
+	full, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 1, Timeout: 10 * time.Second, StrictDeadlines: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resumed, err := vodclient.FetchFrom(s.Addr(), 1, 9, 10*time.Second)
+	resumed, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 1, From: 9, Timeout: 10 * time.Second, StrictDeadlines: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -416,7 +419,7 @@ func TestResumeOverTheWire(t *testing.T) {
 
 func TestResumeBeyondVideoRejected(t *testing.T) {
 	s := startTestServer(t, VideoConfig{ID: 1, Segments: 5, SegmentBytes: 64})
-	if _, err := vodclient.FetchFrom(s.Addr(), 1, 6, 5*time.Second); err == nil {
+	if _, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 1, From: 6, Timeout: 5 * time.Second, StrictDeadlines: true}); err == nil {
 		t.Fatal("resume beyond the video accepted")
 	}
 }
@@ -429,7 +432,7 @@ func TestConcurrentResumesShare(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			_, errs[id] = vodclient.FetchFrom(s.Addr(), 1, 6, 10*time.Second)
+			_, errs[id] = vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 1, From: 6, Timeout: 10 * time.Second, StrictDeadlines: true})
 		}(c)
 	}
 	wg.Wait()
@@ -459,7 +462,7 @@ func TestStatszEndpoint(t *testing.T) {
 	if s.StatsAddr() == "" {
 		t.Fatal("stats endpoint not bound")
 	}
-	if _, err := vodclient.Fetch(s.Addr(), 1, 10*time.Second); err != nil {
+	if _, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 1, Timeout: 10 * time.Second, StrictDeadlines: true}); err != nil {
 		t.Fatal(err)
 	}
 	resp, err := http.Get("http://" + s.StatsAddr() + "/statsz")
@@ -498,14 +501,129 @@ func TestStatszDisabledByDefault(t *testing.T) {
 func TestUnsubscribeIdempotent(t *testing.T) {
 	s := startTestServer(t)
 	sub := &subscriber{batches: make(chan slotBatch, 1)}
-	s.mu.Lock()
-	s.videos[1].subs[sub] = struct{}{}
-	s.mu.Unlock()
+	v := s.videos[1]
+	v.mu.Lock()
+	v.subs[sub] = struct{}{}
+	v.mu.Unlock()
 	s.unsubscribe(1, sub)
 	// The channel must be closed exactly once; a second call is a no-op.
 	s.unsubscribe(1, sub)
 	s.unsubscribe(99, sub) // unknown video: no-op
 	if _, open := <-sub.batches; open {
 		t.Fatal("channel not closed by unsubscribe")
+	}
+
+	// Same contract for a zero-copy ring subscriber: the first call drops
+	// the ring, repeats and unknown videos are no-ops.
+	rsub := &subscriber{ring: fanout.NewRing(1)}
+	v.mu.Lock()
+	v.subs[rsub] = struct{}{}
+	v.mu.Unlock()
+	s.unsubscribe(1, rsub)
+	s.unsubscribe(1, rsub)
+	s.unsubscribe(99, rsub)
+	if !rsub.ring.Dropped() {
+		t.Fatal("ring not dropped by unsubscribe")
+	}
+	if _, open := rsub.ring.PopAll(nil); open {
+		t.Fatal("dropped ring still open")
+	}
+}
+
+// TestReferenceFanoutServesIdenticalStream runs the retained
+// serialize-per-tick data plane end to end. The strict client oracle
+// verifies every payload byte against the same deterministic generator the
+// zero-copy plane is held to in TestEndToEndSingleClient, so the two
+// passing together prove the planes are byte-identical on the wire (the
+// frame-level differential test lives in internal/fanout).
+func TestReferenceFanoutServesIdenticalStream(t *testing.T) {
+	s, err := Start(Config{
+		Addr:            "127.0.0.1:0",
+		Videos:          []VideoConfig{{ID: 1, Segments: 10, SegmentBytes: 512}},
+		SlotDuration:    10 * time.Millisecond,
+		FanoutReference: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	res, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 1, Timeout: 10 * time.Second, StrictDeadlines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Segments != 10 || res.PayloadBytes < 10*512 {
+		t.Fatalf("reference plane result = %+v", res)
+	}
+	// Resumes ride the same plane.
+	if _, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 1, From: 6, Timeout: 10 * time.Second, StrictDeadlines: true}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Requests != 2 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestRawWireV1Session drives a version-less request over a raw TCP
+// connection — the legacy protocol the retired Fetch helper spoke — and
+// checks the server still serves it: a v1 ScheduleInfo without trace
+// identifiers, every segment delivered with verified payload bytes, and the
+// stream left open past the final slot with no report owed.
+func TestRawWireV1Session(t *testing.T) {
+	s := startTestServer(t, VideoConfig{ID: 4, Segments: 5, SegmentBytes: 96})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, wire.Request{VideoID: 4, FromSegment: 1}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, ok := msg.(wire.ScheduleInfo)
+	if !ok {
+		t.Fatalf("first frame %T, want ScheduleInfo", msg)
+	}
+	if info.Version != 0 || info.TraceID != 0 || info.SpanID != 0 {
+		t.Fatalf("v1 session granted v2 fields: %+v", info)
+	}
+	// Consume the broadcast exactly as the old v1 client did: verify every
+	// payload byte, stop at the slot that retires the whole schedule.
+	last := info.AdmitSlot
+	for _, p := range info.Periods {
+		if info.AdmitSlot+uint64(p) > last {
+			last = info.AdmitSlot + uint64(p)
+		}
+	}
+	got := make(map[uint32]bool)
+	for {
+		msg, err := wire.ReadFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch m := msg.(type) {
+		case wire.Segment:
+			want := wire.SegmentPayload(m.VideoID, m.Segment, info.SizeOf(m.Segment))
+			if !bytes.Equal(m.Payload, want) {
+				t.Fatalf("corrupt payload for segment %d", m.Segment)
+			}
+			got[m.Segment] = true
+		case wire.SlotEnd:
+			if m.Slot >= last {
+				for j := uint32(1); j <= info.Segments; j++ {
+					if !got[j] {
+						t.Fatalf("segment %d never delivered", j)
+					}
+				}
+				return
+			}
+		default:
+			t.Fatalf("unexpected frame %T", msg)
+		}
 	}
 }

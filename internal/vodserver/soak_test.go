@@ -63,7 +63,7 @@ func TestSoakManyClients(t *testing.T) {
 		go func(j job) {
 			defer wg.Done()
 			time.Sleep(j.delay)
-			if _, err := vodclient.FetchFrom(s.Addr(), j.video, j.from, 30*time.Second); err != nil {
+			if _, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: j.video, From: j.from, Timeout: 30 * time.Second, StrictDeadlines: true}); err != nil {
 				mu.Lock()
 				errs = append(errs, err)
 				mu.Unlock()

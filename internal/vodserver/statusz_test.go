@@ -30,7 +30,9 @@ func startStatusServer(t *testing.T, spanSink io.Writer) *Server {
 	}
 	t.Cleanup(func() { s.Close() })
 	for _, id := range []uint32{1, 2} {
-		if _, err := vodclient.Fetch(s.Addr(), id, 10*time.Second); err != nil {
+		// Decline trace join and reporting so the span sink holds exactly the
+		// server-side admit trees (client spans are covered by the QoE tests).
+		if _, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: id, Timeout: 10 * time.Second, StrictDeadlines: true, NoTrace: true, NoReport: true}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,56 @@
+package wire
+
+import "encoding/binary"
+
+// This file is the zero-copy side of the codec: append-style encoders that
+// serialize data-plane frames directly into a caller-owned buffer instead of
+// allocating a body per frame the way WriteFrame does. The broadcast fan-out
+// (internal/fanout) uses them to build one shared slot buffer per
+// (video, slot) pair; fanout's differential test pins their output
+// byte-for-byte to WriteFrame's.
+//
+// The appenders trust their caller on the MaxBody bound: the fan-out sizes
+// segments at configuration time, where vodserver validates them, so the
+// per-frame check WriteFrame performs would be dead weight on the hot path.
+
+// segmentFrameOverhead is the non-payload byte count of an encoded Segment
+// frame: the 5-byte frame header plus the 16-byte fixed body head.
+const segmentFrameOverhead = 5 + 16
+
+// AppendSegmentFrame appends one complete Segment frame — header and body —
+// to dst and returns the extended slice. The bytes are exactly those
+// WriteFrame(w, Segment{VideoID: videoID, Segment: segment, Slot: slot,
+// Payload: payload}) would write.
+func AppendSegmentFrame(dst []byte, videoID, segment uint32, slot uint64, payload []byte) []byte {
+	dst = append(dst, byte(TypeSegment))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(16+len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, videoID)
+	dst = binary.BigEndian.AppendUint32(dst, segment)
+	dst = binary.BigEndian.AppendUint64(dst, slot)
+	return append(dst, payload...)
+}
+
+// AppendSlotEndFrame appends one complete SlotEnd frame to dst and returns
+// the extended slice, byte-identical to WriteFrame(w, SlotEnd{Slot: slot}).
+func AppendSlotEndFrame(dst []byte, slot uint64) []byte {
+	dst = append(dst, byte(TypeSlotEnd))
+	dst = binary.BigEndian.AppendUint32(dst, 8)
+	return binary.BigEndian.AppendUint64(dst, slot)
+}
+
+// AppendSegmentPayload appends the deterministic payload bytes of one
+// (video, segment) pair to dst and returns the extended slice — the same
+// bytes SegmentPayload returns, without the allocation.
+func AppendSegmentPayload(dst []byte, videoID, segment, size uint32) []byte {
+	state := (uint64(videoID)<<32 ^ uint64(segment)) * 0x9E3779B97F4A7C15
+	if state == 0 {
+		state = 0x9E3779B97F4A7C15
+	}
+	for i := uint32(0); i < size; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		dst = append(dst, byte(state))
+	}
+	return dst
+}

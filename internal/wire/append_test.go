@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The append encoders exist so the fan-out can serialize into shared buffers
+// without per-frame allocation; their one correctness obligation is emitting
+// exactly the bytes WriteFrame would. These tests pin that equivalence over
+// representative shapes (empty, one-byte, and VBR-sized payloads, extreme
+// IDs and slots).
+
+func TestAppendSegmentFrameMatchesWriteFrame(t *testing.T) {
+	cases := []struct {
+		videoID, segment uint32
+		slot             uint64
+		size             uint32
+	}{
+		{1, 1, 0, 0},
+		{1, 2, 3, 1},
+		{7, 31, 1 << 40, 1500},
+		{0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 64 << 10},
+		{42, 0, 9, 777},
+	}
+	for _, c := range cases {
+		payload := SegmentPayload(c.videoID, c.segment, c.size)
+		var want bytes.Buffer
+		if err := WriteFrame(&want, Segment{VideoID: c.videoID, Segment: c.segment, Slot: c.slot, Payload: payload}); err != nil {
+			t.Fatalf("WriteFrame(%+v): %v", c, err)
+		}
+		got := AppendSegmentFrame(nil, c.videoID, c.segment, c.slot, payload)
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("AppendSegmentFrame(%+v) differs from WriteFrame: got %d bytes, want %d", c, len(got), want.Len())
+		}
+		if len(got) != segmentFrameOverhead+int(c.size) {
+			t.Fatalf("frame length %d, want overhead %d + payload %d", len(got), segmentFrameOverhead, c.size)
+		}
+	}
+}
+
+func TestAppendSegmentFrameExtendsDst(t *testing.T) {
+	prefix := []byte{0xAA, 0xBB}
+	got := AppendSegmentFrame(append([]byte(nil), prefix...), 3, 4, 5, []byte{9})
+	if !bytes.Equal(got[:2], prefix) {
+		t.Fatalf("prefix clobbered: %x", got[:2])
+	}
+	want := AppendSegmentFrame(nil, 3, 4, 5, []byte{9})
+	if !bytes.Equal(got[2:], want) {
+		t.Fatalf("appended frame differs when dst is non-empty")
+	}
+}
+
+func TestAppendSlotEndFrameMatchesWriteFrame(t *testing.T) {
+	for _, slot := range []uint64{0, 1, 63, 1 << 33, 0xFFFFFFFFFFFFFFFF} {
+		var want bytes.Buffer
+		if err := WriteFrame(&want, SlotEnd{Slot: slot}); err != nil {
+			t.Fatalf("WriteFrame(SlotEnd{%d}): %v", slot, err)
+		}
+		got := AppendSlotEndFrame(nil, slot)
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("AppendSlotEndFrame(%d) = %x, want %x", slot, got, want.Bytes())
+		}
+	}
+}
+
+func TestAppendSegmentPayloadMatchesSegmentPayload(t *testing.T) {
+	cases := []struct{ videoID, segment, size uint32 }{
+		{0, 0, 16}, // zero seed falls back to the golden-ratio constant
+		{1, 1, 0},
+		{1, 2, 1},
+		{12, 345, 2048},
+		{0xFFFFFFFF, 7, 100},
+	}
+	for _, c := range cases {
+		want := SegmentPayload(c.videoID, c.segment, c.size)
+		got := AppendSegmentPayload(nil, c.videoID, c.segment, c.size)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("AppendSegmentPayload(%d,%d,%d) differs from SegmentPayload", c.videoID, c.segment, c.size)
+		}
+	}
+}
+
+func TestAppendSegmentFrameRoundTrips(t *testing.T) {
+	payload := SegmentPayload(9, 4, 333)
+	raw := AppendSegmentFrame(nil, 9, 4, 77, payload)
+	msg, err := ReadFrame(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	seg, ok := msg.(Segment)
+	if !ok {
+		t.Fatalf("decoded %T, want Segment", msg)
+	}
+	if seg.VideoID != 9 || seg.Segment != 4 || seg.Slot != 77 || !bytes.Equal(seg.Payload, payload) {
+		t.Fatalf("round trip mismatch: %+v", seg)
+	}
+}

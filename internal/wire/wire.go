@@ -463,16 +463,5 @@ func ReadFrame(r io.Reader) (any, error) {
 // every byte it receives. The generator is a seeded xorshift over the
 // (video, segment) pair.
 func SegmentPayload(videoID, segment, size uint32) []byte {
-	out := make([]byte, size)
-	state := (uint64(videoID)<<32 ^ uint64(segment)) * 0x9E3779B97F4A7C15
-	if state == 0 {
-		state = 0x9E3779B97F4A7C15
-	}
-	for i := range out {
-		state ^= state << 13
-		state ^= state >> 7
-		state ^= state << 17
-		out[i] = byte(state)
-	}
-	return out
+	return AppendSegmentPayload(make([]byte, 0, size), videoID, segment, size)
 }

@@ -181,23 +181,6 @@ func FetchWith(addr string, opts FetchOptions) (FetchResult, error) {
 	return vodclient.FetchWith(addr, opts)
 }
 
-// Fetch requests a video from a running server, verifying every byte and
-// every delivery deadline.
-//
-// Deprecated: use FetchWith, which tolerates missed deadlines (recording
-// them as QoE), joins the server's trace and reports telemetry back. Fetch
-// keeps the strict legacy protocol-v1 behaviour.
-func Fetch(addr string, videoID uint32, timeout time.Duration) (FetchResult, error) {
-	return vodclient.Fetch(addr, videoID, timeout)
-}
-
-// FetchFrom is Fetch for an interactive customer resuming at a segment.
-//
-// Deprecated: use FetchWith with FetchOptions.From.
-func FetchFrom(addr string, videoID, from uint32, timeout time.Duration) (FetchResult, error) {
-	return vodclient.FetchFrom(addr, videoID, from, timeout)
-}
-
 // SegmentPayloadForBench exposes the deterministic payload generator of the
 // data plane for benchmarking and external verification tools.
 func SegmentPayloadForBench(videoID, segment, size uint32) []byte {

@@ -70,7 +70,7 @@ func TestPublicAPIVBRPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched.Admit()
+	sched.AdmitRequest(vodcast.AdmitOptions{})
 	if sched.Requests() != 1 {
 		t.Fatal("scheduler did not admit")
 	}
@@ -124,14 +124,14 @@ func TestPublicAPINetworked(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	res, err := vodcast.Fetch(srv.Addr(), 1, 10*time.Second)
+	res, err := vodcast.FetchWith(srv.Addr(), vodcast.FetchOptions{VideoID: 1, Timeout: 10 * time.Second, StrictDeadlines: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Segments != 8 {
 		t.Fatalf("segments = %d, want 8", res.Segments)
 	}
-	resumed, err := vodcast.FetchFrom(srv.Addr(), 1, 5, 10*time.Second)
+	resumed, err := vodcast.FetchWith(srv.Addr(), vodcast.FetchOptions{VideoID: 1, From: 5, Timeout: 10 * time.Second, StrictDeadlines: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,11 +171,11 @@ func TestPublicAPIResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	added, err := dhb.AdmitFrom(7)
+	res, err := dhb.AdmitRequest(vodcast.AdmitOptions{From: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if added != 4 {
+	if added := res.Placed; added != 4 {
 		t.Fatalf("resume scheduled %d instances, want 4", added)
 	}
 }
