@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-core bench-fanout bench-load bench-obs bench-station bench-wire ci fuzz experiments examples cover clean
+.PHONY: all build test race bench bench-core bench-fanout bench-history bench-load bench-obs bench-station bench-wire ci fuzz experiments examples cover clean
 
 all: build test
 
@@ -27,12 +27,20 @@ COVER_FLOOR ?= 85
 ci:
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -coverprofile=ci-cover.out ./internal/obs/ ./internal/station/ ./internal/wire/ ./internal/vodclient/
+	$(GO) test -coverprofile=ci-cover.out ./internal/obs/ ./internal/obs/history/ ./internal/station/ ./internal/wire/ ./internal/vodclient/
 	@total=$$($(GO) tool cover -func=ci-cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
-	echo "obs+station+wire+vodclient coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	echo "obs+history+station+wire+vodclient coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= floor+0) }' || \
 		{ echo "coverage $$total% below floor $(COVER_FLOOR)%"; exit 1; }
 	$(GO) test -run '^TestRegisteredMetricNamesValid$$' -count=1 ./internal/vodserver/
+	# The flight-recorder acceptance E2E: fault injection fires the miss
+	# alert, exactly one bundle lands, its history shows the step-up and
+	# /queryz serves the same series.
+	$(GO) test -race -run '^TestE2EFlightRecorder$$' -count=1 ./internal/vodserver/
+	# Disabled-path smoke for the telemetry history layer: the nil-store and
+	# nil-recorder fast paths must keep compiling and running (the real <2%
+	# budget evidence lives in BENCH_obs3.json).
+	$(GO) test -run '^$$' -bench 'BenchmarkNilStoreScrape|BenchmarkNilRecorderTrigger' -benchtime=1x ./internal/obs/history/
 	# The zero-alloc gate runs without -race (race instrumentation itself
 	# allocates, so the test skips under the race suite above), then a
 	# one-iteration smoke of the fan-out A/B matrix.
@@ -75,6 +83,12 @@ bench-station:
 # ObserverOff ns/op against ObserverOn (a no-op observer wired in).
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedulerObserver' -benchmem ./internal/core/
+
+# The telemetry history layer: scrape and query cost of the in-process
+# metric TSDB, plus the nil fast paths a history-disabled server takes
+# (the <2% disabled-path A/B lives in BENCH_obs3.json).
+bench-history:
+	$(GO) test -run '^$$' -bench 'BenchmarkStore|BenchmarkNil' -benchmem ./internal/obs/history/
 
 # The wire codec A/B behind BENCH_wire.json: V1 frames are the trace-disabled
 # path, V2 frames carry the trace block; the budget is <2% on the V1 rows.

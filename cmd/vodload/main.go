@@ -57,9 +57,10 @@ func main() {
 		rate     = flag.Float64("rate", 0, "open-loop arrival pacing in requests/hour (0 = fully closed loop)")
 		interval = flag.Duration("interval", time.Second, "live progress interval")
 
-		reportPath = flag.String("report", "", "write the final JSON report here (empty = stdout)")
-		stepLog    = flag.String("step-log", "", "append one JSON line per finished step here")
-		noGate     = flag.Bool("no-gate", false, "measure only; skip the analytic pass/fail gate")
+		reportPath   = flag.String("report", "", "write the final JSON report here (empty = stdout)")
+		stepLog      = flag.String("step-log", "", "append one JSON line per finished step here")
+		noGate       = flag.Bool("no-gate", false, "measure only; skip the analytic pass/fail gate")
+		historyEvery = flag.Duration("history-interval", 250*time.Millisecond, "self-contained server's metric history scrape interval (feeds the /queryz cross-check)")
 	)
 	flag.Parse()
 	code, err := run(runOpts{
@@ -69,6 +70,7 @@ func main() {
 		videos: *videos, segments: *segments, segmentBytes: *segmentBytes, slotMillis: *slotMillis,
 		conns: *conns, timeout: *timeout, seed: *seed, skew: *skew, rate: *rate,
 		interval: *interval, reportPath: *reportPath, stepLog: *stepLog, noGate: *noGate,
+		historyEvery: *historyEvery,
 	}, os.Stdout, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vodload:", err)
@@ -89,6 +91,7 @@ type runOpts struct {
 	skew, rate                                 float64
 	reportPath, stepLog                        string
 	noGate                                     bool
+	historyEvery                               time.Duration
 }
 
 // run executes one harness run and returns the process exit code (the gate
@@ -115,6 +118,9 @@ func run(o runOpts, stdout, stderr io.Writer) (int, error) {
 			StatsAddr:    "127.0.0.1:0",
 			Videos:       selfCatalogue(catalogue, o.segments, o.segmentBytes),
 			SlotDuration: time.Duration(o.slotMillis) * time.Millisecond,
+			// Fast scrapes so even short runs give the /queryz cross-check a
+			// dense range per step.
+			HistoryInterval: o.historyEvery,
 		})
 		if err != nil {
 			return 0, fmt.Errorf("self-contained server: %w", err)
@@ -189,6 +195,21 @@ func run(o runOpts, stdout, stderr io.Writer) (int, error) {
 		fmt.Fprintf(stdout, "%s\n", out)
 	} else if err := os.WriteFile(o.reportPath, append(out, '\n'), 0o644); err != nil {
 		return 0, fmt.Errorf("report: %w", err)
+	}
+
+	// The history cross-check summary: how many steps had the server's own
+	// /queryz range verified against its /statusz counters.
+	crossChecked := 0
+	for _, st := range report.Steps {
+		for _, c := range st.Checks {
+			if c.Name == "history_requests_delta" {
+				crossChecked++
+				break
+			}
+		}
+	}
+	if crossChecked > 0 {
+		fmt.Fprintf(stderr, "vodload: history cross-check evaluated on %d/%d steps\n", crossChecked, len(report.Steps))
 	}
 
 	if report.Pass {

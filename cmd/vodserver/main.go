@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"vodcast/internal/vodserver"
@@ -40,6 +41,12 @@ func main() {
 		missThreshold = flag.Float64("miss-threshold", 0, "windowed mean deadline misses per client report that fires the miss alert (0 = 0.5)")
 		reportStale   = flag.Duration("report-stale", 0, "fire a staleness alert when no client report arrives for this long (0 = disabled)")
 		fanoutMode    = flag.String("fanout", "zerocopy", "broadcast data plane: zerocopy (shared ref-counted frames over write rings) or reference (per-subscriber copies over channels)")
+		historyEvery  = flag.Duration("history-interval", 0, "metric history scrape interval (0 = 1s)")
+		noHistory     = flag.Bool("no-history", false, "disable the in-process metric history (and /queryz)")
+		historyBytes  = flag.Int("history-max-bytes", 0, "metric history memory cap in bytes (0 = 8 MiB)")
+		flightDir     = flag.String("flight-dir", "", "directory for flight-recorder diagnostic bundles (empty = disabled)")
+		flightCool    = flag.Duration("flight-cooldown", 0, "minimum gap between alert-triggered bundles (0 = 5m)")
+		flightKeep    = flag.Int("flight-keep", 0, "diagnostic bundles retained before pruning the oldest (0 = 8)")
 	)
 	flag.Parse()
 	opts := serveOpts{
@@ -50,6 +57,8 @@ func main() {
 		alertInterval: *alertInterval, alertFor: *alertFor,
 		missThreshold: *missThreshold, reportStale: *reportStale,
 		fanoutMode: *fanoutMode,
+		historyEvery: *historyEvery, noHistory: *noHistory, historyBytes: *historyBytes,
+		flightDir: *flightDir, flightCool: *flightCool, flightKeep: *flightKeep,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "vodserver:", err)
@@ -66,6 +75,12 @@ type serveOpts struct {
 	alertInterval, alertFor, reportStale       time.Duration
 	missThreshold                              float64
 	fanoutMode                                 string
+	historyEvery                               time.Duration
+	noHistory                                  bool
+	historyBytes                               int
+	flightDir                                  string
+	flightCool                                 time.Duration
+	flightKeep                                 int
 }
 
 func run(o serveOpts) error {
@@ -117,6 +132,12 @@ func run(o serveOpts) error {
 		MissRateThreshold: o.missThreshold,
 		ReportStaleAfter:  o.reportStale,
 		FanoutReference:   o.fanoutMode == "reference",
+		HistoryInterval:   o.historyEvery,
+		HistoryDisabled:   o.noHistory,
+		HistoryMaxBytes:   o.historyBytes,
+		FlightDir:         o.flightDir,
+		FlightCooldown:    o.flightCool,
+		FlightKeep:        o.flightKeep,
 	}
 	if traceFile != nil {
 		cfg.TraceWriter = traceFile
@@ -132,8 +153,11 @@ func run(o serveOpts) error {
 	fmt.Printf("vodserver listening on %s (%d videos, %d segments, %d ms slots, %d shards, %s fan-out)\n",
 		srv.Addr(), o.videos, o.segments, o.slotMillis, srv.Station().Shards(), o.fanoutMode)
 	if srv.StatsAddr() != "" {
-		fmt.Printf("introspection on http://%s/{statsz,statusz,healthz,metricsz,tracez,spanz,alertz,debug/pprof}\n", srv.StatsAddr())
+		fmt.Printf("introspection on http://%s/{statsz,statusz,healthz,metricsz,tracez,spanz,alertz,queryz,debug/pprof}\n", srv.StatsAddr())
 		fmt.Printf("live dashboard: go run ./cmd/vodtop -addr %s\n", srv.StatsAddr())
+	}
+	if o.flightDir != "" {
+		fmt.Printf("flight recorder writing diagnostic bundles to %s (SIGQUIT or GET /debug/flightrecord forces one)\n", o.flightDir)
 	}
 	if o.tracePath != "" {
 		fmt.Printf("tracing scheduler events to %s\n", o.tracePath)
@@ -144,6 +168,11 @@ func run(o serveOpts) error {
 
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt)
+	// SIGQUIT is the operator's "dump everything now": capture a diagnostic
+	// bundle instead of dying with a stack dump. Go's runtime handler is
+	// replaced for the process; interrupt still exits cleanly.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
 	for {
@@ -151,6 +180,12 @@ func run(o serveOpts) error {
 		case <-interrupt:
 			fmt.Println("\nshutting down")
 			return nil
+		case <-quit:
+			if dir, err := srv.FlightRecord("sigquit"); err != nil {
+				fmt.Fprintln(os.Stderr, "flight record:", err)
+			} else {
+				fmt.Println("flight record:", dir)
+			}
 		case <-ticker.C:
 			st := srv.Stats()
 			fmt.Printf("requests=%d instances=%d broadcastMB=%.1f subscribers=%d dropped=%d\n",

@@ -24,12 +24,15 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
+	"strings"
 	"text/tabwriter"
 	"time"
 
 	"vodcast/internal/obs"
+	"vodcast/internal/obs/history"
 	"vodcast/internal/vodserver"
 )
 
@@ -63,11 +66,17 @@ func run(w io.Writer, addr string, interval time.Duration, once bool) (firing bo
 		if err != nil {
 			return false, err
 		}
+		// The trend pane is best-effort: a server without history (or an old
+		// one without /queryz) renders the dashboard without it.
+		pane := fetchHistory(client, addr)
 		if !once {
 			// Clear the screen and home the cursor between frames.
 			fmt.Fprint(w, "\x1b[2J\x1b[H")
 		}
 		render(w, addr, snap)
+		if pane != nil {
+			renderHistory(w, pane)
+		}
 		firing = false
 		for _, a := range snap.Alerts {
 			if a.State == obs.StateFiring {
@@ -241,6 +250,159 @@ func stageRows(snap vodserver.StatusSnapshot) []stageRow {
 		stageRow{name: "first_byte", win: snap.FirstByte},
 	)
 	return rows
+}
+
+// historyPane holds the raw /queryz ranges behind the trend pane: the
+// startup-latency gauge, the cumulative request counter (turned into a rate
+// client-side) and the firing-alert count.
+type historyPane struct {
+	startup  []history.Point
+	requests []history.Point
+	firing   []history.Point
+}
+
+// queryzRange mirrors the /queryz range-response wire format; vodtop only
+// needs the points.
+type queryzRange struct {
+	Points []history.Point `json:"points"`
+}
+
+// fetchHistory pulls the trend series over /queryz, relying on the server's
+// default one-minute window. Any failure — history disabled (503), an older
+// server without the endpoint (404), a transport error — returns nil and the
+// pane is skipped for the frame.
+func fetchHistory(client *http.Client, addr string) *historyPane {
+	pane := &historyPane{}
+	for _, s := range []struct {
+		name string
+		dst  *[]history.Point
+	}{
+		{"vod_qoe_startup_p99_slots", &pane.startup},
+		{"vod_requests_total", &pane.requests},
+		{"vod_alerts_firing", &pane.firing},
+	} {
+		pts, ok := fetchSeries(client, addr, s.name)
+		if !ok {
+			return nil
+		}
+		*s.dst = pts
+	}
+	return pane
+}
+
+// fetchSeries runs one /queryz range query; ok is false on any error.
+func fetchSeries(client *http.Client, addr, series string) ([]history.Point, bool) {
+	resp, err := client.Get("http://" + addr + "/queryz?series=" + url.QueryEscape(series))
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false
+	}
+	var qr queryzRange
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return nil, false
+	}
+	return qr.Points, true
+}
+
+// sparkWidth is the trend pane's column budget per sparkline.
+const sparkWidth = 30
+
+// renderHistory writes the trend pane under the dashboard. Pure, like
+// render, so tests can drive it with synthetic ranges.
+func renderHistory(w io.Writer, pane *historyPane) {
+	admits := counterRate(pane.requests)
+	fmt.Fprintln(w)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "TREND (1m)\tSPARK\tLAST")
+	fmt.Fprintf(tw, "startup p99\t%s\t%s slots\n",
+		sparkline(gaugeValues(pane.startup), sparkWidth), lastValue(gaugeValues(pane.startup), "%.0f"))
+	fmt.Fprintf(tw, "admits/sec\t%s\t%s\n", sparkline(admits, sparkWidth), lastValue(admits, "%.1f"))
+	fmt.Fprintf(tw, "alerts firing\t%s\t%s\n",
+		sparkline(gaugeValues(pane.firing), sparkWidth), lastValue(gaugeValues(pane.firing), "%.0f"))
+	tw.Flush()
+}
+
+// sparkRunes are the eight block heights a sparkline cell can take.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders vs as a unicode trend at most width cells wide, scaled
+// to the window's own min..max. Wider inputs are downsampled by max so
+// spikes survive; a flat series renders at the lowest block.
+func sparkline(vs []float64, width int) string {
+	if len(vs) == 0 || width <= 0 {
+		return ""
+	}
+	if len(vs) > width {
+		buckets := make([]float64, width)
+		for i := range buckets {
+			buckets[i] = math.Inf(-1)
+		}
+		for i, v := range vs {
+			if b := i * width / len(vs); v > buckets[b] {
+				buckets[b] = v
+			}
+		}
+		vs = buckets
+	}
+	lo, hi := vs[0], vs[0]
+	for _, v := range vs {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	var sb strings.Builder
+	for _, v := range vs {
+		idx := 0
+		if hi > lo {
+			idx = int((v-lo)/(hi-lo)*float64(len(sparkRunes)-1) + 0.5)
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// counterRate turns cumulative counter points into per-second rates between
+// consecutive samples. A counter reset (negative delta) clamps to zero
+// rather than rendering a bogus spike.
+func counterRate(pts []history.Point) []float64 {
+	if len(pts) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(pts)-1)
+	for i := 1; i < len(pts); i++ {
+		dt := pts[i].Unix - pts[i-1].Unix
+		dv := pts[i].Value - pts[i-1].Value
+		if dt <= 0 || dv < 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, dv/dt)
+	}
+	return out
+}
+
+// gaugeValues strips timestamps (and any NaN a young window reported) from
+// a gauge range for sparkline rendering.
+func gaugeValues(pts []history.Point) []float64 {
+	out := make([]float64, 0, len(pts))
+	for _, p := range pts {
+		if math.IsNaN(p.Value) {
+			continue
+		}
+		out = append(out, p.Value)
+	}
+	return out
+}
+
+// lastValue renders the newest value with format, or a dash when the series
+// is still empty.
+func lastValue(vs []float64, format string) string {
+	if len(vs) == 0 {
+		return "-"
+	}
+	return fmt.Sprintf(format, vs[len(vs)-1])
 }
 
 // fmtDur renders a duration given in seconds with a unit that keeps three

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"vodcast/internal/obs"
+	"vodcast/internal/obs/history"
 	"vodcast/internal/station"
 	"vodcast/internal/vodclient"
 	"vodcast/internal/vodserver"
@@ -178,6 +179,156 @@ func TestOnceFiringExitPath(t *testing.T) {
 	// The frame the probe rendered shows why it will exit non-zero.
 	if !strings.Contains(b.String(), "FIRING") {
 		t.Fatalf("firing frame missing alert pane:\n%s", b.String())
+	}
+}
+
+// TestSparkline pins the sparkline contract: scaling to the window's own
+// range, max-preserving downsampling, flat and empty series.
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil, 10); got != "" {
+		t.Fatalf("empty series rendered %q", got)
+	}
+	if got := sparkline([]float64{1, 2}, 0); got != "" {
+		t.Fatalf("zero width rendered %q", got)
+	}
+	// A monotone ramp uses the full block range, lowest to highest.
+	got := sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("ramp = %q", got)
+	}
+	// A flat series renders at the lowest block, not mid-scale noise.
+	if got := sparkline([]float64{5, 5, 5}, 8); got != "▁▁▁" {
+		t.Fatalf("flat = %q", got)
+	}
+	// Downsampling keeps the bucket max: the single spike at index 5 of 12
+	// must survive into the 4-cell line.
+	vs := make([]float64, 12)
+	vs[5] = 9
+	got = sparkline(vs, 4)
+	if len([]rune(got)) != 4 || !strings.Contains(got, "█") {
+		t.Fatalf("downsampled spike lost: %q", got)
+	}
+}
+
+// TestCounterRate: cumulative counters become per-second rates; resets and
+// bad timestamps clamp to zero.
+func TestCounterRate(t *testing.T) {
+	if got := counterRate([]history.Point{{Unix: 1, Value: 5}}); got != nil {
+		t.Fatalf("single point produced rates %v", got)
+	}
+	pts := []history.Point{
+		{Unix: 10, Value: 100},
+		{Unix: 11, Value: 130}, // +30 over 1s
+		{Unix: 13, Value: 140}, // +10 over 2s
+		{Unix: 14, Value: 20},  // counter reset
+		{Unix: 14, Value: 25},  // zero dt
+	}
+	got := counterRate(pts)
+	want := []float64{30, 5, 0, 0}
+	if len(got) != len(want) {
+		t.Fatalf("rates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rates = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRenderHistoryPane drives the pure pane renderer with synthetic
+// ranges and checks each trend row.
+func TestRenderHistoryPane(t *testing.T) {
+	pane := &historyPane{
+		startup: []history.Point{{Unix: 1, Value: 2}, {Unix: 2, Value: 3}, {Unix: 3, Value: 7}},
+		requests: []history.Point{
+			{Unix: 1, Value: 0}, {Unix: 2, Value: 10}, {Unix: 3, Value: 25},
+		},
+		firing: []history.Point{{Unix: 1, Value: 0}, {Unix: 2, Value: 0}, {Unix: 3, Value: 1}},
+	}
+	var b strings.Builder
+	renderHistory(&b, pane)
+	out := b.String()
+	for _, want := range []string{
+		"TREND (1m)",
+		"startup p99", "7 slots",
+		"admits/sec", "15.0", // last rate: (25-10)/1s
+		"alerts firing", "1",
+		"█", // some cell reaches full height
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("history pane missing %q:\n%s", want, out)
+		}
+	}
+
+	// Empty ranges degrade to dashes, never NaN or a panic.
+	b.Reset()
+	renderHistory(&b, &historyPane{})
+	if out := b.String(); !strings.Contains(out, "-") || strings.Contains(out, "NaN") {
+		t.Fatalf("empty pane rendered %q", out)
+	}
+}
+
+// TestHistoryPaneAgainstLiveServer: a server with fast history scrapes
+// serves the trend pane end to end, and one with history disabled skips it
+// silently.
+func TestHistoryPaneAgainstLiveServer(t *testing.T) {
+	s, err := vodserver.Start(vodserver.Config{
+		Addr:            "127.0.0.1:0",
+		Videos:          []vodserver.VideoConfig{{ID: 1, Segments: 6, SegmentBytes: 64}},
+		SlotDuration:    10 * time.Millisecond,
+		StatsAddr:       "127.0.0.1:0",
+		HistoryInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{VideoID: 1, Timeout: 10 * time.Second, StrictDeadlines: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Let a few scrapes land so the counter rate has deltas to work with.
+	deadline := time.Now().Add(5 * time.Second)
+	client := &http.Client{Timeout: 5 * time.Second}
+	for {
+		if pane := fetchHistory(client, s.StatsAddr()); pane != nil && len(pane.requests) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("history never accumulated two request points")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	var b strings.Builder
+	firing, err := run(&b, s.StatsAddr(), time.Second, true)
+	if err != nil || firing {
+		t.Fatalf("once frame: firing=%v err=%v", firing, err)
+	}
+	if !strings.Contains(b.String(), "TREND (1m)") {
+		t.Fatalf("live frame missing trend pane:\n%s", b.String())
+	}
+
+	// History disabled: the pane is skipped, the frame still renders.
+	s2, err := vodserver.Start(vodserver.Config{
+		Addr:            "127.0.0.1:0",
+		Videos:          []vodserver.VideoConfig{{ID: 1, Segments: 6, SegmentBytes: 64}},
+		SlotDuration:    10 * time.Millisecond,
+		StatsAddr:       "127.0.0.1:0",
+		HistoryDisabled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if pane := fetchHistory(client, s2.StatsAddr()); pane != nil {
+		t.Fatal("fetchHistory returned a pane from a history-disabled server")
+	}
+	b.Reset()
+	if _, err := run(&b, s2.StatsAddr(), time.Second, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "TREND (1m)") {
+		t.Fatalf("disabled-history frame rendered trend pane:\n%s", b.String())
 	}
 }
 

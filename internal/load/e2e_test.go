@@ -25,6 +25,9 @@ func startLoadServer(t *testing.T, drop func(video uint32, segment, slot int) bo
 		},
 		SlotDuration: 5 * time.Millisecond,
 		DropInstance: drop,
+		// Fast history scrapes so the harness's /queryz cross-check has a
+		// dense enough range inside sub-second steps.
+		HistoryInterval: 100 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -95,6 +98,16 @@ func TestE2ELoadHarnessHealthy(t *testing.T) {
 			if !checks[want] {
 				t.Fatalf("step %s missing %s: %v", st.Name, want, checks)
 			}
+		}
+		// The server retains history, so every step carries the /queryz
+		// range; dense enough ranges must also have been cross-checked
+		// against the /statusz delta (the gate passing is covered above).
+		if st.History == nil {
+			t.Fatalf("step %s missing history range", st.Name)
+		}
+		if st.History.Points >= 5 && !checks["history_requests_delta"] {
+			t.Fatalf("step %s: %d history points but no cross-check: %v",
+				st.Name, st.History.Points, checks)
 		}
 	}
 	// The fleet outgrew the 16-connection pool at step 3 (24 sessions), so

@@ -3,7 +3,9 @@ package load
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -112,8 +114,9 @@ type StepResult struct {
 	PoolWait  obs.WindowSnapshot `json:"pool_wait_seconds"`
 	FirstByte obs.WindowSnapshot `json:"first_byte_seconds"`
 
-	Server *ServerDelta `json:"server,omitempty"`
-	Checks []Check      `json:"checks,omitempty"`
+	Server  *ServerDelta  `json:"server,omitempty"`
+	History *HistoryDelta `json:"history,omitempty"`
+	Checks  []Check       `json:"checks,omitempty"`
 	// Gated reports whether the gate evaluated this step; Pass is its
 	// verdict (true when ungated — an ungated step cannot fail).
 	Gated bool `json:"gated"`
@@ -192,6 +195,20 @@ func (h *Harness) gateStep(res *StepResult) {
 	// renewal-model mean at the measured arrival rate.
 	if res.Server == nil {
 		return
+	}
+
+	// Cross-check: the server's retained history must agree with its live
+	// counters over the step. The tolerance absorbs scrape-boundary effects
+	// (requests landing before the first in-window sample); sparse ranges —
+	// short CI smokes, slow scrape intervals — are skipped, not failed.
+	if hd := res.History; hd != nil && hd.Points >= 5 && res.Server.Requests > 0 {
+		hd.StatuszDelta = res.Server.Requests
+		diff := math.Abs(hd.Delta - float64(res.Server.Requests))
+		limit := 0.3*float64(res.Server.Requests) + 10
+		res.Checks = append(res.Checks,
+			check("history_requests_delta", diff, limit,
+				fmt.Sprintf("history %s moved %.0f over %d points, statusz moved %d",
+					hd.Series, hd.Delta, hd.Points, res.Server.Requests)))
 	}
 	slotSec := float64(h.slotMillisLearned()) / 1000
 	for i := range res.Server.PerVideo {
@@ -296,9 +313,31 @@ func wireID(name string) (uint32, bool) {
 	return uint32(id), true
 }
 
+// HistoryDelta cross-checks the server's retained metric history against
+// its live counters: the vod_requests_total range the server's own /queryz
+// endpoint served for the step window, and the /statusz counter delta the
+// gate compared it with. A scrape pipeline that lags, drops samples or
+// retains the wrong series shows up here as a delta mismatch.
+type HistoryDelta struct {
+	Series string `json:"series"`
+	// Points is the number of retained samples inside the step window;
+	// Delta the counter movement they record (last minus first).
+	Points int     `json:"points"`
+	Delta  float64 `json:"delta"`
+	// StatuszDelta is the /statusz requests delta over the same step,
+	// filled by the gate when it evaluated the cross-check.
+	StatuszDelta int64 `json:"statusz_delta,omitempty"`
+}
+
+// historySeries is the series the cross-check ranges over — the request
+// counter, because every admitted session moves it and both sides of the
+// comparison observe the same server.
+const historySeries = "vod_requests_total"
+
 type statusPoller struct {
-	url    string
-	client *http.Client
+	url      string
+	queryURL string
+	client   *http.Client
 }
 
 // newStatusPoller returns a poller for the server's stats address, or nil
@@ -308,9 +347,45 @@ func newStatusPoller(addr string) *statusPoller {
 		return nil
 	}
 	return &statusPoller{
-		url:    "http://" + addr + "/statusz",
-		client: &http.Client{Timeout: 5 * time.Second},
+		url:      "http://" + addr + "/statusz",
+		queryURL: "http://" + addr + "/queryz",
+		client:   &http.Client{Timeout: 5 * time.Second},
 	}
+}
+
+// history runs one /queryz range query over the step window; nil on any
+// failure — history disabled (503), an older server without the endpoint —
+// which downgrades the step to the /statusz-only checks.
+func (p *statusPoller) history(from, to time.Time) *HistoryDelta {
+	if p == nil {
+		return nil
+	}
+	q := url.Values{}
+	q.Set("series", historySeries)
+	q.Set("from", fmt.Sprintf("%.3f", float64(from.UnixNano())/1e9))
+	q.Set("to", fmt.Sprintf("%.3f", float64(to.UnixNano())/1e9))
+	resp, err := p.client.Get(p.queryURL + "?" + q.Encode())
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var body struct {
+		Points []struct {
+			Unix  float64 `json:"unix"`
+			Value float64 `json:"value"`
+		} `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil
+	}
+	h := &HistoryDelta{Series: historySeries, Points: len(body.Points)}
+	if n := len(body.Points); n > 1 {
+		h.Delta = body.Points[n-1].Value - body.Points[0].Value
+	}
+	return h
 }
 
 // sample fetches one /statusz snapshot; nil on any failure (a missing

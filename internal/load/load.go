@@ -311,8 +311,11 @@ func (h *Harness) Run(done <-chan struct{}) (*Report, error) {
 			l.TargetSessions = st.Sessions
 		})
 		before := poller.sample()
+		stepStart := time.Now()
 		res := h.runStep(st, tokens, done)
+		stepEnd := time.Now()
 		res.Server = poller.delta(before, res.DurationSeconds)
+		res.History = poller.history(stepStart, stepEnd)
 		h.gateStep(&res)
 		if h.cfg.StepLog != nil {
 			if b, err := json.Marshal(res); err == nil {

@@ -331,6 +331,116 @@ func TestStatusPollerDelta(t *testing.T) {
 	}
 }
 
+// TestGateHistoryCrossCheck: the history cross-check compares the /queryz
+// counter movement against the /statusz delta — agreement passes, a scrape
+// pipeline reporting a different world fails, and sparse ranges are
+// skipped rather than gated on noise.
+func TestGateHistoryCrossCheck(t *testing.T) {
+	findCheck := func(res StepResult) (Check, bool) {
+		for _, c := range res.Checks {
+			if c.Name == "history_requests_delta" {
+				return c, true
+			}
+		}
+		return Check{}, false
+	}
+
+	h := testHarness(t, Gate{})
+	res := healthyStep()
+	res.History = &HistoryDelta{Series: historySeries, Points: 8, Delta: 95}
+	h.gateStep(&res)
+	c, ok := findCheck(res)
+	if !ok {
+		t.Fatalf("cross-check missing: %+v", res.Checks)
+	}
+	// |95 - 100| = 5 against limit 0.3*100 + 10 = 40.
+	if !c.Pass || c.Measured != 5 || c.Limit != 40 {
+		t.Fatalf("agreeing history failed: %+v", c)
+	}
+	if res.History.StatuszDelta != 100 {
+		t.Fatalf("statusz delta not recorded: %+v", res.History)
+	}
+
+	// History that disagrees beyond the tolerance trips the step.
+	res = healthyStep()
+	res.History = &HistoryDelta{Series: historySeries, Points: 8, Delta: 400}
+	h.gateStep(&res)
+	if c, ok := findCheck(res); !ok || c.Pass || res.Pass {
+		t.Fatalf("disagreeing history passed: %+v", res.Checks)
+	}
+
+	// Too few points (a short CI smoke): skipped, not failed.
+	res = healthyStep()
+	res.History = &HistoryDelta{Series: historySeries, Points: 3, Delta: 0}
+	h.gateStep(&res)
+	if _, ok := findCheck(res); ok || !res.Pass {
+		t.Fatalf("sparse history gated: %+v", res.Checks)
+	}
+
+	// No history at all (disabled server): the step gates on /statusz only.
+	res = healthyStep()
+	h.gateStep(&res)
+	if _, ok := findCheck(res); ok || !res.Pass {
+		t.Fatalf("absent history gated: %+v", res.Checks)
+	}
+}
+
+// TestStatusPollerHistory: the poller turns one /queryz range into a
+// HistoryDelta, and any failure — disabled history, an old server —
+// degrades to nil.
+func TestStatusPollerHistory(t *testing.T) {
+	var gotSeries, gotFrom, gotTo string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/queryz" {
+			http.NotFound(w, r)
+			return
+		}
+		q := r.URL.Query()
+		gotSeries, gotFrom, gotTo = q.Get("series"), q.Get("from"), q.Get("to")
+		w.Write([]byte(`{"series":"vod_requests_total","points":[
+			{"unix":10,"value":100},{"unix":11,"value":130},{"unix":12,"value":160}]}`))
+	}))
+	defer srv.Close()
+
+	p := newStatusPoller(strings.TrimPrefix(srv.URL, "http://"))
+	from := time.Unix(10, 0)
+	to := time.Unix(12, 500_000_000)
+	hd := p.history(from, to)
+	if hd == nil {
+		t.Fatal("history query failed")
+	}
+	if hd.Series != historySeries || hd.Points != 3 || hd.Delta != 60 {
+		t.Fatalf("history delta = %+v", hd)
+	}
+	if gotSeries != historySeries || gotFrom != "10.000" || gotTo != "12.500" {
+		t.Fatalf("query params = series %q from %q to %q", gotSeries, gotFrom, gotTo)
+	}
+
+	// A single point carries no delta but still reports its count.
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"points":[{"unix":10,"value":100}]}`))
+	}))
+	defer srv2.Close()
+	hd = newStatusPoller(strings.TrimPrefix(srv2.URL, "http://")).history(from, to)
+	if hd == nil || hd.Points != 1 || hd.Delta != 0 {
+		t.Fatalf("single-point history = %+v", hd)
+	}
+
+	// History disabled answers 503 → nil, like a server without /queryz.
+	srv503 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "history disabled", http.StatusServiceUnavailable)
+	}))
+	defer srv503.Close()
+	if hd := newStatusPoller(strings.TrimPrefix(srv503.URL, "http://")).history(from, to); hd != nil {
+		t.Fatalf("503 produced history %+v", hd)
+	}
+
+	var none *statusPoller
+	if none.history(from, to) != nil {
+		t.Fatal("nil poller returned history")
+	}
+}
+
 // TestStepResultJSON: the JSONL record round-trips with stable field names
 // — the contract vodtop and BENCH_load.json consumers parse.
 func TestStepResultJSON(t *testing.T) {

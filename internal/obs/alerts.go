@@ -126,6 +126,21 @@ type AlertEngine struct {
 	started time.Time
 	stop    chan struct{}
 	evals   uint64
+	// onTransition, when set, observes every state change an evaluation
+	// produced. It is invoked AFTER the engine lock is released so the hook
+	// may call back into the engine (Snapshot) or into subsystems whose
+	// scrape paths read alert state — the flight recorder does both.
+	onTransition func(AlertTransition)
+}
+
+// AlertTransition describes one rule state change, as delivered to the
+// OnTransition hook: which rule moved, from where to where, and the value
+// that drove the evaluation.
+type AlertTransition struct {
+	Rule     string
+	Severity string
+	From, To AlertState
+	Value    float64
 }
 
 // NewAlertEngine returns an empty engine on the wall clock.
@@ -177,6 +192,19 @@ func (e *AlertEngine) Add(r AlertRule) error {
 	return nil
 }
 
+// SetOnTransition installs (or, with nil, removes) the state-change hook.
+// The hook runs on whichever goroutine called Eval — the ticker goroutine in
+// production — after the engine lock is released, so it may freely read the
+// engine and anything that reads the engine.
+func (e *AlertEngine) SetOnTransition(fn func(AlertTransition)) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.onTransition = fn
+	e.mu.Unlock()
+}
+
 // Eval runs one evaluation pass over every rule. The ticker calls it; tests
 // call it directly after advancing their clock.
 func (e *AlertEngine) Eval() {
@@ -184,9 +212,12 @@ func (e *AlertEngine) Eval() {
 		return
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	now := e.clock()
 	e.evals++
+	// Hoisted so the hookless (disabled) path pays one register test per
+	// rule instead of re-loading the field through the engine pointer.
+	hook := e.onTransition
+	var transitions []AlertTransition
 	for _, s := range e.rules {
 		v := s.rule.Value()
 		s.value = v
@@ -207,7 +238,18 @@ func (e *AlertEngine) Eval() {
 				cond = v > s.rule.Threshold
 			}
 		}
+		before := s.state
 		s.step(cond, now)
+		if hook != nil && s.state != before {
+			transitions = append(transitions, AlertTransition{
+				Rule: s.rule.Name, Severity: s.rule.Severity,
+				From: before, To: s.state, Value: v,
+			})
+		}
+	}
+	e.mu.Unlock()
+	for _, tr := range transitions {
+		hook(tr)
 	}
 }
 

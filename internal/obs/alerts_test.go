@@ -271,3 +271,157 @@ func TestAlertEngineTicker(t *testing.T) {
 	e.Stop()
 	e.Stop() // idempotent
 }
+
+// TestAlertKeepResolvedExpiry pins the resolved-marker lifecycle end to end:
+// the marker stays visible for the whole KeepResolved window, drops to
+// inactive once it elapses, and the rule walks a complete second firing cycle
+// afterwards (fired counter incremented, resolved marker fresh again).
+func TestAlertKeepResolvedExpiry(t *testing.T) {
+	clk := newManualClock()
+	e := NewAlertEngine()
+	e.SetClock(clk.Now)
+	level := 0.0
+	if err := e.Add(AlertRule{
+		Name:      "miss_rate_high",
+		Value:     func() float64 { return level },
+		Threshold: 0.5, For: 2 * time.Second, KeepResolved: 30 * time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// First cycle: breach → firing → recover → resolved.
+	level = 0.9
+	e.Eval()
+	clk.Advance(2 * time.Second)
+	e.Eval()
+	if got := stateOf(t, e, "miss_rate_high"); got.State != StateFiring || got.Fired != 1 {
+		t.Fatalf("first cycle = %s fired=%d, want firing fired=1", got.State, got.Fired)
+	}
+	level = 0.1
+	clk.Advance(time.Second)
+	e.Eval()
+	if got := stateOf(t, e, "miss_rate_high"); got.State != StateResolved {
+		t.Fatalf("after recovery = %s, want resolved", got.State)
+	}
+
+	// Inside the KeepResolved window the marker must persist across evals.
+	clk.Advance(29 * time.Second)
+	e.Eval()
+	if got := stateOf(t, e, "miss_rate_high"); got.State != StateResolved {
+		t.Fatalf("at KeepResolved-1s = %s, want resolved still visible", got.State)
+	}
+
+	// Once KeepResolved elapses the marker expires to inactive.
+	clk.Advance(time.Second)
+	e.Eval()
+	if got := stateOf(t, e, "miss_rate_high"); got.State != StateInactive {
+		t.Fatalf("after KeepResolved = %s, want inactive", got.State)
+	}
+
+	// Second cycle: the rule must fire and resolve again from scratch.
+	level = 0.9
+	clk.Advance(time.Second)
+	e.Eval()
+	if got := stateOf(t, e, "miss_rate_high"); got.State != StatePending {
+		t.Fatalf("re-breach = %s, want pending", got.State)
+	}
+	clk.Advance(2 * time.Second)
+	e.Eval()
+	if got := stateOf(t, e, "miss_rate_high"); got.State != StateFiring || got.Fired != 2 {
+		t.Fatalf("second cycle = %s fired=%d, want firing fired=2", got.State, got.Fired)
+	}
+	level = 0.1
+	clk.Advance(time.Second)
+	e.Eval()
+	resolved := stateOf(t, e, "miss_rate_high")
+	if resolved.State != StateResolved {
+		t.Fatalf("second recovery = %s, want resolved", resolved.State)
+	}
+	if wantSince := clk.Now().Sub(newManualClock().Now()).Seconds(); resolved.Since != wantSince {
+		t.Fatalf("resolved Since = %v, want fresh transition at %v", resolved.Since, wantSince)
+	}
+}
+
+// TestAlertOnTransition pins the state-change hook: every transition of an
+// evaluation is delivered with the right endpoints and driving value, quiet
+// evaluations deliver nothing, and the hook may re-enter the engine (the
+// flight recorder snapshots alert state from inside it) without deadlocking.
+func TestAlertOnTransition(t *testing.T) {
+	clk := newManualClock()
+	e := NewAlertEngine()
+	e.SetClock(clk.Now)
+	level := 0.0
+	if err := e.Add(AlertRule{
+		Name: "miss_rate_high", Severity: "critical",
+		Value:     func() float64 { return level },
+		Threshold: 0.5, For: 2 * time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []AlertTransition
+	e.SetOnTransition(func(tr AlertTransition) {
+		// Re-entering the engine from the hook must not deadlock.
+		_ = e.Snapshot()
+		got = append(got, tr)
+	})
+
+	e.Eval() // quiet: no transition
+	if len(got) != 0 {
+		t.Fatalf("quiet eval delivered %+v", got)
+	}
+
+	level = 0.9
+	e.Eval() // inactive → pending
+	clk.Advance(2 * time.Second)
+	e.Eval() // pending → firing
+	level = 0.1
+	clk.Advance(time.Second)
+	e.Eval() // firing → resolved
+
+	want := []AlertTransition{
+		{Rule: "miss_rate_high", Severity: "critical", From: StateInactive, To: StatePending, Value: 0.9},
+		{Rule: "miss_rate_high", Severity: "critical", From: StatePending, To: StateFiring, Value: 0.9},
+		{Rule: "miss_rate_high", Severity: "critical", From: StateFiring, To: StateResolved, Value: 0.1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transition[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// A For==0 rule crosses inactive → firing in one evaluation and must
+	// still report the real endpoints.
+	if err := e.Add(AlertRule{
+		Name: "instant", Value: func() float64 { return 1 }, Threshold: 0.5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	e.Eval()
+	found := false
+	for _, tr := range got {
+		if tr.Rule == "instant" {
+			found = true
+			if tr.From != StateInactive || tr.To != StateFiring {
+				t.Fatalf("For==0 transition = %+v, want inactive→firing", tr)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("For==0 rule delivered no transition: %+v", got)
+	}
+
+	// Removing the hook stops delivery.
+	e.SetOnTransition(nil)
+	got = nil
+	level = 0.9
+	clk.Advance(time.Second)
+	e.Eval()
+	if len(got) != 0 {
+		t.Fatalf("removed hook still delivered %+v", got)
+	}
+}

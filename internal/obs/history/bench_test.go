@@ -1,0 +1,79 @@
+package history
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vodcast/internal/obs"
+)
+
+// benchRegistry builds a registry with n gauge series, roughly the shape of
+// the server's metric inventory.
+func benchRegistry(n int) *obs.Registry {
+	reg := obs.NewRegistry()
+	for i := 0; i < n; i++ {
+		reg.GaugeWith("vod_channel_load", "", obs.Labels{"video": fmt.Sprint(i)}).Set(float64(i))
+	}
+	return reg
+}
+
+// BenchmarkStoreScrape measures one full scrape pass over an established
+// series set — the per-interval cost of having history enabled.
+func BenchmarkStoreScrape(b *testing.B) {
+	reg := benchRegistry(64)
+	clk := newManualClock()
+	s := New(Config{Samples: reg.Samples, Interval: time.Second, Clock: clk.Now})
+	s.Scrape() // establish series
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Advance(time.Second)
+		s.Scrape()
+	}
+}
+
+// BenchmarkStoreQuery measures a raw-tier range query over a full ring.
+func BenchmarkStoreQuery(b *testing.B) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("g", "")
+	clk := newManualClock()
+	s := New(Config{Samples: reg.Samples, Interval: time.Second, Clock: clk.Now})
+	start := clk.Now()
+	for i := 0; i < pointsPerTier; i++ {
+		g.Set(float64(i))
+		s.Scrape()
+		clk.Advance(time.Second)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pts := s.Query("g", start, clk.Now(), 0); len(pts) == 0 {
+			b.Fatal("empty query")
+		}
+	}
+}
+
+// BenchmarkNilStoreScrape pins the disabled path: a nil store's Scrape is
+// the branch the server pays when history is off, and it must stay
+// allocation-free.
+func BenchmarkNilStoreScrape(b *testing.B) {
+	var s *Store
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Scrape()
+		s.Query("g", time.Time{}, time.Time{}, 0)
+	}
+}
+
+// BenchmarkNilRecorderTrigger pins the disabled recorder path on the alert
+// transition hook.
+func BenchmarkNilRecorderTrigger(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Trigger("alert")
+	}
+}

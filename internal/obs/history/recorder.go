@@ -1,0 +1,349 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vodcast/internal/obs"
+)
+
+// This file implements the flight recorder: the component that turns "an
+// alert fired" into a diagnostic bundle on disk, captured at the moment the
+// process still holds the evidence. A bundle is one timestamped directory
+// containing the recent metric history, the span ring, a status snapshot,
+// the alert table, and goroutine + heap profiles — everything a postmortem
+// needs to answer "what led up to this" without the operator having been
+// watching.
+//
+// Bundles are bounded twice over: a cooldown rate-limits alert-triggered
+// captures (a flapping rule cannot fill the disk), and retention keeps only
+// the last K bundle directories, pruning the oldest on every write.
+
+// RecorderConfig parameterizes a Recorder. Dir is required; the zero value
+// of every other field selects a documented default. The snapshot sources
+// (Store, Status, Spans, Alerts) are each optional — a nil source simply
+// omits that file from bundles.
+type RecorderConfig struct {
+	// Dir is the directory bundles are written under; created if absent.
+	Dir string
+	// Cooldown rate-limits Trigger: captures closer together than this are
+	// skipped. <= 0 selects 5 minutes.
+	Cooldown time.Duration
+	// Keep bounds retained bundle directories; older ones are pruned.
+	// <= 0 selects 8.
+	Keep int
+	// HistoryWindow bounds how far back the bundled metric history reaches.
+	// <= 0 selects 10 minutes.
+	HistoryWindow time.Duration
+	// Store supplies the bundled metric history (history.jsonl).
+	Store *Store
+	// Status supplies a rendered status snapshot (status.json), normally
+	// the same bytes /statusz serves.
+	Status func() ([]byte, error)
+	// Spans supplies the recent span ring (spans.jsonl).
+	Spans func() []obs.SpanRecord
+	// Alerts supplies the alert table (alerts.json).
+	Alerts func() []obs.AlertStatus
+	// Clock stamps bundles and drives the cooldown; nil selects time.Now.
+	Clock func() time.Time
+}
+
+// Recorder captures diagnostic bundles. All methods are safe for concurrent
+// use; a nil *Recorder is valid and inert, so a server without a flight
+// directory configured skips recording with one branch.
+type Recorder struct {
+	cfg RecorderConfig
+
+	mu       sync.Mutex
+	lastAt   time.Time
+	haveLast bool
+	captured uint64
+	skipped  uint64
+}
+
+// NewRecorder returns a recorder writing under cfg.Dir, creating the
+// directory if needed.
+func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("history: RecorderConfig.Dir is required")
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Minute
+	}
+	if cfg.Keep <= 0 {
+		cfg.Keep = 8
+	}
+	if cfg.HistoryWindow <= 0 {
+		cfg.HistoryWindow = 10 * time.Minute
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("history: create bundle dir: %w", err)
+	}
+	return &Recorder{cfg: cfg}, nil
+}
+
+// Trigger captures a bundle unless one was captured within the cooldown
+// window. It returns the bundle directory and true on capture, or "" and
+// false when rate-limited (or the recorder is nil). Write errors are
+// reported through the returned path being empty with ok true never — a
+// failed capture returns ok false so callers need no error branch on the
+// alert path.
+func (r *Recorder) Trigger(reason string) (string, bool) {
+	if r == nil {
+		return "", false
+	}
+	now := r.cfg.Clock()
+	r.mu.Lock()
+	if r.haveLast && now.Sub(r.lastAt) < r.cfg.Cooldown {
+		r.skipped++
+		r.mu.Unlock()
+		return "", false
+	}
+	r.lastAt = now
+	r.haveLast = true
+	r.mu.Unlock()
+	dir, err := r.capture(reason, now)
+	if err != nil {
+		return "", false
+	}
+	return dir, true
+}
+
+// Force captures a bundle unconditionally — the /debug/flightrecord and
+// SIGQUIT paths, where an operator asked explicitly. It still arms the
+// cooldown so a forced capture quiets subsequent alert triggers.
+func (r *Recorder) Force(reason string) (string, error) {
+	if r == nil {
+		return "", fmt.Errorf("history: recorder disabled")
+	}
+	now := r.cfg.Clock()
+	r.mu.Lock()
+	r.lastAt = now
+	r.haveLast = true
+	r.mu.Unlock()
+	return r.capture(reason, now)
+}
+
+// bundleMeta is the bundle's self-description, written as meta.json.
+type bundleMeta struct {
+	Reason     string   `json:"reason"`
+	Unix       float64  `json:"unix"`
+	Time       string   `json:"time"`
+	GoVersion  string   `json:"go_version,omitempty"`
+	StoreStats *Stats   `json:"store,omitempty"`
+	Files      []string `json:"files"`
+}
+
+// historyLine is one series' retained points, one JSON line per series in
+// history.jsonl.
+type historyLine struct {
+	Series string  `json:"series"`
+	Points []Point `json:"points"`
+}
+
+// capture writes one bundle directory and prunes retention. The directory
+// is written under a temporary name and renamed into place so readers never
+// see a half-written bundle.
+func (r *Recorder) capture(reason string, now time.Time) (string, error) {
+	name := fmt.Sprintf("bundle-%s-%s", now.UTC().Format("20060102T150405.000"), sanitizeReason(reason))
+	final := filepath.Join(r.cfg.Dir, name)
+	tmp := final + ".tmp"
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(tmp) // no-op after successful rename
+
+	var files []string
+	write := func(file string, gen func(*os.File) error) error {
+		f, err := os.Create(filepath.Join(tmp, file))
+		if err != nil {
+			return err
+		}
+		if err := gen(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		files = append(files, file)
+		return nil
+	}
+
+	// Metric history: one JSONL line per retained series, bounded by the
+	// history window.
+	if st := r.cfg.Store; st != nil {
+		from := now.Add(-r.cfg.HistoryWindow)
+		if err := write("history.jsonl", func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			for _, series := range st.Series() {
+				line := historyLine{Series: series, Points: st.Query(series, from, now, 0)}
+				if err := enc.Encode(line); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return "", err
+		}
+	}
+	if r.cfg.Spans != nil {
+		if err := write("spans.jsonl", func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			for _, sp := range r.cfg.Spans() {
+				if err := enc.Encode(sp); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return "", err
+		}
+	}
+	if r.cfg.Status != nil {
+		if err := write("status.json", func(f *os.File) error {
+			b, err := r.cfg.Status()
+			if err != nil {
+				return err
+			}
+			_, err = f.Write(b)
+			return err
+		}); err != nil {
+			return "", err
+		}
+	}
+	if r.cfg.Alerts != nil {
+		if err := write("alerts.json", func(f *os.File) error {
+			return json.NewEncoder(f).Encode(r.cfg.Alerts())
+		}); err != nil {
+			return "", err
+		}
+	}
+	for _, prof := range []string{"goroutine", "heap"} {
+		p := pprof.Lookup(prof)
+		if p == nil {
+			continue
+		}
+		if err := write(prof+".pprof", func(f *os.File) error {
+			return p.WriteTo(f, 0)
+		}); err != nil {
+			return "", err
+		}
+	}
+
+	meta := bundleMeta{
+		Reason: reason,
+		Unix:   unix(now),
+		Time:   now.UTC().Format(time.RFC3339Nano),
+		Files:  append(files, "meta.json"),
+	}
+	if r.cfg.Store != nil {
+		st := r.cfg.Store.Stats()
+		meta.StoreStats = &st
+	}
+	if err := write("meta.json", func(f *os.File) error {
+		return json.NewEncoder(f).Encode(meta)
+	}); err != nil {
+		return "", err
+	}
+
+	if err := os.Rename(tmp, final); err != nil {
+		return "", err
+	}
+	r.mu.Lock()
+	r.captured++
+	r.mu.Unlock()
+	r.prune()
+	return final, nil
+}
+
+// prune removes the oldest bundles beyond Keep. Bundle names embed a UTC
+// timestamp, so lexicographic order is chronological.
+func (r *Recorder) prune() {
+	names := r.Bundles()
+	for len(names) > r.cfg.Keep {
+		os.RemoveAll(filepath.Join(r.cfg.Dir, names[0]))
+		names = names[1:]
+	}
+}
+
+// Bundles lists retained bundle directory names, oldest first. Nil-safe.
+func (r *Recorder) Bundles() []string {
+	if r == nil {
+		return nil
+	}
+	entries, err := os.ReadDir(r.cfg.Dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "bundle-") && !strings.HasSuffix(e.Name(), ".tmp") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RecorderStats is the recorder's own health surface, rendered into
+// /statusz.
+type RecorderStats struct {
+	Dir        string `json:"dir"`
+	Captured   uint64 `json:"captured"`
+	Skipped    uint64 `json:"skipped_cooldown"`
+	Bundles    int    `json:"bundles"`
+	Keep       int    `json:"keep"`
+	CooldownMS int64  `json:"cooldown_ms"`
+}
+
+// Stats reports capture counters. Nil-safe.
+func (r *Recorder) Stats() RecorderStats {
+	if r == nil {
+		return RecorderStats{}
+	}
+	r.mu.Lock()
+	captured, skipped := r.captured, r.skipped
+	r.mu.Unlock()
+	return RecorderStats{
+		Dir:        r.cfg.Dir,
+		Captured:   captured,
+		Skipped:    skipped,
+		Bundles:    len(r.Bundles()),
+		Keep:       r.cfg.Keep,
+		CooldownMS: r.cfg.Cooldown.Milliseconds(),
+	}
+}
+
+// sanitizeReason maps a trigger reason onto a filesystem-safe slug.
+func sanitizeReason(reason string) string {
+	if reason == "" {
+		return "manual"
+	}
+	var b strings.Builder
+	for _, r := range reason {
+		ok := r == '_' || r == '-' || (r >= 'a' && r <= 'z') ||
+			(r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	const maxReason = 48
+	s := b.String()
+	if len(s) > maxReason {
+		s = s[:maxReason]
+	}
+	return s
+}

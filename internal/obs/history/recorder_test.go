@@ -1,0 +1,252 @@
+package history
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vodcast/internal/obs"
+)
+
+// newTestRecorder wires a recorder over a populated store in a temp dir.
+func newTestRecorder(t *testing.T, cfg RecorderConfig) (*Recorder, *manualClock) {
+	t.Helper()
+	clk := newManualClock()
+	cfg.Dir = t.TempDir()
+	cfg.Clock = clk.Now
+	r, err := NewRecorder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, clk
+}
+
+// populatedStore returns a store with a few scrapes of two series on the
+// given clock.
+func populatedStore(t *testing.T, clk *manualClock) *Store {
+	t.Helper()
+	reg := obs.NewRegistry()
+	g := reg.Gauge("vod_qoe_miss_rate", "")
+	c := reg.Counter("vod_requests_total", "")
+	s := New(Config{Samples: reg.Samples, Interval: time.Second, Clock: clk.Now})
+	for i := 0; i < 5; i++ {
+		g.Set(float64(i) / 10)
+		c.Add(1)
+		s.Scrape()
+		clk.Advance(time.Second)
+	}
+	return s
+}
+
+func TestRecorderBundleContents(t *testing.T) {
+	clk := newManualClock()
+	store := populatedStore(t, clk)
+	dir := t.TempDir()
+	r, err := NewRecorder(RecorderConfig{
+		Dir:   dir,
+		Clock: clk.Now,
+		Store: store,
+		Status: func() ([]byte, error) {
+			return []byte(`{"uptime_seconds": 5}`), nil
+		},
+		Spans: func() []obs.SpanRecord {
+			return []obs.SpanRecord{{Name: "admit"}}
+		},
+		Alerts: func() []obs.AlertStatus {
+			return []obs.AlertStatus{{Name: "miss_rate_high", State: obs.StateFiring}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path, ok := r.Trigger("alert_miss_rate_high")
+	if !ok {
+		t.Fatal("Trigger refused the first capture")
+	}
+	if !strings.Contains(filepath.Base(path), "alert_miss_rate_high") {
+		t.Fatalf("bundle name missing reason: %s", path)
+	}
+
+	// Every expected file is present and well-formed.
+	var meta bundleMeta
+	decodeFile(t, filepath.Join(path, "meta.json"), &meta)
+	if meta.Reason != "alert_miss_rate_high" {
+		t.Fatalf("meta reason = %q", meta.Reason)
+	}
+	if meta.StoreStats == nil || meta.StoreStats.Series != 2 {
+		t.Fatalf("meta store stats = %+v", meta.StoreStats)
+	}
+	for _, f := range []string{"history.jsonl", "spans.jsonl", "status.json", "alerts.json", "goroutine.pprof", "heap.pprof", "meta.json"} {
+		if _, err := os.Stat(filepath.Join(path, f)); err != nil {
+			t.Fatalf("bundle missing %s: %v", f, err)
+		}
+	}
+
+	// history.jsonl: one line per series, points present, miss-rate ramp
+	// recorded.
+	lines := readJSONL(t, filepath.Join(path, "history.jsonl"))
+	if len(lines) != 2 {
+		t.Fatalf("history.jsonl has %d lines, want 2", len(lines))
+	}
+	var miss *historyLine
+	for i := range lines {
+		if lines[i].Series == "vod_qoe_miss_rate" {
+			miss = &lines[i]
+		}
+	}
+	if miss == nil || len(miss.Points) != 5 {
+		t.Fatalf("miss-rate history wrong: %+v", lines)
+	}
+	if miss.Points[0].Value != 0 || miss.Points[4].Value != 0.4 {
+		t.Fatalf("miss-rate ramp not recorded: %+v", miss.Points)
+	}
+
+	var alerts []obs.AlertStatus
+	decodeFile(t, filepath.Join(path, "alerts.json"), &alerts)
+	if len(alerts) != 1 || alerts[0].State != obs.StateFiring {
+		t.Fatalf("alerts.json wrong: %+v", alerts)
+	}
+
+	// pprof profiles written with debug=0 are binary protos; just require
+	// non-empty.
+	for _, f := range []string{"goroutine.pprof", "heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(path, f))
+		if err != nil || fi.Size() == 0 {
+			t.Fatalf("profile %s empty or missing: %v", f, err)
+		}
+	}
+
+	// No .tmp directory left behind.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp dir leaked: %s", e.Name())
+		}
+	}
+}
+
+func TestRecorderCooldown(t *testing.T) {
+	r, clk := newTestRecorder(t, RecorderConfig{Cooldown: time.Minute})
+
+	if _, ok := r.Trigger("first"); !ok {
+		t.Fatal("first trigger refused")
+	}
+	if _, ok := r.Trigger("second"); ok {
+		t.Fatal("second trigger inside cooldown captured")
+	}
+	clk.Advance(59 * time.Second)
+	if _, ok := r.Trigger("third"); ok {
+		t.Fatal("trigger at cooldown-1s captured")
+	}
+	clk.Advance(time.Second)
+	if _, ok := r.Trigger("fourth"); !ok {
+		t.Fatal("trigger after cooldown refused")
+	}
+
+	st := r.Stats()
+	if st.Captured != 2 || st.Skipped != 2 {
+		t.Fatalf("stats = %+v, want captured=2 skipped=2", st)
+	}
+
+	// Force bypasses the cooldown and re-arms it.
+	if _, err := r.Force("operator"); err != nil {
+		t.Fatalf("Force failed: %v", err)
+	}
+	if _, ok := r.Trigger("fifth"); ok {
+		t.Fatal("trigger right after Force captured (cooldown not re-armed)")
+	}
+	if got := len(r.Bundles()); got != 3 {
+		t.Fatalf("Bundles() = %d, want 3", got)
+	}
+}
+
+func TestRecorderRetention(t *testing.T) {
+	r, clk := newTestRecorder(t, RecorderConfig{Keep: 3, Cooldown: time.Millisecond})
+	for i := 0; i < 6; i++ {
+		if _, err := r.Force("sweep"); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(time.Second)
+	}
+	names := r.Bundles()
+	if len(names) != 3 {
+		t.Fatalf("retention kept %d bundles, want 3: %v", len(names), names)
+	}
+	// Oldest-first naming: the survivors are the three most recent.
+	if !strings.Contains(names[0], "000003") && !strings.Contains(names[0], "00:00:03") {
+		// Timestamps are 2026-01-01T00:00:03..05 — format 20060102T150405.
+		if !strings.Contains(names[0], "T000003") {
+			t.Fatalf("oldest survivor wrong: %v", names)
+		}
+	}
+}
+
+func TestRecorderNilAndValidation(t *testing.T) {
+	var r *Recorder
+	if _, ok := r.Trigger("x"); ok {
+		t.Fatal("nil recorder captured")
+	}
+	if _, err := r.Force("x"); err == nil {
+		t.Fatal("nil recorder Force returned no error")
+	}
+	if r.Bundles() != nil {
+		t.Fatal("nil recorder listed bundles")
+	}
+	if r.Stats() != (RecorderStats{}) {
+		t.Fatal("nil recorder stats non-zero")
+	}
+	if _, err := NewRecorder(RecorderConfig{}); err == nil {
+		t.Fatal("NewRecorder without Dir did not error")
+	}
+}
+
+func TestSanitizeReason(t *testing.T) {
+	cases := map[string]string{
+		"":                      "manual",
+		"alert_miss_rate_high":  "alert_miss_rate_high",
+		"sig/quit ?":            "sig_quit__",
+		strings.Repeat("a", 99): strings.Repeat("a", 48),
+	}
+	for in, want := range cases {
+		if got := sanitizeReason(in); got != want {
+			t.Fatalf("sanitizeReason(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// decodeFile unmarshals one JSON file into v.
+func decodeFile(t *testing.T, path string, v any) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+}
+
+// readJSONL decodes every line of a history JSONL file.
+func readJSONL(t *testing.T, path string) []historyLine {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []historyLine
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var line historyLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		out = append(out, line)
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package history
+
+import (
+	"testing"
+	"time"
+
+	"vodcast/internal/obs"
+)
+
+// manualClock is a hand-advanced clock for deterministic tier boundaries.
+type manualClock struct{ now time.Time }
+
+func newManualClock() *manualClock {
+	return &manualClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *manualClock) Now() time.Time          { return c.now }
+func (c *manualClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+// newTestStore wires a store to a live registry on a manual clock.
+func newTestStore(t *testing.T, reg *obs.Registry, cfg Config) (*Store, *manualClock) {
+	t.Helper()
+	clk := newManualClock()
+	cfg.Samples = reg.Samples
+	cfg.Clock = clk.Now
+	return New(cfg), clk
+}
+
+func TestStoreScrapeAndQuery(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("vod_active_subscribers", "")
+	c := reg.Counter("vod_requests_total", "")
+	s, clk := newTestStore(t, reg, Config{Interval: time.Second})
+
+	start := clk.Now()
+	for i := 0; i < 10; i++ {
+		g.Set(float64(i))
+		c.Add(2)
+		s.Scrape()
+		clk.Advance(time.Second)
+	}
+
+	pts := s.Query("vod_active_subscribers", start, clk.Now(), 0)
+	if len(pts) != 10 {
+		t.Fatalf("raw query returned %d points, want 10: %+v", len(pts), pts)
+	}
+	if pts[0].Value != 0 || pts[9].Value != 9 {
+		t.Fatalf("raw values wrong: first=%+v last=%+v", pts[0], pts[9])
+	}
+	if pts[1].Unix-pts[0].Unix != 1 {
+		t.Fatalf("raw spacing = %v, want 1s", pts[1].Unix-pts[0].Unix)
+	}
+
+	// Counters retain their running total; rates derive from first/last.
+	cp := s.Query("vod_requests_total", start, clk.Now(), 0)
+	if cp[0].Value != 2 || cp[len(cp)-1].Value != 20 {
+		t.Fatalf("counter history wrong: %+v", cp)
+	}
+
+	// A sub-range trims to the requested window.
+	sub := s.Query("vod_active_subscribers", start.Add(3*time.Second), start.Add(6*time.Second), 0)
+	if len(sub) != 4 || sub[0].Value != 3 || sub[3].Value != 6 {
+		t.Fatalf("sub-range query wrong: %+v", sub)
+	}
+
+	if s.Query("no_such_series", start, clk.Now(), 0) != nil {
+		t.Fatal("unknown series returned points")
+	}
+}
+
+func TestStoreSeriesIdentityAndListing(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.GaugeWith("vod_channel_load", "", obs.Labels{"video": "2"}).Set(1)
+	reg.GaugeWith("vod_channel_load", "", obs.Labels{"video": "1"}).Set(2)
+	h := reg.Histogram("vod_startup_slots", "", []float64{1, 2})
+	h.Observe(0.5)
+	s, _ := newTestStore(t, reg, Config{})
+	s.Scrape()
+
+	want := []string{
+		`vod_channel_load{video="1"}`,
+		`vod_channel_load{video="2"}`,
+		"vod_startup_slots_count",
+		"vod_startup_slots_sum",
+	}
+	got := s.Series()
+	if len(got) != len(want) {
+		t.Fatalf("Series() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Series()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStoreDownsamplingTiers drives enough scrapes to roll points through
+// the 10s tier and checks max-in-bucket semantics: a one-second spike inside
+// a 10s bucket survives downsampling.
+func TestStoreDownsamplingTiers(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("vod_fanout_ring_depth", "")
+	s, clk := newTestStore(t, reg, Config{Interval: time.Second})
+
+	start := clk.Now()
+	for i := 0; i < 30; i++ {
+		v := 1.0
+		if i == 13 { // one-tick spike mid-bucket
+			v = 42
+		}
+		g.Set(v)
+		s.Scrape()
+		clk.Advance(time.Second)
+	}
+
+	// step=10s selects the 10s tier; the spike's bucket must read 42.
+	pts := s.Query("vod_fanout_ring_depth", start, clk.Now(), 10*time.Second)
+	if len(pts) != 3 {
+		t.Fatalf("10s tier query returned %d points, want 3: %+v", len(pts), pts)
+	}
+	if pts[0].Value != 1 || pts[1].Value != 42 || pts[2].Value != 1 {
+		t.Fatalf("max-in-bucket downsampling lost the spike: %+v", pts)
+	}
+	if pts[1].Unix-pts[0].Unix != 10 {
+		t.Fatalf("10s tier spacing = %v, want 10s", pts[1].Unix-pts[0].Unix)
+	}
+}
+
+// TestStoreRawEviction rolls more scrapes than the raw ring holds and checks
+// old points fall off while the downsampled tiers still cover the range.
+func TestStoreRawEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("g", "")
+	s, clk := newTestStore(t, reg, Config{Interval: time.Second})
+
+	start := clk.Now()
+	total := pointsPerTier + 60
+	for i := 0; i < total; i++ {
+		g.Set(float64(i))
+		s.Scrape()
+		clk.Advance(time.Second)
+	}
+
+	// Querying within raw retention returns exactly the ring's points,
+	// oldest first, with the pre-eviction values gone.
+	raw := s.Query("g", start.Add(time.Duration(total-pointsPerTier)*time.Second), clk.Now(), 0)
+	if len(raw) != pointsPerTier {
+		t.Fatalf("raw ring holds %d points, want %d", len(raw), pointsPerTier)
+	}
+	if raw[0].Value != float64(total-pointsPerTier) {
+		t.Fatalf("oldest raw point = %v, want %v (eviction order broken)", raw[0].Value, total-pointsPerTier)
+	}
+
+	// A query starting before raw retention escalates to the 10s tier,
+	// which still covers the whole run.
+	old := s.Query("g", start, clk.Now(), time.Second)
+	if len(old) == 0 || old[0].Unix > unix(start.Add(tier10Period)) {
+		t.Fatalf("tier escalation failed: first=%+v", old[0])
+	}
+}
+
+func TestStoreByteCapRefusesNewSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("a", "").Set(1)
+	reg.Gauge("b", "").Set(2)
+	reg.Gauge("c", "").Set(3)
+	// Budget for exactly two series.
+	s, _ := newTestStore(t, reg, Config{MaxBytes: 2 * seriesCost})
+	s.Scrape()
+	s.Scrape()
+
+	st := s.Stats()
+	if st.Series != 2 {
+		t.Fatalf("Series = %d, want 2 (cap must refuse the third)", st.Series)
+	}
+	if st.DroppedSeries != 2 {
+		t.Fatalf("DroppedSeries = %d, want 2 (one refusal per scrape)", st.DroppedSeries)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("resident bytes %d exceed cap %d", st.Bytes, st.MaxBytes)
+	}
+	if st.Scrapes != 2 {
+		t.Fatalf("Scrapes = %d, want 2", st.Scrapes)
+	}
+	// Established series keep updating despite the cap.
+	if got := len(s.Series()); got != 2 {
+		t.Fatalf("Series() lists %d, want 2", got)
+	}
+}
+
+func TestStoreNilSafe(t *testing.T) {
+	var s *Store
+	s.Start()
+	s.Stop()
+	s.Scrape()
+	if s.Query("x", time.Time{}, time.Time{}, 0) != nil {
+		t.Fatal("nil store Query returned points")
+	}
+	if s.Series() != nil {
+		t.Fatal("nil store Series returned names")
+	}
+	if s.Stats() != (Stats{}) {
+		t.Fatal("nil store Stats non-zero")
+	}
+	if s.Interval() != 0 {
+		t.Fatal("nil store Interval non-zero")
+	}
+}
+
+func TestStoreDefaultsAndValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New without Samples did not panic")
+		}
+	}()
+	s := New(Config{Samples: func() []obs.Sample { return nil }})
+	if s.Interval() != time.Second {
+		t.Fatalf("default interval = %v, want 1s", s.Interval())
+	}
+	if s.Stats().MaxBytes != 8<<20 {
+		t.Fatalf("default MaxBytes = %d, want 8MiB", s.Stats().MaxBytes)
+	}
+	New(Config{}) // must panic
+}
+
+func TestStoreStartStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("g", "").Set(1)
+	s := New(Config{Samples: reg.Samples, Interval: time.Millisecond})
+	s.Start()
+	s.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Scrapes == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	if s.Stats().Scrapes == 0 {
+		t.Fatal("ticker never scraped")
+	}
+}

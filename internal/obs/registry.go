@@ -388,6 +388,78 @@ func (r *Registry) Names() []string {
 	return names
 }
 
+// Sample is one scalar series value from a structured registry walk: the
+// family name (histograms expand to their _sum and _count series), the
+// pre-rendered label set, the family kind, and the current value. It is the
+// scrape unit of the history store — a name+labels pair identifies one
+// time series.
+type Sample struct {
+	// Name is the series name: the family name for counters and gauges, or
+	// the family name suffixed _sum / _count for histograms (bucket series
+	// are deliberately not walked: the history store retains scalar series,
+	// and the sum/count pair is what rates and means are derived from).
+	Name string
+	// Labels is the pre-rendered {k="v",...} label set, or "" for the
+	// unlabelled child — exactly the byte string the text exposition uses,
+	// so Name+Labels is a stable series identity across both surfaces.
+	Labels string
+	// Kind is the family's exposition TYPE ("counter", "gauge",
+	// "histogram").
+	Kind string
+	// Value is the current sample value (GaugeFunc sources are read here).
+	Value float64
+}
+
+// Samples walks every registered family and returns one Sample per scalar
+// series, families in sorted name order and children in sorted label order —
+// the same deterministic order the text exposition renders. It is the
+// structured counterpart of WritePrometheus for scrapers that retain values
+// (the history store) instead of re-parsing the text format.
+func (r *Registry) Samples() []Sample {
+	families := r.sortedFamilies()
+	out := make([]Sample, 0, len(families))
+	for _, f := range families {
+		for _, c := range f.sortedChildren() {
+			c.mu.Lock()
+			value := c.value
+			if c.fn != nil {
+				value = c.fn()
+			}
+			sum := c.sum
+			count := c.count
+			c.mu.Unlock()
+			if f.kind == kindHistogram {
+				out = append(out,
+					Sample{Name: f.name + "_sum", Labels: c.labels, Kind: f.kind.String(), Value: sum},
+					Sample{Name: f.name + "_count", Labels: c.labels, Kind: f.kind.String(), Value: count})
+				continue
+			}
+			out = append(out, Sample{Name: f.name, Labels: c.labels, Kind: f.kind.String(), Value: value})
+		}
+	}
+	return out
+}
+
+// sortedFamilies snapshots the family list in sorted name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	families := make([]*family, len(r.families))
+	copy(families, r.families)
+	r.mu.Unlock()
+	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
+	return families
+}
+
+// sortedChildren snapshots one family's children in sorted label order.
+func (f *family) sortedChildren() []*child {
+	f.mu.Lock()
+	children := make([]*child, len(f.children))
+	copy(children, f.children)
+	f.mu.Unlock()
+	sort.Slice(children, func(i, j int) bool { return children[i].labels < children[j].labels })
+	return children
+}
+
 // WritePrometheus renders every registered family in the text exposition
 // format: a HELP and TYPE line per family, then one sample line per child
 // (histograms expand to cumulative _bucket lines plus _sum and _count).
@@ -396,13 +468,19 @@ func (r *Registry) Names() []string {
 // identical state are byte-identical and diffs between deployments are
 // meaningful.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	r.mu.Lock()
-	families := make([]*family, len(r.families))
-	copy(families, r.families)
-	r.mu.Unlock()
-	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
+	return r.WritePrometheusPrefix(w, "")
+}
 
-	for _, f := range families {
+// WritePrometheusPrefix renders only the families whose name starts with
+// prefix, in the same deterministic order as the full dump ("" keeps
+// everything). A scraper that wants one family subset — the vod_* serving
+// counters, say, without the go_ runtime gauges — filters server-side
+// instead of downloading and discarding the rest.
+func (r *Registry) WritePrometheusPrefix(w io.Writer, prefix string) error {
+	for _, f := range r.sortedFamilies() {
+		if prefix != "" && !strings.HasPrefix(f.name, prefix) {
+			continue
+		}
 		if f.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
 				return err
@@ -411,12 +489,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
 			return err
 		}
-		f.mu.Lock()
-		children := make([]*child, len(f.children))
-		copy(children, f.children)
-		f.mu.Unlock()
-		sort.Slice(children, func(i, j int) bool { return children[i].labels < children[j].labels })
-		for _, c := range children {
+		for _, c := range f.sortedChildren() {
 			if err := f.writeChild(w, c); err != nil {
 				return err
 			}

@@ -237,3 +237,92 @@ func TestGaugeFunc(t *testing.T) {
 		t.Fatalf("gauge func stale:\n%s", buf.String())
 	}
 }
+
+// TestSamples pins the structured scrape walk: same deterministic family and
+// child ordering as the text exposition, histograms expanded to their
+// _sum/_count scalar series, GaugeFunc sources read at walk time.
+func TestSamples(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vod_requests_total", "").Add(3)
+	r.GaugeWith("vod_channel_load", "", Labels{"video": "2"}).Set(0.5)
+	r.GaugeWith("vod_channel_load", "", Labels{"video": "1"}).Set(4)
+	h := r.Histogram("vod_admit_latency_seconds", "", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	up := 12.5
+	r.GaugeFunc("vod_uptime_seconds", "", func() float64 { return up })
+
+	want := []Sample{
+		{Name: "vod_admit_latency_seconds_sum", Labels: "", Kind: "histogram", Value: 2.55},
+		{Name: "vod_admit_latency_seconds_count", Labels: "", Kind: "histogram", Value: 3},
+		{Name: "vod_channel_load", Labels: `{video="1"}`, Kind: "gauge", Value: 4},
+		{Name: "vod_channel_load", Labels: `{video="2"}`, Kind: "gauge", Value: 0.5},
+		{Name: "vod_requests_total", Labels: "", Kind: "counter", Value: 3},
+		{Name: "vod_uptime_seconds", Labels: "", Kind: "gauge", Value: 12.5},
+	}
+	got := r.Samples()
+	if len(got) != len(want) {
+		t.Fatalf("Samples() = %d samples, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Samples()[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// A GaugeFunc is read at walk time, not registration time.
+	up = 99
+	got = r.Samples()
+	if got[len(got)-1].Value != 99 {
+		t.Fatalf("GaugeFunc stale in Samples(): %+v", got[len(got)-1])
+	}
+}
+
+// TestWritePrometheusPrefix pins the server-side family filter: a prefix
+// keeps exactly the families whose name starts with it, rendered in the same
+// order and bytes as the corresponding slice of the full dump, and the empty
+// prefix keeps everything.
+func TestWritePrometheusPrefix(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vod_requests_total", "Admitted customer requests.").Add(3)
+	r.GaugeWith("vod_channel_load", "Per-video slot load.", Labels{"video": "1"}).Set(4)
+	r.Gauge("go_goroutines", "Live goroutines.").Set(7)
+
+	var full, filtered, empty bytes.Buffer
+	if err := r.WritePrometheusPrefix(&full, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheusPrefix(&filtered, "vod_"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheusPrefix(&empty, "zzz_"); err != nil {
+		t.Fatal(err)
+	}
+
+	want := `# HELP vod_channel_load Per-video slot load.
+# TYPE vod_channel_load gauge
+vod_channel_load{video="1"} 4
+# HELP vod_requests_total Admitted customer requests.
+# TYPE vod_requests_total counter
+vod_requests_total 3
+`
+	if got := filtered.String(); got != want {
+		t.Fatalf("prefix filter drift:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if !strings.Contains(full.String(), "go_goroutines 7\n") {
+		t.Fatalf("empty prefix dropped a family:\n%s", full.String())
+	}
+	if empty.Len() != 0 {
+		t.Fatalf("non-matching prefix produced output:\n%s", empty.String())
+	}
+
+	// WritePrometheus must stay byte-identical to the empty-prefix path.
+	var def bytes.Buffer
+	if err := r.WritePrometheus(&def); err != nil {
+		t.Fatal(err)
+	}
+	if def.String() != full.String() {
+		t.Fatal("WritePrometheus diverged from WritePrometheusPrefix(\"\")")
+	}
+}

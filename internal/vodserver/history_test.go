@@ -1,0 +1,479 @@
+package vodserver
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vodcast/internal/obs"
+	"vodcast/internal/obs/history"
+	"vodcast/internal/vodclient"
+)
+
+// This file tests the retained-telemetry surface end to end: the /metricsz
+// prefix filter, the /queryz range API, the ring-depth high-watermark wiring,
+// and the flight recorder — including the full fault-injection E2E where a
+// firing miss alert captures a bundle whose history explains the firing.
+
+// queryzRange mirrors the /queryz range response shape.
+type queryzRange struct {
+	Series string          `json:"series"`
+	From   float64         `json:"from"`
+	To     float64         `json:"to"`
+	StepMS int64           `json:"step_ms"`
+	Points []history.Point `json:"points"`
+}
+
+// queryzIndex mirrors the /queryz series-listing response shape.
+type queryzIndex struct {
+	Series []string      `json:"series"`
+	Stats  history.Stats `json:"stats"`
+}
+
+// TestMetricszPrefix pins the ?prefix= family filter: the filtered dump
+// carries exactly the matching families and the default stays the full dump.
+func TestMetricszPrefix(t *testing.T) {
+	s := startStatusServer(t, nil)
+	code, full := get(t, s, "/metricsz")
+	if code != http.StatusOK {
+		t.Fatalf("metricsz = %d", code)
+	}
+	code, filtered := get(t, s, "/metricsz?prefix=station_")
+	if code != http.StatusOK {
+		t.Fatalf("metricsz?prefix= = %d", code)
+	}
+	if !strings.Contains(full, "vod_requests_total") || !strings.Contains(full, "station_clock_ticks_total") {
+		t.Fatalf("full dump incomplete:\n%s", full)
+	}
+	if !strings.Contains(filtered, "station_clock_ticks_total") {
+		t.Fatalf("prefix dump missing matching family:\n%s", filtered)
+	}
+	for _, line := range strings.Split(filtered, "\n") {
+		if line == "" {
+			continue
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(line, "# HELP "), "# TYPE ")
+		if !strings.HasPrefix(rest, "station_") {
+			t.Fatalf("prefix dump leaked non-matching line %q", line)
+		}
+	}
+	// The filtered dump is a verbatim subset of the full dump: same bytes,
+	// same order — the golden property scrape diffing relies on.
+	for _, line := range strings.Split(strings.TrimSpace(filtered), "\n") {
+		if !strings.Contains(full, line) {
+			t.Fatalf("filtered line %q not in full dump", line)
+		}
+	}
+}
+
+// TestRingDepthWatermarkWiring drives the server's watermark directly and
+// reads it back through /metricsz twice: the spike survives to the first
+// scrape after it and the read resets the interval.
+func TestRingDepthWatermarkWiring(t *testing.T) {
+	// History is disabled so its background scrape cannot consume the
+	// watermark between Record and the /metricsz read below.
+	s, err := Start(Config{
+		Addr:            "127.0.0.1:0",
+		Videos:          []VideoConfig{{ID: 1, Segments: 6, SegmentBytes: 64}},
+		SlotDuration:    10 * time.Millisecond,
+		StatsAddr:       "127.0.0.1:0",
+		HistoryDisabled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// A spike tick followed by quieter ticks, as fanOut would record them.
+	s.ringDepth.Record(17)
+	s.ringDepth.Record(2)
+	_, body := get(t, s, "/metricsz?prefix=vod_fanout_ring_depth_max")
+	if !strings.Contains(body, "vod_fanout_ring_depth_max 17\n") {
+		t.Fatalf("spike lost before first scrape:\n%s", body)
+	}
+	_, body = get(t, s, "/metricsz?prefix=vod_fanout_ring_depth_max")
+	if !strings.Contains(body, "vod_fanout_ring_depth_max 0\n") {
+		t.Fatalf("watermark not reset by scrape:\n%s", body)
+	}
+}
+
+// TestQueryzEndpoint covers the /queryz API against a live store: the series
+// listing, a range query with points, and the parameter validation.
+func TestQueryzEndpoint(t *testing.T) {
+	s, err := Start(Config{
+		Addr:            "127.0.0.1:0",
+		Videos:          []VideoConfig{{ID: 1, Segments: 6, SegmentBytes: 64}},
+		SlotDuration:    10 * time.Millisecond,
+		StatsAddr:       "127.0.0.1:0",
+		HistoryInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	waitFor(t, "history scrapes", func() bool {
+		return s.History().Stats().Scrapes >= 5
+	})
+
+	// No series: the discovery listing, with store stats.
+	code, body := get(t, s, "/queryz")
+	if code != http.StatusOK {
+		t.Fatalf("queryz = %d", code)
+	}
+	var idx queryzIndex
+	if err := json.Unmarshal([]byte(body), &idx); err != nil {
+		t.Fatalf("queryz body: %v\n%s", err, body)
+	}
+	found := false
+	for _, name := range idx.Series {
+		if name == "vod_uptime_seconds" {
+			found = true
+		}
+	}
+	if !found || idx.Stats.Scrapes < 5 {
+		t.Fatalf("queryz index wrong: %+v", idx)
+	}
+
+	// A range query returns timestamped points for the series.
+	code, body = get(t, s, "/queryz?series=vod_uptime_seconds")
+	if code != http.StatusOK {
+		t.Fatalf("queryz?series = %d", code)
+	}
+	var rng queryzRange
+	if err := json.Unmarshal([]byte(body), &rng); err != nil {
+		t.Fatalf("queryz range body: %v", err)
+	}
+	if len(rng.Points) < 5 {
+		t.Fatalf("queryz returned %d points, want >= 5: %+v", len(rng.Points), rng)
+	}
+	last := rng.Points[len(rng.Points)-1]
+	if last.Value <= rng.Points[0].Value {
+		t.Fatalf("uptime series not increasing: %+v", rng.Points)
+	}
+	if last.Unix < rng.From || last.Unix > rng.To {
+		t.Fatalf("point %v outside [%v, %v]", last.Unix, rng.From, rng.To)
+	}
+
+	// Unknown series: valid query, empty points.
+	code, body = get(t, s, "/queryz?series=no_such_series")
+	if code != http.StatusOK {
+		t.Fatalf("unknown series = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &rng); err != nil || len(rng.Points) != 0 {
+		t.Fatalf("unknown series points: %v %+v", err, rng.Points)
+	}
+
+	// Parameter validation.
+	for _, bad := range []string{
+		"/queryz?series=x&from=notatime",
+		"/queryz?series=x&to=alsonot",
+		"/queryz?series=x&step=sideways",
+		"/queryz?series=x&step=-5s",
+	} {
+		if code, _ := get(t, s, bad); code != http.StatusBadRequest {
+			t.Fatalf("GET %s = %d, want 400", bad, code)
+		}
+	}
+}
+
+// TestQueryzAndFlightDisabled: a server without history answers /queryz 503,
+// and one without a flight dir answers /debug/flightrecord 503 — while both
+// keep the shared routing guards.
+func TestQueryzAndFlightDisabled(t *testing.T) {
+	s, err := Start(Config{
+		Addr:            "127.0.0.1:0",
+		Videos:          []VideoConfig{{ID: 1, Segments: 6, SegmentBytes: 64}},
+		SlotDuration:    10 * time.Millisecond,
+		StatsAddr:       "127.0.0.1:0",
+		HistoryDisabled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.History() != nil {
+		t.Fatal("HistoryDisabled left a live store")
+	}
+	if code, _ := get(t, s, "/queryz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("queryz disabled = %d, want 503", code)
+	}
+	if code, _ := get(t, s, "/debug/flightrecord"); code != http.StatusServiceUnavailable {
+		t.Fatalf("flightrecord disabled = %d, want 503", code)
+	}
+	if _, err := s.FlightRecord("test"); err == nil {
+		t.Fatal("FlightRecord without FlightDir returned no error")
+	}
+	// Routing guards hold even when the feature is disabled.
+	for _, path := range []string{"/queryz", "/debug/flightrecord"} {
+		url := "http://" + s.StatsAddr() + path
+		resp, err := http.Post(url, "text/plain", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s = %d, want 405", path, resp.StatusCode)
+		}
+		if code, _ := get(t, s, path+"/sub"); code != http.StatusNotFound {
+			t.Fatalf("GET %s/sub did not 404", path)
+		}
+	}
+}
+
+// TestFlightRecordEndpoint forces a capture over HTTP and checks the bundle
+// lands well-formed under the configured directory.
+func TestFlightRecordEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Start(Config{
+		Addr:            "127.0.0.1:0",
+		Videos:          []VideoConfig{{ID: 1, Segments: 6, SegmentBytes: 64}},
+		SlotDuration:    10 * time.Millisecond,
+		StatsAddr:       "127.0.0.1:0",
+		HistoryInterval: 20 * time.Millisecond,
+		FlightDir:       dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	waitFor(t, "history scrapes", func() bool {
+		return s.History().Stats().Scrapes >= 3
+	})
+
+	code, body := get(t, s, "/debug/flightrecord")
+	if code != http.StatusOK {
+		t.Fatalf("flightrecord = %d: %s", code, body)
+	}
+	var doc struct {
+		Bundle string                `json:"bundle"`
+		Stats  history.RecorderStats `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("flightrecord body: %v", err)
+	}
+	if doc.Stats.Captured != 1 {
+		t.Fatalf("recorder stats = %+v, want captured=1", doc.Stats)
+	}
+	for _, f := range []string{"meta.json", "history.jsonl", "spans.jsonl", "status.json", "alerts.json", "goroutine.pprof", "heap.pprof"} {
+		if _, err := os.Stat(filepath.Join(doc.Bundle, f)); err != nil {
+			t.Fatalf("bundle missing %s: %v", f, err)
+		}
+	}
+	// status.json decodes as the same document /statusz serves, including
+	// history and flight sections.
+	var snap StatusSnapshot
+	raw, err := os.ReadFile(filepath.Join(doc.Bundle, "status.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("status.json: %v", err)
+	}
+	if snap.History == nil || snap.History.Scrapes == 0 || snap.Flight == nil {
+		t.Fatalf("status.json missing history/flight sections: %+v", snap)
+	}
+}
+
+// TestE2EFlightRecorder is the acceptance E2E: under DropInstance fault
+// injection the miss-rate alert fires, exactly one bundle is captured within
+// the cooldown window, the bundle's metric history shows the miss-rate
+// step-up that preceded the transition, and /queryz serves the same series
+// over HTTP.
+func TestE2EFlightRecorder(t *testing.T) {
+	flightDir := t.TempDir()
+	var dropping atomic.Bool
+	s, err := Start(Config{
+		Addr:            "127.0.0.1:0",
+		Videos:          []VideoConfig{{ID: 1, Segments: 6, SegmentBytes: 64}},
+		SlotDuration:    10 * time.Millisecond,
+		StatsAddr:       "127.0.0.1:0",
+		QoEWindow:       4,
+		HistoryInterval: 20 * time.Millisecond,
+		FlightDir:       flightDir,
+		FlightCooldown:  time.Hour, // at most one alert-triggered bundle
+		// A generous SLO keeps the first_byte_slo_burn rule quiet on slow CI
+		// machines: the only firing rule must be the injected miss alert.
+		SLOTargetSeconds: 10,
+		// Evaluations are driven by hand for determinism.
+		AlertInterval:     time.Hour,
+		AlertFor:          50 * time.Millisecond,
+		MissRateThreshold: 0.5,
+		DropInstance: func(video uint32, segment, _ int) bool {
+			return dropping.Load() && video == 1 && segment == 1
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Phase 1 — healthy: sessions report zero misses, history records the
+	// flat-zero miss-rate baseline the step-up will stand out against.
+	for i := 0; i < 3; i++ {
+		if _, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{
+			VideoID: 1, Timeout: 10 * time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "healthy reports ingested", func() bool { return s.QoE().Reports >= 3 })
+	baseline := s.History().Stats().Scrapes
+	waitFor(t, "healthy baseline scraped", func() bool {
+		return s.History().Stats().Scrapes >= baseline+3
+	})
+	s.Alerts().Eval()
+	if st := ruleState(t, s, "client_deadline_miss_rate"); st != obs.StateInactive {
+		t.Fatalf("healthy miss alert = %s, want inactive", st)
+	}
+	if got := len(bundleDirs(t, flightDir)); got != 0 {
+		t.Fatalf("%d bundles before any firing", got)
+	}
+
+	// Phase 2 — fault injection: the miss alert walks pending → firing, and
+	// the firing transition captures exactly one bundle synchronously.
+	dropping.Store(true)
+	for i := 0; i < 4; i++ {
+		res, err := vodclient.FetchWith(s.Addr(), vodclient.FetchOptions{
+			VideoID: 1, Timeout: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DeadlineMisses == 0 {
+			t.Fatalf("dropped segment not observed: %+v", res)
+		}
+	}
+	waitFor(t, "miss reports ingested", func() bool { return s.QoE().Reports >= 7 })
+	// Let the elevated miss rate land in history before the transition.
+	elevated := s.History().Stats().Scrapes
+	waitFor(t, "elevated miss rate scraped", func() bool {
+		return s.History().Stats().Scrapes >= elevated+2
+	})
+	s.Alerts().Eval() // inactive → pending: no bundle yet
+	if got := len(bundleDirs(t, flightDir)); got != 0 {
+		t.Fatalf("%d bundles while merely pending", got)
+	}
+	time.Sleep(60 * time.Millisecond) // AlertFor is 50ms
+	s.Alerts().Eval()                 // pending → firing: captures the bundle
+	if st := ruleState(t, s, "client_deadline_miss_rate"); st != obs.StateFiring {
+		t.Fatalf("held breach = %s, want firing", st)
+	}
+	bundles := bundleDirs(t, flightDir)
+	if len(bundles) != 1 {
+		t.Fatalf("firing captured %d bundles, want exactly 1: %v", len(bundles), bundles)
+	}
+	if !strings.Contains(bundles[0], "alert_client_deadline_miss_rate") {
+		t.Fatalf("bundle name missing triggering rule: %s", bundles[0])
+	}
+	// Re-evaluating while still firing captures nothing more (no transition,
+	// and the cooldown holds regardless).
+	s.Alerts().Eval()
+	if got := len(bundleDirs(t, flightDir)); got != 1 {
+		t.Fatalf("still-firing eval grew bundles to %d", got)
+	}
+
+	// The bundle's miss-rate history shows the step-up preceding the
+	// transition: a zero-valued healthy baseline followed by points above
+	// the threshold.
+	bundle := filepath.Join(flightDir, bundles[0])
+	miss := bundleSeries(t, filepath.Join(bundle, "history.jsonl"), "vod_qoe_miss_rate")
+	if len(miss) < 4 {
+		t.Fatalf("bundled miss-rate history too short: %+v", miss)
+	}
+	sawZero, sawElevated := false, false
+	for _, p := range miss {
+		if p.Value == 0 {
+			sawZero = true
+		}
+		if sawZero && p.Value > 0.5 {
+			sawElevated = true
+		}
+	}
+	if !sawZero || !sawElevated {
+		t.Fatalf("miss-rate step-up not recorded (zero=%v elevated=%v): %+v",
+			sawZero, sawElevated, miss)
+	}
+	// alerts.json was snapshotted after the transition: the rule is firing.
+	var alerts []obs.AlertStatus
+	rawAlerts, err := os.ReadFile(filepath.Join(bundle, "alerts.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(rawAlerts, &alerts); err != nil {
+		t.Fatal(err)
+	}
+	firingSeen := false
+	for _, a := range alerts {
+		if a.Name == "client_deadline_miss_rate" && a.State == obs.StateFiring {
+			firingSeen = true
+		}
+	}
+	if !firingSeen {
+		t.Fatalf("bundle alerts.json does not show the firing rule: %+v", alerts)
+	}
+
+	// /queryz serves the same series over HTTP with the same step-up.
+	code, body := get(t, s, "/queryz?series=vod_qoe_miss_rate")
+	if code != http.StatusOK {
+		t.Fatalf("queryz = %d", code)
+	}
+	var rng queryzRange
+	if err := json.Unmarshal([]byte(body), &rng); err != nil {
+		t.Fatalf("queryz body: %v", err)
+	}
+	var maxV float64
+	for _, p := range rng.Points {
+		if p.Value > maxV {
+			maxV = p.Value
+		}
+	}
+	if len(rng.Points) < 4 || maxV <= 0.5 {
+		t.Fatalf("queryz miss-rate history wrong (%d points, max %v)", len(rng.Points), maxV)
+	}
+}
+
+// bundleDirs lists bundle directory names under dir.
+func bundleDirs(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "bundle-") {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+// bundleSeries extracts one series' points from a bundle's history.jsonl.
+func bundleSeries(t *testing.T, path, series string) []history.Point {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var line struct {
+			Series string          `json:"series"`
+			Points []history.Point `json:"points"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad history line %q: %v", sc.Text(), err)
+		}
+		if line.Series == series {
+			return line.Points
+		}
+	}
+	t.Fatalf("series %q not in %s", series, path)
+	return nil
+}

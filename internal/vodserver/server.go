@@ -18,6 +18,7 @@
 package vodserver
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -29,6 +30,7 @@ import (
 	"vodcast/internal/core"
 	"vodcast/internal/fanout"
 	"vodcast/internal/obs"
+	"vodcast/internal/obs/history"
 	"vodcast/internal/station"
 	"vodcast/internal/wire"
 )
@@ -136,6 +138,28 @@ type Config struct {
 	// differential tests and the BenchmarkFanOut A/B compare against;
 	// production servers leave it false.
 	FanoutReference bool
+	// HistoryInterval is the telemetry history scrape period — how often the
+	// registry is walked into the in-process time-series store behind
+	// /queryz. 0 selects 1s.
+	HistoryInterval time.Duration
+	// HistoryDisabled turns the telemetry history off entirely; /queryz then
+	// answers 503. The disabled path costs one nil check per would-be
+	// consumer.
+	HistoryDisabled bool
+	// HistoryMaxBytes caps the history store's resident memory; 0 selects
+	// the history package default (8 MiB).
+	HistoryMaxBytes int
+	// FlightDir arms the flight recorder: any alert rule entering firing
+	// (rate-limited by FlightCooldown), a SIGQUIT in cmd/vodserver, or a
+	// /debug/flightrecord GET dumps a diagnostic bundle directory under it.
+	// "" leaves the recorder disabled.
+	FlightDir string
+	// FlightCooldown rate-limits alert-triggered bundles; 0 selects the
+	// recorder default (5 minutes).
+	FlightCooldown time.Duration
+	// FlightKeep bounds retained bundle directories; 0 selects the recorder
+	// default (8).
+	FlightKeep int
 }
 
 // DefaultSpanSampleEvery is the admission span sampling period when the
@@ -251,7 +275,17 @@ type Server struct {
 	mReports        *obs.Counter
 	mClientStartup  *obs.Histogram
 	mClientSlack    *obs.Histogram
-	mRingDepth      *obs.Gauge
+	// ringDepth is the fan-out ring depth high-watermark behind the
+	// vod_fanout_ring_depth_max GaugeFunc: the hot path Records, each scrape
+	// Reads-and-resets, so a one-tick depth spike between scrapes survives
+	// to the next scrape instead of being overwritten by a quieter tick.
+	ringDepth obs.HighWatermark
+
+	// history is the retained-telemetry store behind /queryz and bundle
+	// history; recorder writes alert/operator-triggered diagnostic bundles.
+	// Both are nil when disabled — every touch point is nil-safe.
+	history  *history.Store
+	recorder *history.Recorder
 
 	// enc is the zero-copy slot encoder (pre-generated payloads, pooled
 	// ref-counted frames); ref is the retained allocating path, built
@@ -425,8 +459,6 @@ func Start(cfg Config) (*Server, error) {
 		mClientSlack: reg.Histogram("client_deadline_slack_slots",
 			"Client-reported per-report mean slack to the delivery deadline, in slots.",
 			clientSlackBuckets),
-		mRingDepth: reg.Gauge("vod_fanout_ring_depth_max",
-			"Deepest per-subscriber write ring observed during the most recent fan-out tick."),
 		enc:    enc,
 		ref:    ref,
 		videos: videos,
@@ -440,6 +472,60 @@ func Start(cfg Config) (*Server, error) {
 		func() float64 { return time.Since(s.started).Seconds() })
 	reg.GaugeFunc("vod_active_subscribers", "Clients currently receiving a broadcast.",
 		func() float64 { return float64(s.Stats().ActiveSubscribers) })
+	reg.GaugeFunc("vod_fanout_ring_depth_max",
+		"Deepest per-subscriber write ring observed since the previous scrape (high-watermark, reset on read).",
+		s.ringDepth.Read)
+	// Scalar QoE series for the history store: windows and alert counts as
+	// single values a sparkline can ride. The empty miss-rate window reads 0,
+	// not NaN — a flat zero line is the healthy history, absence is not.
+	reg.GaugeFunc("vod_qoe_startup_p99_slots",
+		"99th percentile of client-reported startup delay over the rolling QoE window, in slots.",
+		func() float64 { return s.qoeStartup.Snapshot().P99 })
+	reg.GaugeFunc("vod_qoe_miss_rate",
+		"Windowed mean of client-reported deadline misses per report (the miss alert's signal).",
+		func() float64 {
+			snap := s.qoeMissRate.Snapshot()
+			if snap.Count == 0 {
+				return 0
+			}
+			return snap.Mean
+		})
+	reg.GaugeFunc("vod_alerts_firing", "Alert rules currently in the firing state.",
+		func() float64 { return float64(s.alerts.Firing()) })
+	if !cfg.HistoryDisabled {
+		s.history = history.New(history.Config{
+			Samples:  reg.Samples,
+			Interval: cfg.HistoryInterval,
+			MaxBytes: cfg.HistoryMaxBytes,
+		})
+	}
+	if cfg.FlightDir != "" {
+		rec, err := history.NewRecorder(history.RecorderConfig{
+			Dir:      cfg.FlightDir,
+			Cooldown: cfg.FlightCooldown,
+			Keep:     cfg.FlightKeep,
+			Store:    s.history,
+			Status: func() ([]byte, error) {
+				return json.MarshalIndent(s.Status(), "", "  ")
+			},
+			Spans:  func() []obs.SpanRecord { return s.spans.Recent(0) },
+			Alerts: func() []obs.AlertStatus { return s.alerts.Snapshot() },
+		})
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("vodserver: %w", err)
+		}
+		s.recorder = rec
+		// Capture synchronously on the evaluating goroutine the moment any
+		// rule enters firing; the OnTransition contract (hook runs after the
+		// engine lock is released) makes the recorder's Snapshot calls safe.
+		s.alerts.SetOnTransition(func(tr obs.AlertTransition) {
+			if tr.To == obs.StateFiring {
+				s.recorder.Trigger("alert_" + tr.Rule)
+			}
+		})
+	}
+	s.history.Start()
 	if cfg.StatsAddr != "" {
 		statsLn, err := s.serveStats(cfg.StatsAddr)
 		if err != nil {
@@ -504,6 +590,11 @@ type StatusSnapshot struct {
 	// when one was installed with SetLoadStatus (cmd/vodload's self-hosted
 	// mode). vodtop renders its pane when the field is carried.
 	Load *LoadStatus `json:"load,omitempty"`
+	// History reports the retained-telemetry store's counters (series,
+	// resident bytes, scrapes); Flight the recorder's capture counters.
+	// Either is omitted when the subsystem is disabled.
+	History *history.Stats         `json:"history,omitempty"`
+	Flight  *history.RecorderStats `json:"flight,omitempty"`
 }
 
 // LoadStatus is a load harness's instantaneous view of its run, mirrored
@@ -551,11 +642,31 @@ func (s *Server) Status() StatusSnapshot {
 		ls := loadFn()
 		snap.Load = &ls
 	}
+	if s.history != nil {
+		st := s.history.Stats()
+		snap.History = &st
+	}
+	if s.recorder != nil {
+		fs := s.recorder.Stats()
+		snap.Flight = &fs
+	}
 	return snap
 }
 
 // Alerts exposes the server's alert engine, the source of /alertz.
 func (s *Server) Alerts() *obs.AlertEngine { return s.alerts }
+
+// History exposes the retained-telemetry store behind /queryz, or nil when
+// Config.HistoryDisabled was set.
+func (s *Server) History() *history.Store { return s.history }
+
+// FlightRecord forces a diagnostic bundle capture (bypassing the alert
+// cooldown) and returns the bundle directory. It errors when no FlightDir
+// was configured — the SIGQUIT and /debug/flightrecord paths surface that
+// instead of silently dropping the operator's request.
+func (s *Server) FlightRecord(reason string) (string, error) {
+	return s.recorder.Force(reason)
+}
 
 // Station exposes the broadcast engine (shard layout, per-video slots).
 func (s *Server) Station() *station.Station { return s.station }
@@ -613,6 +724,7 @@ func (s *Server) Close() error {
 	// subscribers under the per-video locks, and station.Close waits for
 	// the clock goroutine to exit.
 	s.alerts.Stop()
+	s.history.Stop()
 	s.station.Close()
 	s.wg.Wait()
 	return err
@@ -997,7 +1109,7 @@ func (s *Server) fanOut(reports []core.SlotReport) {
 		// the frame recycles once the last write completes.
 		frame.Release()
 	}
-	s.mRingDepth.Set(float64(maxDepth))
+	s.ringDepth.Record(float64(maxDepth))
 }
 
 // fanOutReference is the retained channel-based distribution path, selected

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"vodcast/internal/obs"
+	"vodcast/internal/obs/history"
 )
 
 // This file is the server's live introspection surface:
@@ -19,9 +20,13 @@ import (
 //	                  windows, SLO burn, clock drift (what vodtop renders)
 //	GET /healthz      liveness probe: 200 with status and uptime
 //	GET /metricsz     the obs registry in Prometheus text format
+//	                  (?prefix=vod_ filters to one family subset)
 //	GET /tracez?n=N   the most recent N scheduler events (default: all buffered)
 //	GET /spanz?n=N    the most recent N finished pipeline spans
 //	GET /alertz       the alert rule table with per-rule state and a firing count
+//	GET /queryz       retained metric history range queries
+//	                  (?series=&from=&to=&step=; no series lists the inventory)
+//	GET /debug/flightrecord  force a diagnostic bundle capture
 //	GET /debug/pprof  the standard Go profiling endpoints
 //
 // Every handler is routed through guardGET: it answers only its exact path
@@ -97,14 +102,115 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // metricsz renders the registry in the Prometheus text exposition format.
+// ?prefix= filters to the families whose name starts with the prefix, so the
+// history scraper and external scrapers can fetch a subset cheaply; the full
+// dump stays the default.
 func (s *Server) metricsz(w http.ResponseWriter, r *http.Request) {
 	if !guardGET(w, r, "/metricsz") {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.reg.WritePrometheus(w); err != nil {
+	if err := s.reg.WritePrometheusPrefix(w, r.URL.Query().Get("prefix")); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// queryz serves range queries over the retained metric history:
+//
+//	GET /queryz?series=NAME[&from=T][&to=T][&step=D]
+//
+// series is the exposition identity (name plus rendered labels, e.g.
+// vod_channel_load{video="1"}); from/to accept unix seconds or RFC3339 (to
+// defaults to now, from to one minute before to); step is a Go duration
+// selecting the downsampling granularity (0 returns raw points). Without
+// series the handler lists every retained series. A server with history
+// disabled answers 503.
+func (s *Server) queryz(w http.ResponseWriter, r *http.Request) {
+	if !guardGET(w, r, "/queryz") {
+		return
+	}
+	if s.history == nil {
+		http.Error(w, "history disabled", http.StatusServiceUnavailable)
+		return
+	}
+	q := r.URL.Query()
+	series := q.Get("series")
+	if series == "" {
+		writeJSON(w, struct {
+			Series []string      `json:"series"`
+			Stats  history.Stats `json:"stats"`
+		}{s.history.Series(), s.history.Stats()})
+		return
+	}
+	to := time.Now()
+	if raw := q.Get("to"); raw != "" {
+		t, err := parseQueryTime(raw)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad to %q", raw), http.StatusBadRequest)
+			return
+		}
+		to = t
+	}
+	from := to.Add(-time.Minute)
+	if raw := q.Get("from"); raw != "" {
+		t, err := parseQueryTime(raw)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad from %q", raw), http.StatusBadRequest)
+			return
+		}
+		from = t
+	}
+	var step time.Duration
+	if raw := q.Get("step"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d < 0 {
+			http.Error(w, fmt.Sprintf("bad step %q", raw), http.StatusBadRequest)
+			return
+		}
+		step = d
+	}
+	points := s.history.Query(series, from, to, step)
+	writeJSON(w, struct {
+		Series string          `json:"series"`
+		From   float64         `json:"from"`
+		To     float64         `json:"to"`
+		StepMS int64           `json:"step_ms"`
+		Points []history.Point `json:"points"`
+	}{series, unixSeconds(from), unixSeconds(to), step.Milliseconds(), points})
+}
+
+// parseQueryTime accepts unix seconds (integer or fractional) or RFC3339.
+func parseQueryTime(raw string) (time.Time, error) {
+	if sec, err := strconv.ParseFloat(raw, 64); err == nil {
+		return time.Unix(0, int64(sec*float64(time.Second))), nil
+	}
+	return time.Parse(time.RFC3339, raw)
+}
+
+// unixSeconds mirrors the history store's Point timestamp encoding.
+func unixSeconds(t time.Time) float64 {
+	return float64(t.UnixNano()) / float64(time.Second)
+}
+
+// flightrecord forces a diagnostic bundle capture and reports where it was
+// written. 503 when no flight directory is configured.
+func (s *Server) flightrecord(w http.ResponseWriter, r *http.Request) {
+	if !guardGET(w, r, "/debug/flightrecord") {
+		return
+	}
+	if s.recorder == nil {
+		http.Error(w, "flight recorder disabled", http.StatusServiceUnavailable)
+		return
+	}
+	dir, err := s.FlightRecord("http")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, struct {
+		Bundle string                `json:"bundle"`
+		Stats  history.RecorderStats `json:"stats"`
+	}{dir, s.recorder.Stats()})
 }
 
 // tracez serves the most recent scheduler events from the tracer's ring
@@ -167,6 +273,8 @@ func (s *Server) serveStats(addr string) (net.Listener, error) {
 	mux.HandleFunc("/tracez", s.tracez)
 	mux.HandleFunc("/spanz", s.spanz)
 	mux.HandleFunc("/alertz", s.alertz)
+	mux.HandleFunc("/queryz", s.queryz)
+	mux.HandleFunc("/debug/flightrecord", s.flightrecord)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -164,6 +164,7 @@ func TestRouteGuards(t *testing.T) {
 		{"/tracez", "application/json"},
 		{"/spanz", "application/json"},
 		{"/alertz", "application/json"},
+		{"/queryz", "application/json"},
 	}
 	client := &http.Client{}
 	for _, ep := range endpoints {
@@ -230,6 +231,8 @@ func TestRegisteredMetricNamesValid(t *testing.T) {
 		"go_goroutines", "go_heap_alloc_bytes",
 		"client_reports_total", "client_startup_slots",
 		"client_deadline_slack_slots", "client_miss_total", "client_rebuffer_total",
+		"vod_fanout_ring_depth_max", "vod_qoe_startup_p99_slots",
+		"vod_qoe_miss_rate", "vod_alerts_firing",
 	}
 	have := make(map[string]bool, len(names))
 	for _, n := range names {

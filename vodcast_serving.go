@@ -10,6 +10,7 @@ import (
 
 	"vodcast/internal/load"
 	"vodcast/internal/obs"
+	"vodcast/internal/obs/history"
 	"vodcast/internal/server"
 	"vodcast/internal/station"
 	"vodcast/internal/storage"
@@ -96,6 +97,50 @@ type AlertStatus = obs.AlertStatus
 // NewAlertEngine builds an empty alert engine; add rules then Start it, or
 // hand rules to ServeConfig.AlertRules and let the server drive it.
 func NewAlertEngine() *AlertEngine { return obs.NewAlertEngine() }
+
+// AlertTransition is one rule state change delivered to the engine's
+// OnTransition hook — the signal the flight recorder captures bundles on.
+type AlertTransition = obs.AlertTransition
+
+// MetricSample is one structured sample of a registry walk, the scrape
+// format MetricHistory retains.
+type MetricSample = obs.Sample
+
+// MetricHistory is the in-process metric TSDB: per-series rings downsampled
+// across raw/10s/1m tiers under a hard memory cap, range-queried by the
+// /queryz endpoint.
+type MetricHistory = history.Store
+
+// MetricHistoryConfig parameterizes a history store (scrape source,
+// interval, memory cap).
+type MetricHistoryConfig = history.Config
+
+// MetricHistoryStats snapshots a store's retention accounting.
+type MetricHistoryStats = history.Stats
+
+// MetricPoint is one retained sample of a series.
+type MetricPoint = history.Point
+
+// NewMetricHistory builds a store on cfg; call Start to begin scraping.
+// It panics when cfg.Samples is nil.
+func NewMetricHistory(cfg MetricHistoryConfig) *MetricHistory { return history.New(cfg) }
+
+// FlightRecorder dumps bounded diagnostic bundles — metric history, span
+// ring, status snapshot, alert states, goroutine and heap profiles — on
+// alert transitions, SIGQUIT or operator request.
+type FlightRecorder = history.Recorder
+
+// FlightRecorderConfig parameterizes a recorder (bundle directory,
+// cooldown, retention, capture sources).
+type FlightRecorderConfig = history.RecorderConfig
+
+// FlightRecorderStats snapshots a recorder's capture accounting.
+type FlightRecorderStats = history.RecorderStats
+
+// NewFlightRecorder builds a recorder writing bundles under cfg.Dir.
+func NewFlightRecorder(cfg FlightRecorderConfig) (*FlightRecorder, error) {
+	return history.NewRecorder(cfg)
+}
 
 // StationStatus is the station's operator snapshot: shard table, per-video
 // rows, stage latency windows and clock health.
