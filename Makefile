@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-core bench-fanout bench-history bench-load bench-obs bench-station bench-wire ci fuzz experiments examples cover clean
+.PHONY: all build test race bench bench-compare bench-core bench-fanout bench-history bench-load bench-obs bench-station bench-wire ci fuzz experiments examples cover clean
 
 all: build test
 
@@ -46,6 +46,14 @@ ci:
 	# one-iteration smoke of the fan-out A/B matrix.
 	$(GO) test -run '^TestSteadyStateZeroAlloc$$' -count=1 ./internal/fanout/
 	$(GO) test -run '^$$' -bench 'BenchmarkFanOut' -benchtime=1x ./internal/fanout/
+	# The multi-core race lane: the parallel fan-out tick, its COW set and
+	# worker pool, and the churn stress all re-run with four scheduler
+	# threads so cross-worker interleavings the single-threaded suite can't
+	# produce get race coverage.
+	GOMAXPROCS=4 $(GO) test -race -cpu 4 -count=1 ./internal/fanout/ ./internal/station/ ./internal/vodserver/
+	# The drain-path alloc gate: one vectored write per popped batch, zero
+	# allocations per batch at steady state.
+	$(GO) test -run '^TestDrainZeroAlloc$$' -count=1 ./internal/vodserver/
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./internal/...
 	$(GO) run ./cmd/vodload -sessions 200 -duration 2s -slot-ms 5 -report /dev/null
 	@rm -f ci-cover.out
@@ -63,21 +71,40 @@ bench-load:
 	@echo "bench-load: report in BENCH_load.json"
 
 # The zero-copy data plane A/B (shared ref-counted slot frames + write
-# rings versus the serialize-per-tick reference): the videos x subscribers
-# matrix behind BENCH_fanout.json. The zero-copy rows must hold 0 allocs/op.
+# rings versus the serialize-per-tick reference) across -cpu 1,4: the
+# serial/parallel/reference matrix behind BENCH_fanout.json. The zero-copy
+# rows must hold 0 allocs/op.
 bench-fanout:
-	$(GO) test -run '^$$' -bench 'BenchmarkFanOut' -benchmem ./internal/fanout/
+	$(GO) test -run '^$$' -bench 'BenchmarkFanOut' -benchmem -cpu 1,4 ./internal/fanout/
+
+# Benchstat-style regression gate: build a throwaway worktree at BASE, run
+# the same benchmark matrix in both trees, and print the old/new/delta
+# table with cmd/benchdiff. Override BASE, BENCH_COMPARE or BENCH_PKG to
+# point it elsewhere, e.g.
+#   make bench-compare BASE=v1.2 BENCH_COMPARE=BenchmarkStation BENCH_PKG=./internal/station/
+BASE ?= HEAD~1
+BENCH_COMPARE ?= BenchmarkFanOut
+BENCH_PKG ?= ./internal/fanout/
+bench-compare:
+	@rm -rf .bench-base bench-old.txt bench-new.txt
+	git worktree add --detach .bench-base $(BASE)
+	cd .bench-base && $(GO) test -run '^$$' -bench '$(BENCH_COMPARE)' -benchmem -count=3 $(BENCH_PKG) > ../bench-old.txt \
+		|| { cd .. && git worktree remove --force .bench-base; exit 1; }
+	$(GO) test -run '^$$' -bench '$(BENCH_COMPARE)' -benchmem -count=3 $(BENCH_PKG) > bench-new.txt
+	git worktree remove --force .bench-base
+	$(GO) run ./cmd/benchdiff bench-old.txt bench-new.txt
 
 # The admission fast path A/B (RMQ ring + same-slot memo versus the linear
 # reference): the matrix behind BENCH_core.json.
 bench-core:
 	$(GO) test -run '^$$' -bench 'BenchmarkAdmit' -benchmem ./internal/core/
 
-# Sharded station versus the single-mutex whole-engine baseline; the
-# reference numbers live in BENCH_station.json, and BENCH_obs2.json holds
-# the disabled-path A/B for the pipeline observability layer.
+# Sharded station versus the single-mutex whole-engine baseline across
+# -cpu 1,2,4; the reference numbers live in BENCH_station.json, and
+# BENCH_obs2.json holds the disabled-path A/B for the pipeline
+# observability layer.
 bench-station:
-	$(GO) test -run '^$$' -bench 'BenchmarkStation' -benchmem ./internal/station/
+	$(GO) test -run '^$$' -bench 'BenchmarkStation' -benchmem -cpu 1,2,4 ./internal/station/
 
 # Proves the scheduler observer hook is free when disabled: compare the
 # ObserverOff ns/op against ObserverOn (a no-op observer wired in).
@@ -114,4 +141,5 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out ci-cover.out test_output.txt bench_output.txt
+	rm -f cover.out ci-cover.out test_output.txt bench_output.txt bench-old.txt bench-new.txt
+	rm -rf .bench-base

@@ -1,0 +1,172 @@
+// Command benchdiff compares two `go test -bench` outputs benchstat-style:
+// benchmarks present in both files are matched by full name (including any
+// -cpu suffix), replicate runs of the same name are averaged, and the
+// table reports old and new ns/op with the relative delta — negative is
+// faster. Allocation columns (B/op, allocs/op) ride along when both runs
+// carry them.
+//
+// Usage:
+//
+//	benchdiff old.txt new.txt
+//
+// `make bench-compare` drives it against a pinned base revision built in a
+// throwaway git worktree.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result accumulates the replicate runs of one benchmark name.
+type result struct {
+	ns, bytes, allocs float64
+	runs              int
+	hasMem            bool
+}
+
+func (r *result) mean() (ns, bytes, allocs float64) {
+	n := float64(r.runs)
+	return r.ns / n, r.bytes / n, r.allocs / n
+}
+
+// parseBench reads `go test -bench` output: every line of the form
+//
+//	BenchmarkName-4   1234   567.8 ns/op [  90 B/op   1 allocs/op ]
+//
+// is folded into the per-name accumulator. order preserves first
+// appearance so the diff table keeps the source ordering.
+func parseBench(r io.Reader) (map[string]*result, []string, error) {
+	results := make(map[string]*result)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		res := results[fields[0]]
+		if res == nil {
+			res = &result{}
+			results[fields[0]] = res
+			order = append(order, fields[0])
+		}
+		res.ns += ns
+		res.runs++
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				res.bytes += v
+				res.hasMem = true
+			case "allocs/op":
+				res.allocs += v
+			}
+		}
+	}
+	return results, order, sc.Err()
+}
+
+// row is one line of the comparison table.
+type row struct {
+	name             string
+	oldNs, newNs     float64
+	delta            float64 // percent; negative is faster
+	oldAllocs        float64
+	newAllocs        float64
+	hasMem           bool
+	onlyOld, onlyNew bool
+}
+
+// diffRows matches the two runs by name. Benchmarks present in only one
+// file are reported rather than silently dropped, so a renamed benchmark
+// never masquerades as a regression-free run.
+func diffRows(oldR, newR map[string]*result, oldOrder, newOrder []string) []row {
+	var rows []row
+	for _, name := range oldOrder {
+		o := oldR[name]
+		n, ok := newR[name]
+		if !ok {
+			rows = append(rows, row{name: name, onlyOld: true})
+			continue
+		}
+		oNs, _, oAllocs := o.mean()
+		nNs, _, nAllocs := n.mean()
+		r := row{name: name, oldNs: oNs, newNs: nNs,
+			oldAllocs: oAllocs, newAllocs: nAllocs, hasMem: o.hasMem && n.hasMem}
+		if oNs != 0 {
+			r.delta = (nNs - oNs) / oNs * 100
+		}
+		rows = append(rows, r)
+	}
+	for _, name := range newOrder {
+		if _, ok := oldR[name]; !ok {
+			rows = append(rows, row{name: name, onlyNew: true})
+		}
+	}
+	return rows
+}
+
+func formatRow(r row) string {
+	switch {
+	case r.onlyOld:
+		return fmt.Sprintf("%-72s  removed", r.name)
+	case r.onlyNew:
+		return fmt.Sprintf("%-72s  added", r.name)
+	}
+	s := fmt.Sprintf("%-72s  %12.1f  %12.1f  %+7.1f%%", r.name, r.oldNs, r.newNs, r.delta)
+	if r.hasMem {
+		s += fmt.Sprintf("  allocs %g -> %g", r.oldAllocs, r.newAllocs)
+	}
+	return s
+}
+
+func run(oldPath, newPath string, out io.Writer) error {
+	parse := func(path string) (map[string]*result, []string, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		return parseBench(f)
+	}
+	oldR, oldOrder, err := parse(oldPath)
+	if err != nil {
+		return fmt.Errorf("%s: %w", oldPath, err)
+	}
+	newR, newOrder, err := parse(newPath)
+	if err != nil {
+		return fmt.Errorf("%s: %w", newPath, err)
+	}
+	if len(oldR) == 0 || len(newR) == 0 {
+		return fmt.Errorf("no benchmark lines (old: %d, new: %d)", len(oldR), len(newR))
+	}
+	fmt.Fprintf(out, "%-72s  %12s  %12s  %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, r := range diffRows(oldR, newR, oldOrder, newOrder) {
+		fmt.Fprintln(out, formatRow(r))
+	}
+	return nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff old.txt new.txt")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Args[2], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const oldRun = `
+goos: linux
+BenchmarkFanOut/videos=4/subs=16/zerocopy-serial     50000     2000 ns/op    0 B/op    0 allocs/op
+BenchmarkFanOut/videos=4/subs=16/zerocopy-serial     50000     2200 ns/op    0 B/op    0 allocs/op
+BenchmarkFanOut/videos=4/subs=16/reference           10000    12000 ns/op    4096 B/op    3 allocs/op
+BenchmarkGone                                        10000      500 ns/op
+PASS
+`
+
+const newRun = `
+BenchmarkFanOut/videos=4/subs=16/zerocopy-serial     80000     1050 ns/op    0 B/op    0 allocs/op
+BenchmarkFanOut/videos=4/subs=16/reference           10000    12600 ns/op    4096 B/op    3 allocs/op
+BenchmarkFanOut/videos=4/subs=16/zerocopy-parallel  100000      700 ns/op    0 B/op    0 allocs/op
+ok
+`
+
+func TestParseBenchAveragesReplicates(t *testing.T) {
+	results, order, err := parseBench(strings.NewReader(oldRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("parsed %d names, want 3: %v", len(order), order)
+	}
+	serial := results["BenchmarkFanOut/videos=4/subs=16/zerocopy-serial"]
+	if serial == nil || serial.runs != 2 {
+		t.Fatalf("serial replicates not folded: %+v", serial)
+	}
+	if ns, _, _ := serial.mean(); ns != 2100 {
+		t.Fatalf("serial mean ns/op = %v, want 2100", ns)
+	}
+	ref := results["BenchmarkFanOut/videos=4/subs=16/reference"]
+	if _, bytes, allocs := ref.mean(); bytes != 4096 || allocs != 3 {
+		t.Fatalf("reference mem columns = %v B, %v allocs; want 4096, 3", bytes, allocs)
+	}
+	if gone := results["BenchmarkGone"]; gone == nil || gone.hasMem {
+		t.Fatalf("mem-less line parsed wrong: %+v", gone)
+	}
+}
+
+func TestDiffRowsMatchesAndFlagsStrays(t *testing.T) {
+	oldR, oldOrder, err := parseBench(strings.NewReader(oldRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newR, newOrder, err := parseBench(strings.NewReader(newRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := diffRows(oldR, newR, oldOrder, newOrder)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4: %+v", len(rows), rows)
+	}
+	serial := rows[0]
+	if serial.delta != -50 {
+		t.Fatalf("serial delta = %v%%, want -50%% (2100 -> 1050)", serial.delta)
+	}
+	if got := formatRow(serial); !strings.Contains(got, "-50.0%") || !strings.Contains(got, "allocs 0 -> 0") {
+		t.Fatalf("serial row misformatted: %q", got)
+	}
+	ref := rows[1]
+	if ref.delta != 5 {
+		t.Fatalf("reference delta = %v%%, want +5%%", ref.delta)
+	}
+	gone := rows[2]
+	if !gone.onlyOld || !strings.Contains(formatRow(gone), "removed") {
+		t.Fatalf("removed benchmark not flagged: %+v", gone)
+	}
+	added := rows[3]
+	if !added.onlyNew || !strings.Contains(formatRow(added), "added") {
+		t.Fatalf("added benchmark not flagged: %+v", added)
+	}
+}
+
+func TestRunRejectsEmptyInputs(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, newPath := dir+"/old.txt", dir+"/new.txt"
+	for _, p := range []string{oldPath, newPath} {
+		if err := os.WriteFile(p, []byte("no benchmarks here\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run(oldPath, newPath, &strings.Builder{}); err == nil {
+		t.Fatal("empty inputs accepted")
+	}
+	if err := os.WriteFile(oldPath, []byte(oldRun), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newRun), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(oldPath, newPath, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "benchmark") || !strings.Contains(out.String(), "zerocopy-parallel") {
+		t.Fatalf("table missing expected rows:\n%s", out.String())
+	}
+}

@@ -30,6 +30,7 @@ func main() {
 		slotMillis    = flag.Int("slot-ms", 500, "slot duration in milliseconds")
 		segmentBytes  = flag.Int("segment-bytes", 4096, "payload bytes per segment")
 		shards        = flag.Int("shards", 0, "station worker shards (0 = one per CPU, capped at the catalogue size)")
+		fanoutWorkers = flag.Int("fanout-workers", 0, "parallel broadcast tick workers over contiguous catalogue spans (0 = one per CPU capped at the catalogue size, 1 = serial tick)")
 		statsAddr     = flag.String("stats-addr", "", "optional HTTP monitoring address serving /statsz, /statusz, /healthz, /metricsz, /tracez, /spanz and /debug/pprof")
 		tracePath     = flag.String("trace", "", "optional JSONL file capturing every scheduler event")
 		spanPath      = flag.String("span-trace", "", "optional JSONL file capturing sampled admission pipeline spans")
@@ -52,7 +53,7 @@ func main() {
 	opts := serveOpts{
 		addr: *addr, statsAddr: *statsAddr, tracePath: *tracePath, spanPath: *spanPath,
 		videos: *videos, segments: *segments, slotMillis: *slotMillis,
-		segmentBytes: *segmentBytes, shards: *shards, spanSample: *spanSample,
+		segmentBytes: *segmentBytes, shards: *shards, fanoutWorkers: *fanoutWorkers, spanSample: *spanSample,
 		sloMillis: *sloMillis, sloObjective: *sloObjective,
 		alertInterval: *alertInterval, alertFor: *alertFor,
 		missThreshold: *missThreshold, reportStale: *reportStale,
@@ -70,7 +71,7 @@ func main() {
 type serveOpts struct {
 	addr, statsAddr, tracePath, spanPath       string
 	videos, segments, slotMillis, segmentBytes int
-	shards, spanSample                         int
+	shards, fanoutWorkers, spanSample          int
 	sloMillis, sloObjective                    float64
 	alertInterval, alertFor, reportStale       time.Duration
 	missThreshold                              float64
@@ -123,6 +124,7 @@ func run(o serveOpts) error {
 		Videos:            catalogue,
 		SlotDuration:      time.Duration(o.slotMillis) * time.Millisecond,
 		Shards:            o.shards,
+		FanoutWorkers:     o.fanoutWorkers,
 		StatsAddr:         o.statsAddr,
 		SpanSampleEvery:   o.spanSample,
 		SLOTargetSeconds:  o.sloMillis / 1000,

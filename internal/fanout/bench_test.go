@@ -2,6 +2,7 @@ package fanout
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -19,12 +20,90 @@ func benchSegments(slot int) []int {
 	}
 }
 
-// BenchmarkFanOut measures one broadcast tick across the videos × subscribers
-// matrix for both data planes: the zero-copy path (one shared frame per
-// video, ref-counted through per-subscriber rings) and the reference path
-// (per-tick serialization into a fresh buffer, one copy per subscriber
-// channel). The zero-copy rows must report 0 allocs/op at steady state —
-// make ci gates on the same property through TestSteadyStateZeroAlloc.
+// benchSpans partitions [0, videos) into at most workers contiguous
+// near-equal spans — the same shape station.FanoutSpans hands the server.
+func benchSpans(videos, workers int) [][2]int {
+	if workers > videos {
+		workers = videos
+	}
+	spans := make([][2]int, workers)
+	base, rem := videos/workers, videos%workers
+	lo := 0
+	for i := range spans {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		spans[i] = [2]int{lo, lo + sz}
+		lo += sz
+	}
+	return spans
+}
+
+// benchCatalogue builds the zero-copy side of one benchmark point: an
+// encoder over `videos` identical VBR catalogues and a COW subscriber set
+// of `subs` rings per video.
+func benchCatalogue(b *testing.B, videos, subs int) (*Encoder, []*Set[*Ring]) {
+	b.Helper()
+	enc := NewEncoder()
+	sets := make([]*Set[*Ring], videos)
+	for v := 0; v < videos; v++ {
+		if err := enc.AddVideo(uint32(v+1), benchSizes); err != nil {
+			b.Fatal(err)
+		}
+		sets[v] = NewSet[*Ring]()
+		for i := 0; i < subs; i++ {
+			sets[v].Add(NewRing(8))
+		}
+	}
+	return enc, sets
+}
+
+// zerocopySpan runs one tick over the catalogue span [lo, hi): encode each
+// video's slot once, push the shared frame to every subscriber in the COW
+// snapshot, then drain the rings inline so the benchmark charges the
+// consumer's release without socket noise. scratch is the worker's reusable
+// drain buffer.
+func zerocopySpan(enc *Encoder, sets []*Set[*Ring], segs [][]int, slot, lo, hi int, scratch *[]*Frame) {
+	for v := lo; v < hi; v++ {
+		f, err := enc.EncodeSlot(uint32(v+1), slot, segs[slot%len(segs)], nil)
+		if err != nil {
+			panic(err)
+		}
+		snap := sets[v].Snapshot()
+		for _, r := range snap {
+			f.Retain()
+			if _, ok := r.Push(f); !ok {
+				f.Release()
+			}
+		}
+		f.Release()
+		for _, r := range snap {
+			var frames []*Frame
+			frames, _ = r.PopAll((*scratch)[:0])
+			for _, g := range frames {
+				g.Release()
+			}
+			*scratch = frames
+		}
+	}
+}
+
+// BenchmarkFanOut measures one broadcast tick across the videos ×
+// subscribers-per-video matrix for three data planes:
+//
+//   - zerocopy-serial: the shared ref-counted frame plane walked by one
+//     goroutine, as the clock did before the parallel tick;
+//   - zerocopy-parallel: the same plane partitioned across a
+//     fanout.Workers pool (one span per GOMAXPROCS, the server default) —
+//     run with -cpu 1,4 to see the multi-core scaling this PR targets;
+//   - reference: per-tick serialization into a fresh buffer, one copy per
+//     subscriber channel (the retained executable spec).
+//
+// The zero-copy rows must report 0 allocs/op at steady state — make ci
+// gates the same property through TestSteadyStateZeroAlloc. Numbers live in
+// BENCH_fanout.json; videos=64/subs=256 is the large-catalogue point the
+// ≥3× multi-core acceptance target is measured on.
 func BenchmarkFanOut(b *testing.B) {
 	// Segment lists are precomputed so the loop measures the data plane,
 	// not the scenario generator.
@@ -33,82 +112,75 @@ func BenchmarkFanOut(b *testing.B) {
 		segs[i] = benchSegments(i)
 	}
 
-	for _, videos := range []int{1, 4} {
-		for _, subs := range []int{1, 16, 64} {
-			name := fmt.Sprintf("videos=%d/subs=%d", videos, subs)
+	points := [][2]int{
+		{1, 1}, {1, 16}, {1, 64},
+		{4, 1}, {4, 16}, {4, 64},
+		{64, 256},
+	}
+	for _, pt := range points {
+		videos, subs := pt[0], pt[1]
+		name := fmt.Sprintf("videos=%d/subs=%d", videos, subs)
 
-			b.Run(name+"/zerocopy", func(b *testing.B) {
-				enc := NewEncoder()
-				for v := 1; v <= videos; v++ {
-					if err := enc.AddVideo(uint32(v), benchSizes); err != nil {
-						b.Fatal(err)
-					}
-				}
-				rings := make([]*Ring, subs)
-				for i := range rings {
-					rings[i] = NewRing(8)
-				}
-				var scratch []*Frame
-				tick := func(slot int) {
-					for v := 1; v <= videos; v++ {
-						f, err := enc.EncodeSlot(uint32(v), slot, segs[slot%len(segs)], nil)
-						if err != nil {
-							b.Fatal(err)
-						}
-						for _, r := range rings {
-							f.Retain()
-							if !r.Push(f) {
-								f.Release()
-							}
-						}
-						f.Release()
-					}
-					// Drain every ring inline — the benchmark measures the
-					// producer side plus the consumer's release, without
-					// socket noise.
-					for _, r := range rings {
-						scratch, _ = r.PopAll(scratch[:0])
-						for _, f := range scratch {
-							f.Release()
-						}
-					}
-				}
-				// Warm the frame pool before measuring.
-				for i := 0; i < 8; i++ {
-					tick(i)
-				}
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					tick(i)
-				}
+		b.Run(name+"/zerocopy-serial", func(b *testing.B) {
+			enc, sets := benchCatalogue(b, videos, subs)
+			var scratch []*Frame
+			// Warm the frame pool before measuring.
+			for i := 0; i < 8; i++ {
+				zerocopySpan(enc, sets, segs, i, 0, videos, &scratch)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				zerocopySpan(enc, sets, segs, i, 0, videos, &scratch)
+			}
+		})
+
+		b.Run(name+"/zerocopy-parallel", func(b *testing.B) {
+			enc, sets := benchCatalogue(b, videos, subs)
+			spans := benchSpans(videos, runtime.GOMAXPROCS(0))
+			scratches := make([][]*Frame, len(spans))
+			slot := 0
+			w := NewWorkers(spans, func(worker, lo, hi int) {
+				zerocopySpan(enc, sets, segs, slot, lo, hi, &scratches[worker])
 			})
+			defer w.Close()
+			for i := 0; i < 8; i++ {
+				slot = i
+				w.Tick()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				slot = i
+				w.Tick()
+			}
+		})
 
-			b.Run(name+"/reference", func(b *testing.B) {
-				ref := NewFanoutReference()
-				for v := 1; v <= videos; v++ {
-					if err := ref.AddVideo(uint32(v), benchSizes); err != nil {
+		b.Run(name+"/reference", func(b *testing.B) {
+			ref := NewFanoutReference()
+			chans := make([][]chan []byte, videos)
+			for v := 0; v < videos; v++ {
+				if err := ref.AddVideo(uint32(v+1), benchSizes); err != nil {
+					b.Fatal(err)
+				}
+				chans[v] = make([]chan []byte, subs)
+				for i := range chans[v] {
+					chans[v][i] = make(chan []byte, 8)
+				}
+			}
+			tick := func(slot int) {
+				for v := 0; v < videos; v++ {
+					payload, _, err := ref.EncodeSlot(uint32(v+1), slot, segs[slot%len(segs)], nil)
+					if err != nil {
 						b.Fatal(err)
 					}
-				}
-				chans := make([]chan []byte, subs)
-				for i := range chans {
-					chans[i] = make(chan []byte, 8)
-				}
-				tick := func(slot int) {
-					for v := 1; v <= videos; v++ {
-						payload, _, err := ref.EncodeSlot(uint32(v), slot, segs[slot%len(segs)], nil)
-						if err != nil {
-							b.Fatal(err)
-						}
-						for _, c := range chans {
-							select {
-							case c <- payload:
-							default:
-							}
+					for _, c := range chans[v] {
+						select {
+						case c <- payload:
+						default:
 						}
 					}
-					for _, c := range chans {
+					for _, c := range chans[v] {
 						for {
 							select {
 							case <-c:
@@ -119,15 +191,15 @@ func BenchmarkFanOut(b *testing.B) {
 						}
 					}
 				}
-				for i := 0; i < 8; i++ {
-					tick(i)
-				}
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					tick(i)
-				}
-			})
-		}
+			}
+			for i := 0; i < 8; i++ {
+				tick(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tick(i)
+			}
+		})
 	}
 }

@@ -157,8 +157,12 @@ func TestRingPushPopOrder(t *testing.T) {
 		}
 		frames = append(frames, f)
 		f.Retain()
-		if !r.Push(f) {
+		d, ok := r.Push(f)
+		if !ok {
 			t.Fatalf("push %d failed on non-full ring", slot)
+		}
+		if d != slot+1 {
+			t.Fatalf("push %d reported depth %d, want %d", slot, d, slot+1)
 		}
 	}
 	if d := r.Depth(); d != 3 {
@@ -190,10 +194,10 @@ func TestRingPushFailsWhenFull(t *testing.T) {
 	defer a.Release()
 	defer b.Release()
 	a.Retain()
-	if !r.Push(a) {
+	if _, ok := r.Push(a); !ok {
 		t.Fatal("first push failed")
 	}
-	if r.Push(b) {
+	if _, ok := r.Push(b); ok {
 		t.Fatal("push succeeded on full ring")
 	}
 	r.Drop()
@@ -218,11 +222,11 @@ func TestRingCloseDeliversTail(t *testing.T) {
 	r := NewRing(4)
 	f, _ := enc.EncodeSlot(3, 7, []int{1}, nil)
 	f.Retain()
-	if !r.Push(f) {
+	if _, ok := r.Push(f); !ok {
 		t.Fatal("push failed")
 	}
 	r.Close()
-	if r.Push(f) {
+	if _, ok := r.Push(f); ok {
 		t.Fatal("push succeeded on closed ring")
 	}
 	got, ok := r.PopAll(nil)
@@ -269,7 +273,10 @@ func TestRingBlockingDrain(t *testing.T) {
 			t.Fatal(err)
 		}
 		f.Retain()
-		for !r.Push(f) {
+		for {
+			if _, ok := r.Push(f); ok {
+				break
+			}
 			// Full ring: yield to the drainer instead of dropping, so the
 			// test exercises the blocking handoff deterministically even on
 			// one CPU.
@@ -307,7 +314,7 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 		slot++
 		for _, r := range rings {
 			f.Retain()
-			if !r.Push(f) {
+			if _, ok := r.Push(f); !ok {
 				f.Release()
 			}
 		}

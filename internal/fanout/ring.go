@@ -36,22 +36,25 @@ func NewRing(capacity int) *Ring {
 	return r
 }
 
-// Push enqueues one frame reference without blocking. It returns false —
-// and takes no ownership, so the caller must Release — when the ring is
-// full or already closed.
-func (r *Ring) Push(f *Frame) bool {
+// Push enqueues one frame reference without blocking and returns the
+// post-push queue depth. It returns ok=false — and takes no ownership, so
+// the caller must Release — when the ring is full or already closed. The
+// depth rides along so the fan-out's ring-depth watermark costs no second
+// lock acquisition per subscriber per tick.
+func (r *Ring) Push(f *Frame) (depth int, ok bool) {
 	r.mu.Lock()
 	if r.closed || r.n == len(r.buf) {
 		r.mu.Unlock()
-		return false
+		return 0, false
 	}
 	r.buf[(r.head+r.n)%len(r.buf)] = f
 	r.n++
 	if r.n == 1 {
 		r.ready.Signal()
 	}
+	depth = r.n
 	r.mu.Unlock()
-	return true
+	return depth, true
 }
 
 // PopAll blocks until the ring has frames or is closed, then appends every

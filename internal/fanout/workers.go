@@ -1,0 +1,72 @@
+package fanout
+
+import "sync"
+
+// Workers is the bounded fan-out worker pool: a fixed set of persistent
+// goroutines, one per catalogue span, that a clock goroutine wakes once per
+// slot tick. Each worker runs the caller's span function over its half-open
+// index range [lo, hi) and the clock's Tick call returns only when every
+// span has finished — the clock dispatches and joins, nothing more, so the
+// tick's service time becomes the slowest span instead of the whole
+// catalogue.
+//
+// The pool is allocation-free per tick (one channel send per worker plus a
+// WaitGroup join) and the goroutines are reused across ticks, so arming it
+// costs nothing on the steady-state broadcast path. Tick must only be
+// called from one goroutine at a time (the station clock), and never after
+// or concurrently with Close.
+type Workers struct {
+	spans [][2]int
+	wake  []chan struct{}
+	wg    sync.WaitGroup
+	stop  chan struct{}
+	once  sync.Once
+}
+
+// NewWorkers starts one persistent goroutine per span; spans are half-open
+// [lo, hi) index ranges (typically a near-equal contiguous partition of the
+// catalogue, e.g. station.FanoutSpans). run is invoked as run(worker, lo,
+// hi) on that worker's goroutine every Tick; it must confine itself to its
+// span so workers never contend. Passing no spans yields a pool whose Tick
+// is a no-op.
+func NewWorkers(spans [][2]int, run func(worker, lo, hi int)) *Workers {
+	w := &Workers{
+		spans: spans,
+		wake:  make([]chan struct{}, len(spans)),
+		stop:  make(chan struct{}),
+	}
+	for i, span := range spans {
+		ch := make(chan struct{}, 1)
+		w.wake[i] = ch
+		go func(worker, lo, hi int) {
+			for {
+				select {
+				case <-w.stop:
+					return
+				case <-ch:
+					run(worker, lo, hi)
+					w.wg.Done()
+				}
+			}
+		}(i, span[0], span[1])
+	}
+	return w
+}
+
+// Count reports the number of workers (= spans).
+func (w *Workers) Count() int { return len(w.spans) }
+
+// Tick wakes every worker and blocks until all spans complete. It performs
+// no allocations.
+func (w *Workers) Tick() {
+	w.wg.Add(len(w.wake))
+	for _, ch := range w.wake {
+		ch <- struct{}{}
+	}
+	w.wg.Wait()
+}
+
+// Close terminates the worker goroutines. Idempotent; must not race a Tick.
+func (w *Workers) Close() {
+	w.once.Do(func() { close(w.stop) })
+}

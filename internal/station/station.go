@@ -334,6 +334,36 @@ func (st *Station) ShardOf(video int) int { return st.videos[video].shard }
 // Name reports the video's configured label.
 func (st *Station) Name(video int) string { return st.videos[video].name }
 
+// FanoutSpans partitions the catalogue's video index range [0, Videos())
+// into at most n contiguous near-equal half-open spans — the work
+// assignment hint for a parallel fan-out walking the clock's per-slot
+// reports, which are indexed by video. Contiguity is what matters for the
+// consumer: each span worker touches a dense range of the report slice and
+// of the caller's parallel video array, never interleaving cache lines
+// with its neighbours. Spans differ in length by at most one video; fewer
+// than n spans come back when the catalogue is smaller than n.
+func (st *Station) FanoutSpans(n int) [][2]int {
+	videos := len(st.videos)
+	if n > videos {
+		n = videos
+	}
+	if n < 1 {
+		n = 1
+	}
+	spans := make([][2]int, n)
+	base, rem := videos/n, videos%n
+	lo := 0
+	for i := range spans {
+		size := base
+		if i < rem {
+			size++
+		}
+		spans[i] = [2]int{lo, lo + size}
+		lo += size
+	}
+	return spans
+}
+
 // Periods returns a copy of the video's resolved 1-based period vector
 // (CBR defaults applied).
 func (st *Station) Periods(video int) []int {

@@ -71,6 +71,43 @@ func TestShardAssignment(t *testing.T) {
 	}
 }
 
+// TestFanoutSpans: the fan-out partition hint tiles the whole catalogue
+// with contiguous, non-overlapping, near-equal spans for every worker
+// count, including degenerate ones.
+func TestFanoutSpans(t *testing.T) {
+	st, err := New(Config{Videos: testCatalogue(7, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{-1, 0, 1, 2, 3, 7, 16} {
+		spans := st.FanoutSpans(n)
+		want := n
+		if want > 7 {
+			want = 7
+		}
+		if want < 1 {
+			want = 1
+		}
+		if len(spans) != want {
+			t.Fatalf("FanoutSpans(%d) returned %d spans, want %d", n, len(spans), want)
+		}
+		lo := 0
+		for i, sp := range spans {
+			if sp[0] != lo {
+				t.Fatalf("FanoutSpans(%d) span %d starts at %d, want %d (gap or overlap)", n, i, sp[0], lo)
+			}
+			size := sp[1] - sp[0]
+			if size < 7/want || size > 7/want+1 {
+				t.Fatalf("FanoutSpans(%d) span %d has %d videos, want near-equal %d..%d", n, i, size, 7/want, 7/want+1)
+			}
+			lo = sp[1]
+		}
+		if lo != 7 {
+			t.Fatalf("FanoutSpans(%d) covers [0, %d), want the full catalogue [0, 7)", n, lo)
+		}
+	}
+}
+
 // TestAdmitValidation: unknown videos and bad resume points are rejected
 // with sentinels and leave the engine untouched.
 func TestAdmitValidation(t *testing.T) {

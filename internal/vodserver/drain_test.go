@@ -1,0 +1,165 @@
+package vodserver
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"vodcast/internal/fanout"
+)
+
+// discardConn is a net.Conn that swallows writes, so the drain path can be
+// measured without socket noise. It deliberately does not implement the
+// writev fast path: net.Buffers.WriteTo then falls back to one Write per
+// buffer, the worst case for the scratch-reuse logic under test.
+type discardConn struct{}
+
+func (discardConn) Read(b []byte) (int, error)         { return 0, nil }
+func (discardConn) Write(b []byte) (int, error)        { return len(b), nil }
+func (discardConn) Close() error                       { return nil }
+func (discardConn) LocalAddr() net.Addr                { return nil }
+func (discardConn) RemoteAddr() net.Addr               { return nil }
+func (discardConn) SetDeadline(t time.Time) error      { return nil }
+func (discardConn) SetReadDeadline(t time.Time) error  { return nil }
+func (discardConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// drainFixture builds the pieces of one subscriber's steady-state drain
+// cycle: a warm encoder, a ring, and the session-scoped scratch buffers.
+func drainFixture(tb testing.TB) (*fanout.Encoder, *fanout.Ring) {
+	tb.Helper()
+	enc := fanout.NewEncoder()
+	if err := enc.AddVideo(1, []int{1500, 700, 2200, 900, 4096}); err != nil {
+		tb.Fatal(err)
+	}
+	return enc, fanout.NewRing(8)
+}
+
+// TestDrainZeroAlloc gates the drainRing fix: once the frame pool, the
+// drain buffer and the net.Buffers scratch are warm, a full
+// encode → push → pop → vectored-write → release cycle must not allocate.
+// Before the reusable scratch, every batch paid one heap allocation for
+// the escaping net.Buffers header.
+func TestDrainZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates inside sync primitives")
+	}
+	enc, ring := drainFixture(t)
+	var (
+		conn   net.Conn = discardConn{}
+		vec    net.Buffers
+		frames []*fanout.Frame
+	)
+	slot := 0
+	cycle := func() {
+		f, err := enc.EncodeSlot(1, slot, []int{1, 2, 3}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slot++
+		f.Retain()
+		if _, ok := ring.Push(f); !ok {
+			t.Fatal("push failed on drained ring")
+		}
+		f.Release()
+		var open bool
+		frames, open = ring.PopAll(frames[:0])
+		if !open {
+			t.Fatal("ring closed unexpectedly")
+		}
+		sent, err := writeFrames(conn, &vec, frames, -1)
+		if err != nil || !sent {
+			t.Fatalf("writeFrames sent=%v err=%v", sent, err)
+		}
+		for _, g := range frames {
+			g.Release()
+		}
+	}
+	// Warm the pool, the pop buffer and the vectored-write scratch.
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Fatalf("steady-state drain cycle allocates %.1f per batch, want 0", avg)
+	}
+}
+
+// TestWriteFramesFiltersAdmitSlot pins the admit-slot filter: frames at or
+// before the admit slot are skipped entirely (no write, sent=false when
+// nothing remains) and the scratch survives for the next batch.
+func TestWriteFramesFiltersAdmitSlot(t *testing.T) {
+	enc, _ := drainFixture(t)
+	var vec net.Buffers
+	var frames []*fanout.Frame
+	for slot := 0; slot < 4; slot++ {
+		f, err := enc.EncodeSlot(1, slot, []int{1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	defer func() {
+		for _, f := range frames {
+			f.Release()
+		}
+	}()
+	sent, err := writeFrames(discardConn{}, &vec, frames, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent {
+		t.Fatal("writeFrames reported a send with every frame at or before the admit slot")
+	}
+	sent, err = writeFrames(discardConn{}, &vec, frames, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sent {
+		t.Fatal("writeFrames skipped frames past the admit slot")
+	}
+	if len(vec) != 0 || cap(vec) < 2 {
+		t.Fatalf("scratch not restored for reuse: len=%d cap=%d", len(vec), cap(vec))
+	}
+}
+
+// BenchmarkDrainRing measures one subscriber's steady-state drain cycle —
+// the consumer half of the broadcast path. Run with -benchmem: the 0 B/op
+// row is the point (one net.Buffers header per session, none per batch).
+func BenchmarkDrainRing(b *testing.B) {
+	enc, ring := drainFixture(b)
+	var (
+		conn   net.Conn = discardConn{}
+		vec    net.Buffers
+		frames []*fanout.Frame
+	)
+	segments := []int{1, 2, 3, 4, 5}
+	cycle := func(slot int) {
+		f, err := enc.EncodeSlot(1, slot, segments, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Retain()
+		if _, ok := ring.Push(f); !ok {
+			b.Fatal("push failed on drained ring")
+		}
+		f.Release()
+		var open bool
+		frames, open = ring.PopAll(frames[:0])
+		if !open {
+			b.Fatal("ring closed unexpectedly")
+		}
+		if _, err := writeFrames(conn, &vec, frames, -1); err != nil {
+			b.Fatal(err)
+		}
+		for _, g := range frames {
+			g.Release()
+		}
+	}
+	for i := 0; i < 8; i++ {
+		cycle(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle(i)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package vodserver
+
+const raceEnabled = false

@@ -23,6 +23,7 @@ import (
 	"io"
 	"math"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +73,14 @@ type Config struct {
 	// Shards is the station worker shard count; 0 selects the station
 	// default of min(GOMAXPROCS, len(Videos)).
 	Shards int
+	// FanoutWorkers sets the parallel broadcast tick's worker count: the
+	// catalogue is partitioned into that many contiguous spans
+	// (station.FanoutSpans), each walked by a persistent worker goroutine
+	// the clock wakes once per retired slot and joins before observing the
+	// tick. 0 selects min(GOMAXPROCS, len(Videos)); a resolved count of 1
+	// keeps the tick serial on the clock goroutine. Ignored when
+	// FanoutReference selects the retained channel path.
+	FanoutWorkers int
 	// SubscriberBuffer is the per-client queue of encoded slot batches; a
 	// client that falls further behind is disconnected so one slow STB
 	// cannot stall the broadcast. Zero selects a sensible default.
@@ -192,13 +201,21 @@ type video struct {
 	// updated to each retired slot's instance count.
 	load *obs.Gauge
 
-	// mu guards subs, closed and the subscribers' lastSlot. The lock is
-	// per-video so one video's slow fan-out or teardown never stalls
-	// another's admit or disconnect path; nothing is held across a write or
-	// a channel send.
-	mu     sync.Mutex
-	subs   map[*subscriber]struct{}
-	closed bool
+	// subs is the copy-on-write subscriber set: tick workers read lock-free
+	// snapshots, admit/disconnect/teardown mutate under the set's own small
+	// admin lock, and Set.Close doubles as the video's shutdown latch (Add
+	// refuses afterwards). Remove's exactly-one-winner contract is what
+	// makes every ring Drop/Close — and every batches-channel close —
+	// single-shot.
+	subs *fanout.Set[*subscriber]
+
+	// refMu serializes the reference path's channel sends against channel
+	// close: a batches channel is closed only under refMu, and
+	// fanOutReference holds it across the video's send loop, so the
+	// retained spec never sends on a closed channel. The zero-copy path
+	// never touches it — a ring Push racing a concurrent Drop/Close simply
+	// fails.
+	refMu sync.Mutex
 }
 
 // slotBatch is one slot's encoded broadcast on the reference path, tagged
@@ -219,23 +236,32 @@ type subscriber struct {
 	// closed when the subscription ends. nil on the zero-copy path.
 	batches chan slotBatch
 	// lastSlot is the final slot this subscriber needs. It starts at
-	// math.MaxInt (registration precedes admission) and is fixed, under the
-	// owning video's mutex, once the admit slot is known.
-	lastSlot int
+	// math.MaxInt64 (registration precedes admission) and is stored once,
+	// after the admission reaches the scheduler; tick workers read it
+	// lock-free.
+	lastSlot atomic.Int64
 	// admitted stamps the admission for the first-byte latency histogram.
 	admitted time.Time
 }
 
-// finish ends the subscription from the producer side: a clean close of
-// whichever delivery primitive the subscriber uses. Callers must hold the
-// owning video's mutex and have already removed the subscriber from subs
-// (the map removal is what makes the channel close single-shot).
-func (sub *subscriber) finish() {
-	if sub.ring != nil {
-		sub.ring.Close()
-		return
-	}
-	close(sub.batches)
+// fanoutTally accumulates one worker's per-tick broadcast accounting,
+// merged into the shared atomics and registry counters once per tick. The
+// pad keeps adjacent workers' tallies on separate cache lines so the hot
+// loop never false-shares.
+type fanoutTally struct {
+	instances int64
+	bytes     int64
+	drops     int64
+	maxDepth  int64
+	_         [32]byte
+}
+
+// retireEntry queues a subscriber for detachment after a span walk: drop
+// marks the ring-full case (Drop the ring and count the disconnect); clean
+// expiry Closes the ring so the tail drains.
+type retireEntry struct {
+	sub  *subscriber
+	drop bool
 }
 
 // Server is a running VOD server. Create with Start, stop with Close.
@@ -293,14 +319,32 @@ type Server struct {
 	enc *fanout.Encoder
 	ref *fanout.Reference
 
-	// videos is immutable after Start; per-subscriber state lives behind
-	// each video's own mutex so the server-wide lock never sits on the
+	// videos is immutable after Start; per-subscriber state lives in each
+	// video's copy-on-write set so the server-wide lock never sits on the
 	// broadcast path. mu guards only the connection set; the counters the
 	// fan-out and admit paths touch are atomics.
 	mu     sync.Mutex
 	videos map[uint32]*video
 	conns  map[net.Conn]struct{}
 	closed atomic.Bool
+
+	// vlist is the catalogue in station index order — the array the
+	// parallel tick partitions into contiguous worker spans.
+	vlist []*video
+	// workers is the persistent fan-out pool; nil when the tick is serial
+	// (FanoutWorkers resolved to 1, or the reference path is selected).
+	// tickReports hands the clock's retired-slot reports to the workers for
+	// the duration of one Tick; the pool's wake/join edges order the
+	// accesses.
+	workers     *fanout.Workers
+	tickReports []core.SlotReport
+	// tallies are the per-worker broadcast counters; retire is each
+	// worker's reusable retirement scratch (expired and ring-full
+	// subscribers collected during the span walk, detached after it, off
+	// the hot push loop). Both are sized to the resolved worker count and
+	// indexed by worker — never shared between spans.
+	tallies []fanoutTally
+	retire  [][]retireEntry
 
 	statRequests       atomic.Int64
 	statBroadcastBytes atomic.Int64
@@ -327,6 +371,9 @@ func Start(cfg Config) (*Server, error) {
 	}
 	if cfg.SpanSampleEvery < 0 {
 		return nil, fmt.Errorf("vodserver: span sample period %d must be non-negative", cfg.SpanSampleEvery)
+	}
+	if cfg.FanoutWorkers < 0 {
+		return nil, fmt.Errorf("vodserver: fan-out worker count %d must be non-negative", cfg.FanoutWorkers)
 	}
 	if cfg.SpanSampleEvery == 0 {
 		cfg.SpanSampleEvery = DefaultSpanSampleEvery
@@ -397,7 +444,7 @@ func Start(cfg Config) (*Server, error) {
 		videos[vc.ID] = &video{
 			cfg:  vc,
 			idx:  i,
-			subs: make(map[*subscriber]struct{}),
+			subs: fanout.NewSet[*subscriber](),
 			load: reg.GaugeWith("vod_channel_load",
 				"Instances transmitted in the video's most recent slot (multiples of the consumption rate).",
 				obs.Labels{"video": fmt.Sprint(vc.ID)}),
@@ -464,6 +511,26 @@ func Start(cfg Config) (*Server, error) {
 		videos: videos,
 		conns:  make(map[net.Conn]struct{}),
 	}
+	s.vlist = make([]*video, len(cfg.Videos))
+	for _, v := range videos {
+		s.vlist[v.idx] = v
+	}
+	// Resolve the fan-out worker count and build the persistent pool. A
+	// resolved count of 1 (the default on a single-core host, or a
+	// one-video catalogue) keeps the tick inline on the clock goroutine —
+	// same code path, span [0, len(vlist)).
+	nw := cfg.FanoutWorkers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > len(cfg.Videos) {
+		nw = len(cfg.Videos)
+	}
+	if cfg.FanoutReference {
+		nw = 1
+	}
+	s.tallies = make([]fanoutTally, nw)
+	s.retire = make([][]retireEntry, nw)
 	if err := s.armAlerts(); err != nil {
 		ln.Close()
 		return nil, fmt.Errorf("vodserver: %w", err)
@@ -534,6 +601,11 @@ func Start(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.statsLn = statsLn
+	}
+	// The pool is built last so every earlier error return leaks no worker
+	// goroutines; from here on Close tears it down.
+	if nw > 1 {
+		s.workers = fanout.NewWorkers(st.FanoutSpans(nw), s.fanOutSpan)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -683,9 +755,7 @@ func (s *Server) Stats() Stats {
 	}
 	_, st.Instances = s.station.Totals()
 	for _, v := range s.videos {
-		v.mu.Lock()
-		st.ActiveSubscribers += len(v.subs)
-		v.mu.Unlock()
+		st.ActiveSubscribers += v.subs.Len()
 	}
 	return st
 }
@@ -703,16 +773,18 @@ func (s *Server) Close() error {
 		s.statsLn.Close()
 	}
 	for _, v := range s.videos {
-		v.mu.Lock()
-		// The closed flag stops admit from registering a subscriber after
-		// this sweep — a late registration would otherwise hold a ring no
-		// producer ever closes.
-		v.closed = true
-		for sub := range v.subs {
-			delete(v.subs, sub)
-			sub.finish()
+		// Set.Close latches the video shut — admit's Add refuses from here
+		// on, so a late registration can never hold a ring no producer ever
+		// closes — and surfaces every live subscriber exactly once.
+		for _, sub := range v.subs.Close() {
+			if sub.ring != nil {
+				sub.ring.Close()
+				continue
+			}
+			v.refMu.Lock()
+			close(sub.batches)
+			v.refMu.Unlock()
 		}
-		v.mu.Unlock()
 	}
 	// Unblock handlers parked in reads or writes.
 	s.mu.Lock()
@@ -720,12 +792,16 @@ func (s *Server) Close() error {
 		conn.Close()
 	}
 	s.mu.Unlock()
-	// A concurrent fanOut tick may still be pushing; it only sees live
-	// subscribers under the per-video locks, and station.Close waits for
-	// the clock goroutine to exit.
+	// A concurrent fanOut tick may still be pushing from a pre-Close
+	// snapshot; pushes to the closed rings fail harmlessly and
+	// station.Close waits for the clock goroutine — and therefore the
+	// joined worker spans — to finish before the pool is torn down.
 	s.alerts.Stop()
 	s.history.Stop()
 	s.station.Close()
+	if s.workers != nil {
+		s.workers.Close()
+	}
 	s.wg.Wait()
 	return err
 }
@@ -875,7 +951,7 @@ func (s *Server) handleConn(conn net.Conn) {
 func (s *Server) drainRing(conn net.Conn, videoID uint32, sub *subscriber, admitSlot int, wait, root *obs.Span) bool {
 	var (
 		frames    []*fanout.Frame
-		scratch   [][]byte
+		vec       net.Buffers
 		firstByte bool
 	)
 	release := func() {
@@ -886,44 +962,53 @@ func (s *Server) drainRing(conn net.Conn, videoID uint32, sub *subscriber, admit
 	for {
 		var open bool
 		frames, open = sub.ring.PopAll(frames[:0])
-		// The subscription was registered before the admission reached the
-		// scheduler, so the ring may carry slots from before the admit
-		// slot; the customer's service starts at admitSlot+1.
-		scratch = scratch[:0]
-		for _, f := range frames {
-			if f.Slot() > admitSlot {
-				scratch = append(scratch, f.Bytes())
-			}
+		sent, err := writeFrames(conn, &vec, frames, admitSlot)
+		if err != nil {
+			release()
+			// unsubscribe Drops the ring, which releases anything still
+			// queued and refuses further pushes, so every outstanding
+			// frame reference is now accounted for.
+			s.unsubscribe(videoID, sub)
+			return false
 		}
-		if len(scratch) != 0 {
-			// net.Buffers.WriteTo consumes the slice it is called on (and
-			// rewrites its elements on partial writes), so it gets its own
-			// header over scratch, which is rebuilt from the frames each
-			// iteration anyway.
-			vec := net.Buffers(scratch)
-			_, err := vec.WriteTo(conn)
-			if err != nil {
-				release()
-				// unsubscribe Drops the ring, which releases anything still
-				// queued and refuses further pushes, so every outstanding
-				// frame reference is now accounted for.
-				s.unsubscribe(videoID, sub)
-				return false
-			}
-			if !firstByte {
-				firstByte = true
-				lat := time.Since(sub.admitted).Seconds()
-				s.mAdmitLatency.Observe(lat)
-				s.firstByte.Observe(lat)
-				wait.End()
-				root.End()
-			}
+		if sent && !firstByte {
+			firstByte = true
+			lat := time.Since(sub.admitted).Seconds()
+			s.mAdmitLatency.Observe(lat)
+			s.firstByte.Observe(lat)
+			wait.End()
+			root.End()
 		}
 		release()
 		if !open {
 			return true
 		}
 	}
+}
+
+// writeFrames hands one drained batch to the connection as a single
+// vectored write, skipping frames at or before the admit slot (the
+// subscription was registered before the admission reached the scheduler,
+// so the ring may carry slots the customer's service does not cover). vec
+// is the session's reusable scratch: net.Buffers.WriteTo consumes the
+// header it is invoked on — advancing it and rewriting elements on partial
+// writes — so the full-capacity slice is restored into *vec afterwards.
+// One header lives per session and the steady-state write path performs no
+// per-batch allocation (BenchmarkDrainRing gates this).
+func writeFrames(conn net.Conn, vec *net.Buffers, frames []*fanout.Frame, admitSlot int) (sent bool, err error) {
+	bufs := (*vec)[:0]
+	for _, f := range frames {
+		if f.Slot() > admitSlot {
+			bufs = append(bufs, f.Bytes())
+		}
+	}
+	*vec = bufs
+	if len(bufs) == 0 {
+		return false, nil
+	}
+	_, err = vec.WriteTo(conn)
+	*vec = bufs[:0]
+	return true, err
 }
 
 // admit registers a subscription and admits the request through the
@@ -956,21 +1041,17 @@ func (s *Server) admit(videoID, fromSegment uint32, conn net.Conn, root *obs.Spa
 	}
 	sub := &subscriber{
 		conn:     conn,
-		lastSlot: math.MaxInt,
 		admitted: time.Now(),
 	}
+	sub.lastSlot.Store(math.MaxInt64)
 	if s.cfg.FanoutReference {
 		sub.batches = make(chan slotBatch, s.cfg.SubscriberBuffer)
 	} else {
 		sub.ring = fanout.NewRing(s.cfg.SubscriberBuffer)
 	}
-	v.mu.Lock()
-	if v.closed {
-		v.mu.Unlock()
+	if !v.subs.Add(sub) {
 		return nil, wire.ScheduleInfo{}, fmt.Errorf("server shutting down")
 	}
-	v.subs[sub] = struct{}{}
-	v.mu.Unlock()
 
 	root.SetShard(s.station.ShardOf(v.idx))
 	span := root.Child("station_admit")
@@ -990,11 +1071,11 @@ func (s *Server) admit(videoID, fromSegment uint32, conn net.Conn, root *obs.Spa
 			suffixMax = p
 		}
 	}
-	v.mu.Lock()
-	if _, live := v.subs[sub]; live {
-		sub.lastSlot = admitSlot + suffixMax
-	}
-	v.mu.Unlock()
+	// The store is harmless when a concurrent disconnect already removed
+	// the subscriber — its ring is dropped and further pushes fail — and
+	// tick workers that read the placeholder MaxInt64 this slot simply
+	// retire the subscriber one snapshot later.
+	sub.lastSlot.Store(int64(admitSlot + suffixMax))
 	s.statRequests.Add(1)
 	s.mRequests.Inc()
 
@@ -1021,24 +1102,26 @@ func (s *Server) admit(videoID, fromSegment uint32, conn net.Conn, root *obs.Spa
 
 // unsubscribe removes the subscription after an abnormal termination
 // (failed admit, dead connection) and ends its delivery primitive if the
-// fan-out has not already done so. Rings are Dropped rather than Closed so
-// any queued frame references are returned to the pool immediately — the
-// handler will never write them.
+// fan-out has not already done so — Remove's exactly-one-winner contract
+// makes the teardown single-shot against a racing tick retirement or
+// server Close. Rings are Dropped rather than Closed so any queued frame
+// references are returned to the pool immediately — the handler will never
+// write them.
 func (s *Server) unsubscribe(videoID uint32, sub *subscriber) {
 	v, ok := s.videos[videoID]
 	if !ok {
 		return
 	}
-	v.mu.Lock()
-	if _, live := v.subs[sub]; live {
-		delete(v.subs, sub)
-		if sub.ring != nil {
-			sub.ring.Drop()
-		} else {
-			close(sub.batches)
-		}
+	if !v.subs.Remove(sub) {
+		return
 	}
-	v.mu.Unlock()
+	if sub.ring != nil {
+		sub.ring.Drop()
+		return
+	}
+	v.refMu.Lock()
+	close(sub.batches)
+	v.refMu.Unlock()
 }
 
 // dropHook adapts the fault-injection hook to one video and slot. It is
@@ -1051,12 +1134,14 @@ func (s *Server) dropHook(videoID uint32, slot int) func(segment int) bool {
 	return func(seg int) bool { return s.cfg.DropInstance(videoID, seg, slot) }
 }
 
-// fanOut runs on the station's clock goroutine once per retired slot: it
-// encodes each video's broadcast instances exactly once into a shared
-// ref-counted frame and pushes one reference per subscriber ring — the
-// per-audience cost is a pointer, not a copy. Counters are atomics and
-// subscriber maps sit behind per-video locks, so nothing here touches the
-// server-wide mutex and one video's teardown can't stall another's tick.
+// fanOut runs on the station's clock goroutine once per retired slot: each
+// video's broadcast instances are encoded exactly once into a shared
+// ref-counted frame and one reference is pushed per subscriber ring — the
+// per-audience cost is a pointer, not a copy. With more than one fan-out
+// worker the catalogue spans are walked by the persistent pool and the
+// clock only dispatches and joins; per-worker tallies merge into the
+// shared counters once per tick, so the hot loops touch no shared cache
+// line and take no lock but each ring's own.
 func (s *Server) fanOut(reports []core.SlotReport) {
 	t0 := time.Now()
 	defer func() {
@@ -1071,45 +1156,91 @@ func (s *Server) fanOut(reports []core.SlotReport) {
 		s.fanOutReference(reports)
 		return
 	}
-	maxDepth := 0
-	for _, vc := range s.cfg.Videos {
-		v := s.videos[vc.ID]
+	s.tickReports = reports
+	if s.workers != nil {
+		s.workers.Tick()
+	} else {
+		s.fanOutSpan(0, 0, len(s.vlist))
+	}
+	var instances, bytes, drops, maxDepth int64
+	for i := range s.tallies {
+		t := &s.tallies[i]
+		instances += t.instances
+		bytes += t.bytes
+		drops += t.drops
+		if t.maxDepth > maxDepth {
+			maxDepth = t.maxDepth
+		}
+		*t = fanoutTally{}
+	}
+	s.mInstances.Add(float64(instances))
+	s.statBroadcastBytes.Add(bytes)
+	s.mBroadcastBytes.Add(float64(bytes))
+	if drops != 0 {
+		s.statDropped.Add(drops)
+		s.mDropped.Add(float64(drops))
+	}
+	s.ringDepth.Record(float64(maxDepth))
+}
+
+// fanOutSpan walks one contiguous catalogue span for one retired slot:
+// encode the video's slot once, push the shared frame to every subscriber
+// in the video's copy-on-write snapshot, and queue expired or ring-full
+// subscribers for retirement after the walk so the push loop stays tight.
+// worker indexes the caller's tally and retirement scratch; the snapshot
+// read is lock-free and the only locks taken are each ring's own, so spans
+// never contend with each other.
+func (s *Server) fanOutSpan(worker, lo, hi int) {
+	reports := s.tickReports
+	tally := &s.tallies[worker]
+	retire := s.retire[worker][:0]
+	for i := lo; i < hi; i++ {
+		v := s.vlist[i]
 		rep := reports[v.idx]
 		v.load.Set(float64(rep.Load))
-		s.mInstances.Add(float64(rep.Load))
-		frame, err := s.enc.EncodeSlot(vc.ID, rep.Slot, rep.Segments, s.dropHook(vc.ID, rep.Slot))
+		tally.instances += int64(rep.Load)
+		frame, err := s.enc.EncodeSlot(v.cfg.ID, rep.Slot, rep.Segments, s.dropHook(v.cfg.ID, rep.Slot))
 		if err != nil {
 			continue // unreachable: the catalogue was built from the same configs
 		}
-		s.statBroadcastBytes.Add(frame.PayloadBytes())
-		s.mBroadcastBytes.Add(float64(frame.PayloadBytes()))
-		v.mu.Lock()
-		for sub := range v.subs {
+		tally.bytes += frame.PayloadBytes()
+		for _, sub := range v.subs.Snapshot() {
 			frame.Retain()
-			if !sub.ring.Push(frame) {
-				// The subscriber fell a full ring behind: disconnect it
-				// rather than stall the broadcast.
+			depth, ok := sub.ring.Push(frame)
+			if !ok {
+				// The subscriber fell a full ring behind: queue it for
+				// disconnection rather than stall the broadcast.
 				frame.Release()
-				delete(v.subs, sub)
-				sub.ring.Drop()
-				s.statDropped.Add(1)
-				s.mDropped.Inc()
+				retire = append(retire, retireEntry{sub: sub, drop: true})
 				continue
 			}
-			if d := sub.ring.Depth(); d > maxDepth {
-				maxDepth = d
+			if int64(depth) > tally.maxDepth {
+				tally.maxDepth = int64(depth)
 			}
-			if rep.Slot >= sub.lastSlot {
-				delete(v.subs, sub)
-				sub.ring.Close()
+			if int64(rep.Slot) >= sub.lastSlot.Load() {
+				retire = append(retire, retireEntry{sub: sub})
 			}
 		}
-		v.mu.Unlock()
 		// Drop the encoder's own reference; subscribers now hold theirs and
 		// the frame recycles once the last write completes.
 		frame.Release()
+		for _, r := range retire {
+			// Remove has exactly one winner, so a disconnect or shutdown
+			// racing this retirement ends the ring exactly once. Only a won
+			// drop counts toward the disconnect tally.
+			if !v.subs.Remove(r.sub) {
+				continue
+			}
+			if r.drop {
+				r.sub.ring.Drop()
+				tally.drops++
+			} else {
+				r.sub.ring.Close()
+			}
+		}
+		retire = retire[:0]
 	}
-	s.ringDepth.Record(float64(maxDepth))
+	s.retire[worker] = retire
 }
 
 // fanOutReference is the retained channel-based distribution path, selected
@@ -1129,24 +1260,29 @@ func (s *Server) fanOutReference(reports []core.SlotReport) {
 		s.statBroadcastBytes.Add(payloadBytes)
 		s.mBroadcastBytes.Add(float64(payloadBytes))
 		batch := slotBatch{slot: rep.Slot, data: data}
-		v.mu.Lock()
-		for sub := range v.subs {
+		// refMu spans the send loop so a concurrent disconnect cannot close
+		// a channel between this snapshot and the send into it; the close
+		// happens once the video's sends are done.
+		v.refMu.Lock()
+		for _, sub := range v.subs.Snapshot() {
 			select {
 			case sub.batches <- batch:
 			default:
 				// The subscriber fell a full buffer behind: disconnect it
 				// rather than stall the broadcast.
-				delete(v.subs, sub)
-				close(sub.batches)
-				s.statDropped.Add(1)
-				s.mDropped.Inc()
+				if v.subs.Remove(sub) {
+					close(sub.batches)
+					s.statDropped.Add(1)
+					s.mDropped.Inc()
+				}
 				continue
 			}
-			if rep.Slot >= sub.lastSlot {
-				delete(v.subs, sub)
-				close(sub.batches)
+			if int64(rep.Slot) >= sub.lastSlot.Load() {
+				if v.subs.Remove(sub) {
+					close(sub.batches)
+				}
 			}
 		}
-		v.mu.Unlock()
+		v.refMu.Unlock()
 	}
 }

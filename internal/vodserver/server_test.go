@@ -502,9 +502,7 @@ func TestUnsubscribeIdempotent(t *testing.T) {
 	s := startTestServer(t)
 	sub := &subscriber{batches: make(chan slotBatch, 1)}
 	v := s.videos[1]
-	v.mu.Lock()
-	v.subs[sub] = struct{}{}
-	v.mu.Unlock()
+	v.subs.Add(sub)
 	s.unsubscribe(1, sub)
 	// The channel must be closed exactly once; a second call is a no-op.
 	s.unsubscribe(1, sub)
@@ -516,9 +514,7 @@ func TestUnsubscribeIdempotent(t *testing.T) {
 	// Same contract for a zero-copy ring subscriber: the first call drops
 	// the ring, repeats and unknown videos are no-ops.
 	rsub := &subscriber{ring: fanout.NewRing(1)}
-	v.mu.Lock()
-	v.subs[rsub] = struct{}{}
-	v.mu.Unlock()
+	v.subs.Add(rsub)
 	s.unsubscribe(1, rsub)
 	s.unsubscribe(1, rsub)
 	s.unsubscribe(99, rsub)
