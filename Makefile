@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-compare bench-core bench-fanout bench-history bench-load bench-obs bench-station bench-wire ci fuzz experiments examples cover clean
+.PHONY: all build test race bench bench-compare bench-conn bench-core bench-fanout bench-history bench-load bench-obs bench-station bench-wire ci lint fuzz experiments examples cover clean
 
 all: build test
 
@@ -18,6 +18,19 @@ build:
 race:
 	$(GO) test -race ./internal/vodserver/ ./internal/vodclient/ ./internal/station/
 
+# Static analysis beyond vet, pinned so every machine runs the same checks.
+# staticcheck is not vendored: when the binary is missing the lane prints
+# the pinned install command and passes, so hermetic CI containers keep
+# working without network access.
+STATICCHECK_VERSION ?= 2024.1.1
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "lint: running staticcheck"; \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed — skipping (install: go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
 # The one-stop gate: vet, the race suite, a coverage floor on the
 # observability-critical packages (including the wire codec and the QoE
 # client since they carry the telemetry loop), and the metric-name lint
@@ -26,6 +39,7 @@ race:
 COVER_FLOOR ?= 85
 ci:
 	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) test -race ./...
 	$(GO) test -coverprofile=ci-cover.out ./internal/obs/ ./internal/obs/history/ ./internal/station/ ./internal/wire/ ./internal/vodclient/
 	@total=$$($(GO) tool cover -func=ci-cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
@@ -37,6 +51,11 @@ ci:
 	# alert, exactly one bundle lands, its history shows the step-up and
 	# /queryz serves the same series.
 	$(GO) test -race -run '^TestE2EFlightRecorder$$' -count=1 ./internal/vodserver/
+	# The transport-telemetry acceptance E2E: a paused and a slow subscriber
+	# land in different /connz states, the stall alert walks pending →
+	# firing → resolved, exactly one bundle carries conns.json, and the drop
+	# path attributes the disconnect reason="stalled".
+	$(GO) test -race -run '^TestE2EConntrackStallAttribution$$' -count=1 ./internal/vodserver/
 	# Disabled-path smoke for the telemetry history layer: the nil-store and
 	# nil-recorder fast paths must keep compiling and running (the real <2%
 	# budget evidence lives in BENCH_obs3.json).
@@ -93,6 +112,13 @@ bench-compare:
 	$(GO) test -run '^$$' -bench '$(BENCH_COMPARE)' -benchmem -count=3 $(BENCH_PKG) > bench-new.txt
 	git worktree remove --force .bench-base
 	$(GO) run ./cmd/benchdiff bench-old.txt bench-new.txt
+
+# The transport-telemetry disabled-path A/B behind BENCH_conn.json: the
+# subscriber drain benchmark with conntrack sampling wired in versus the
+# nil-sampler fast path a -no-conntrack server takes. The budget is <2% and
+# 0 allocs/op on the disabled rows.
+bench-conn:
+	$(GO) test -run '^$$' -bench 'BenchmarkDrainRing' -benchmem -count=3 ./internal/vodserver/
 
 # The admission fast path A/B (RMQ ring + same-slot memo versus the linear
 # reference): the matrix behind BENCH_core.json.

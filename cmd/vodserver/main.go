@@ -48,6 +48,9 @@ func main() {
 		flightDir     = flag.String("flight-dir", "", "directory for flight-recorder diagnostic bundles (empty = disabled)")
 		flightCool    = flag.Duration("flight-cooldown", 0, "minimum gap between alert-triggered bundles (0 = 5m)")
 		flightKeep    = flag.Int("flight-keep", 0, "diagnostic bundles retained before pruning the oldest (0 = 8)")
+		noConntrack   = flag.Bool("no-conntrack", false, "disable per-subscriber transport telemetry (and /connz)")
+		connEvery     = flag.Duration("conntrack-interval", 0, "transport telemetry sampling interval (0 = 1s)")
+		connStalled   = flag.Float64("conn-stalled-ratio", 0, "fraction of tracked connections classified stalled that fires the stall alert (0 = 0.5)")
 	)
 	flag.Parse()
 	opts := serveOpts{
@@ -57,9 +60,10 @@ func main() {
 		sloMillis: *sloMillis, sloObjective: *sloObjective,
 		alertInterval: *alertInterval, alertFor: *alertFor,
 		missThreshold: *missThreshold, reportStale: *reportStale,
-		fanoutMode: *fanoutMode,
+		fanoutMode:   *fanoutMode,
 		historyEvery: *historyEvery, noHistory: *noHistory, historyBytes: *historyBytes,
 		flightDir: *flightDir, flightCool: *flightCool, flightKeep: *flightKeep,
+		noConntrack: *noConntrack, connEvery: *connEvery, connStalled: *connStalled,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "vodserver:", err)
@@ -82,6 +86,9 @@ type serveOpts struct {
 	flightDir                                  string
 	flightCool                                 time.Duration
 	flightKeep                                 int
+	noConntrack                                bool
+	connEvery                                  time.Duration
+	connStalled                                float64
 }
 
 func run(o serveOpts) error {
@@ -140,6 +147,9 @@ func run(o serveOpts) error {
 		FlightDir:         o.flightDir,
 		FlightCooldown:    o.flightCool,
 		FlightKeep:        o.flightKeep,
+		ConntrackDisabled: o.noConntrack,
+		ConntrackInterval: o.connEvery,
+		ConnStalledRatio:  o.connStalled,
 	}
 	if traceFile != nil {
 		cfg.TraceWriter = traceFile
@@ -155,7 +165,7 @@ func run(o serveOpts) error {
 	fmt.Printf("vodserver listening on %s (%d videos, %d segments, %d ms slots, %d shards, %s fan-out)\n",
 		srv.Addr(), o.videos, o.segments, o.slotMillis, srv.Station().Shards(), o.fanoutMode)
 	if srv.StatsAddr() != "" {
-		fmt.Printf("introspection on http://%s/{statsz,statusz,healthz,metricsz,tracez,spanz,alertz,queryz,debug/pprof}\n", srv.StatsAddr())
+		fmt.Printf("introspection on http://%s/{statsz,statusz,healthz,metricsz,tracez,spanz,alertz,queryz,connz,debug/pprof}\n", srv.StatsAddr())
 		fmt.Printf("live dashboard: go run ./cmd/vodtop -addr %s\n", srv.StatsAddr())
 	}
 	if o.flightDir != "" {

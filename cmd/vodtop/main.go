@@ -31,6 +31,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"vodcast/internal/conntrack"
 	"vodcast/internal/obs"
 	"vodcast/internal/obs/history"
 	"vodcast/internal/vodserver"
@@ -66,9 +67,11 @@ func run(w io.Writer, addr string, interval time.Duration, once bool) (firing bo
 		if err != nil {
 			return false, err
 		}
-		// The trend pane is best-effort: a server without history (or an old
-		// one without /queryz) renders the dashboard without it.
+		// The trend and connection panes are best-effort: a server without
+		// history (or an old one without /queryz), or one with conntrack
+		// disabled, renders the dashboard without them.
 		pane := fetchHistory(client, addr)
+		conns := fetchConns(client, addr)
 		if !once {
 			// Clear the screen and home the cursor between frames.
 			fmt.Fprint(w, "\x1b[2J\x1b[H")
@@ -76,6 +79,9 @@ func run(w io.Writer, addr string, interval time.Duration, once bool) (firing bo
 		render(w, addr, snap)
 		if pane != nil {
 			renderHistory(w, pane)
+		}
+		if conns != nil {
+			renderConns(w, conns)
 		}
 		firing = false
 		for _, a := range snap.Alerts {
@@ -403,6 +409,74 @@ func lastValue(vs []float64, format string) string {
 		return "-"
 	}
 	return fmt.Sprintf(format, vs[len(vs)-1])
+}
+
+// fetchConns pulls the /connz transport-telemetry summary. Best-effort like
+// the trend pane: a server with conntrack disabled (503), an older one
+// without the endpoint (404) or a transport error skips the pane for the
+// frame.
+func fetchConns(client *http.Client, addr string) *conntrack.Summary {
+	resp, err := client.Get("http://" + addr + "/connz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var sum conntrack.Summary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		return nil
+	}
+	return &sum
+}
+
+// connRows caps the per-connection table at the worst offenders; the full
+// inventory stays one curl of /connz away.
+const connRows = 8
+
+// connSeverity ranks connection states worst-first for the CONN table.
+var connSeverity = map[string]int{
+	"stalled":              0,
+	"path_limited":         1,
+	"receiver_limited":     2,
+	"sender_backpressured": 3,
+	"healthy":              4,
+}
+
+// renderConns writes the transport-telemetry pane: the state histogram on
+// one line, then the worst tracked connections with the evidence behind
+// each verdict. Pure, like render, so tests drive it with a synthetic
+// summary.
+func renderConns(w io.Writer, sum *conntrack.Summary) {
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "CONN : tracked=%d stalled_ratio=%.2f  healthy=%d recv_limited=%d path_limited=%d backpressured=%d stalled=%d\n",
+		sum.Tracked, sum.StalledRatio,
+		sum.States["healthy"], sum.States["receiver_limited"], sum.States["path_limited"],
+		sum.States["sender_backpressured"], sum.States["stalled"])
+	if len(sum.Conns) == 0 {
+		return
+	}
+	rows := make([]conntrack.ConnSnapshot, len(sum.Conns))
+	copy(rows, sum.Conns)
+	sort.SliceStable(rows, func(i, j int) bool {
+		if si, sj := connSeverity[rows[i].State], connSeverity[rows[j].State]; si != sj {
+			return si < sj
+		}
+		return rows[i].RingDepth > rows[j].RingDepth
+	})
+	if len(rows) > connRows {
+		rows = rows[:connRows]
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "CONN\tREMOTE\tSTATE\tAGE\tRTT\tRETRANS\tRING\tKB/S")
+	for _, c := range rows {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%d\t%d/%d\t%.1f\n",
+			c.ID, c.Remote, c.State, fmtDur(c.StateAgeSeconds),
+			fmtDur(c.RTTMillis/1000), c.Retrans, c.RingDepth, c.RingCap, c.BytesPerSec/1024)
+	}
+	tw.Flush()
 }
 
 // fmtDur renders a duration given in seconds with a unit that keeps three

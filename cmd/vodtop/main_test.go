@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"vodcast/internal/conntrack"
 	"vodcast/internal/obs"
 	"vodcast/internal/obs/history"
 	"vodcast/internal/station"
@@ -265,6 +266,115 @@ func TestRenderHistoryPane(t *testing.T) {
 	renderHistory(&b, &historyPane{})
 	if out := b.String(); !strings.Contains(out, "-") || strings.Contains(out, "NaN") {
 		t.Fatalf("empty pane rendered %q", out)
+	}
+}
+
+// TestRenderConnPane drives the pure CONN-pane renderer with a synthetic
+// /connz summary: the state histogram on the headline, worst-first row
+// ordering and the row cap.
+func TestRenderConnPane(t *testing.T) {
+	sum := &conntrack.Summary{
+		Tracked: 3,
+		States: map[string]int{
+			"healthy": 1, "receiver_limited": 1, "path_limited": 0,
+			"sender_backpressured": 0, "stalled": 1,
+		},
+		StalledRatio: 1.0 / 3,
+		Conns: []conntrack.ConnSnapshot{
+			{ID: 1, Remote: "10.0.0.1:999", State: "healthy", RingDepth: 1, RingCap: 64, RTTMillis: 0.2, BytesPerSec: 2048},
+			{ID: 2, Remote: "10.0.0.2:999", State: "stalled", StateAgeSeconds: 4.5, RingDepth: 60, RingCap: 64, Retrans: 7},
+			{ID: 3, Remote: "10.0.0.3:999", State: "receiver_limited", RingDepth: 30, RingCap: 64, BytesPerSec: 512},
+		},
+	}
+	var b strings.Builder
+	renderConns(&b, sum)
+	out := b.String()
+	for _, want := range []string{
+		"CONN : tracked=3 stalled_ratio=0.33",
+		"healthy=1 recv_limited=1 path_limited=0 backpressured=0 stalled=1",
+		"REMOTE", "STATE", "RETRANS", "RING",
+		"10.0.0.2:999", "stalled", "60/64",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("conn pane missing %q:\n%s", want, out)
+		}
+	}
+	// Worst-first: the stalled row must render before the limited one, and
+	// the limited one before the healthy one.
+	if si, ri, hi := strings.Index(out, "10.0.0.2"), strings.Index(out, "10.0.0.3"), strings.Index(out, "10.0.0.1"); !(si < ri && ri < hi) {
+		t.Fatalf("rows not worst-first (stalled=%d recv=%d healthy=%d):\n%s", si, ri, hi, out)
+	}
+
+	// A crowded table keeps only the connRows worst offenders.
+	big := &conntrack.Summary{States: map[string]int{}, Tracked: connRows + 5}
+	for i := 0; i < connRows+5; i++ {
+		big.Conns = append(big.Conns, conntrack.ConnSnapshot{ID: uint64(i + 1), State: "healthy"})
+	}
+	big.Conns[connRows+2].State = "stalled"
+	b.Reset()
+	renderConns(&b, big)
+	out = b.String()
+	if lines := strings.Count(out, "\n"); lines > connRows+4 {
+		t.Fatalf("crowded pane rendered %d lines:\n%s", lines, out)
+	}
+	// The lone stalled row survives the cap even though it registered last.
+	if !strings.Contains(out, "stalled") {
+		t.Fatalf("row cap dropped the stalled connection:\n%s", out)
+	}
+
+	// Empty summary: headline only, no table header.
+	b.Reset()
+	renderConns(&b, &conntrack.Summary{States: map[string]int{}})
+	if out := b.String(); strings.Contains(out, "REMOTE") {
+		t.Fatalf("empty summary rendered a table:\n%s", out)
+	}
+}
+
+// TestConnPaneAgainstLiveServer: a default server serves the CONN pane end
+// to end, and one with conntrack disabled skips it silently.
+func TestConnPaneAgainstLiveServer(t *testing.T) {
+	s, err := vodserver.Start(vodserver.Config{
+		Addr:         "127.0.0.1:0",
+		Videos:       []vodserver.VideoConfig{{ID: 1, Segments: 6, SegmentBytes: 64}},
+		SlotDuration: 10 * time.Millisecond,
+		StatsAddr:    "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	if sum := fetchConns(client, s.StatsAddr()); sum == nil {
+		t.Fatal("fetchConns returned nil from a conntrack-enabled server")
+	}
+	var b strings.Builder
+	if _, err := run(&b, s.StatsAddr(), time.Second, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "CONN : tracked=") {
+		t.Fatalf("live frame missing CONN pane:\n%s", b.String())
+	}
+
+	s2, err := vodserver.Start(vodserver.Config{
+		Addr:              "127.0.0.1:0",
+		Videos:            []vodserver.VideoConfig{{ID: 1, Segments: 6, SegmentBytes: 64}},
+		SlotDuration:      10 * time.Millisecond,
+		StatsAddr:         "127.0.0.1:0",
+		ConntrackDisabled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if sum := fetchConns(client, s2.StatsAddr()); sum != nil {
+		t.Fatal("fetchConns returned a pane from a conntrack-disabled server")
+	}
+	b.Reset()
+	if _, err := run(&b, s2.StatsAddr(), time.Second, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "CONN : tracked=") {
+		t.Fatalf("disabled-conntrack frame rendered CONN pane:\n%s", b.String())
 	}
 }
 

@@ -1,0 +1,735 @@
+// Package conntrack is the per-subscriber transport telemetry layer: it
+// samples kernel TCP state (TCP_INFO on Linux) alongside the userspace
+// signals the fan-out path already produces — ring occupancy, push-fail
+// streaks, drain batch sizes, bytes written — and classifies every tracked
+// connection into an explicit state machine with hysteresis:
+//
+//	healthy               delivering at the broadcast rate
+//	receiver_limited      the client application reads too slowly (kernel
+//	                      rwnd-limited time, or a deep ring with a live drain)
+//	path_limited          the network is losing or delaying segments
+//	                      (retransmit rate over threshold)
+//	sender_backpressured  frames queue in OUR ring while the kernel shows no
+//	                      constraint — the server's own drain is the bottleneck
+//	stalled               a backlog exists and nothing has moved for a full
+//	                      hold period (no drained bytes, no acked bytes)
+//
+// The classifier is deliberately conservative: a candidate state must hold
+// for Config.Hold consecutive samples before the published state changes, so
+// one slow scrape or a single retransmission never flaps a connection
+// between states. The published state is what the slow-subscriber drop path
+// records as its reason, what /connz serves, and what the conn_stalled_ratio
+// alert aggregates.
+//
+// The package follows the repository's observability idiom: stdlib-only
+// imports (plus obs), nil-safe methods on every type — a server with
+// conntrack disabled holds a nil *Sampler and nil *Conn handles, and every
+// hot-path touch point costs one predictable branch — and zero-value configs
+// selecting documented defaults.
+package conntrack
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"vodcast/internal/obs"
+)
+
+// State is the classified transport condition of one tracked connection.
+type State uint8
+
+const (
+	StateHealthy State = iota
+	StateReceiverLimited
+	StatePathLimited
+	StateSenderBackpressured
+	StateStalled
+	numStates
+)
+
+// NumStates is the number of distinct classifier states, for callers that
+// index per-state accounting arrays.
+const NumStates = int(numStates)
+
+var stateNames = [NumStates]string{
+	"healthy", "receiver_limited", "path_limited", "sender_backpressured", "stalled",
+}
+
+// String returns the state's metric-label-safe name.
+func (s State) String() string {
+	if int(s) < NumStates {
+		return stateNames[s]
+	}
+	return "unknown"
+}
+
+// StateNames returns every classifier state name in State order — callers
+// pre-registering per-state metric children iterate this so the inventory is
+// complete from boot.
+func StateNames() []string {
+	out := make([]string, NumStates)
+	copy(out, stateNames[:])
+	return out
+}
+
+// TCPInfo is the portable slice of the kernel's TCP_INFO the classifier
+// consumes. Valid reports whether the kernel answered at all; Extended
+// whether it filled the busy/rwnd/sndbuf limited-time tail (Linux >= 4.10).
+// On non-Linux builds Valid is always false and classification runs on the
+// userspace signals alone.
+type TCPInfo struct {
+	Valid    bool
+	Extended bool
+	// RTT and RTTVar are the smoothed round-trip estimate and its variance.
+	RTT    time.Duration
+	RTTVar time.Duration
+	// TotalRetrans counts lifetime retransmitted segments.
+	TotalRetrans uint32
+	// NotSentBytes is the send-queue backlog the kernel has not yet put on
+	// the wire.
+	NotSentBytes uint32
+	// SndCwnd and SndSsthresh are the congestion window and its threshold,
+	// in segments.
+	SndCwnd     uint32
+	SndSsthresh uint32
+	// BytesAcked is the lifetime count of bytes the receiver acknowledged —
+	// the ground truth for "is anything still being delivered".
+	BytesAcked uint64
+	// DeliveryRate is the kernel's delivery rate estimate in bytes/sec.
+	DeliveryRate uint64
+	// BusyTime, RwndLimited and SndbufLimited are cumulative times the
+	// connection spent sending, blocked on the receiver's window, and
+	// blocked on the local send buffer.
+	BusyTime      time.Duration
+	RwndLimited   time.Duration
+	SndbufLimited time.Duration
+}
+
+// Config parameterizes a Sampler. The zero value of every field selects a
+// documented default.
+type Config struct {
+	// Interval is the sampling period; <= 0 selects 1s.
+	Interval time.Duration
+	// Hold is the hysteresis: how many consecutive samples a candidate state
+	// must persist before the published state changes. <= 0 selects 2.
+	Hold int
+	// RetransThreshold is the per-sample retransmitted-segment delta at or
+	// above which a connection classifies path_limited. <= 0 selects 3.
+	RetransThreshold int64
+	// RwndFraction classifies receiver_limited when the kernel's
+	// rwnd-limited time grew by at least this fraction of the sample
+	// interval. <= 0 selects 0.1.
+	RwndFraction float64
+	// RingHighFraction is the ring occupancy at or above which a connection
+	// counts as behind the broadcast rate. <= 0 selects 0.5.
+	RingHighFraction float64
+	// NotSentLowBytes bounds the kernel send-queue backlog below which a
+	// deep ring is attributed to the server's own drain (sender_backpressured)
+	// rather than the receiver. <= 0 selects 4096.
+	NotSentLowBytes uint32
+	// MaxVideoLabels caps the conn_video_tracked gauge cardinality: at most
+	// this many distinct video labels are created, the rest fold into
+	// video="other". <= 0 selects 16.
+	MaxVideoLabels int
+	// DepthWindow sizes the per-connection ring-depth window behind the
+	// /connz ring-depth p99 column. <= 0 selects 64.
+	DepthWindow int
+	// Registry, when non-nil, receives the conn_* metric families.
+	Registry *obs.Registry
+	// Clock stamps samples; nil selects time.Now. Tests inject a manual
+	// clock to make hysteresis deterministic.
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Hold <= 0 {
+		c.Hold = 2
+	}
+	if c.RetransThreshold <= 0 {
+		c.RetransThreshold = 3
+	}
+	if c.RwndFraction <= 0 {
+		c.RwndFraction = 0.1
+	}
+	if c.RingHighFraction <= 0 {
+		c.RingHighFraction = 0.5
+	}
+	if c.NotSentLowBytes <= 0 {
+		c.NotSentLowBytes = 4096
+	}
+	if c.MaxVideoLabels <= 0 {
+		c.MaxVideoLabels = 16
+	}
+	if c.DepthWindow <= 0 {
+		c.DepthWindow = 64
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Sampler tracks a set of connections and classifies them on an interval.
+// All methods are safe for concurrent use; a nil *Sampler is valid and inert
+// (Register returns a nil *Conn whose record methods are no-ops), so a
+// server with conntrack disabled pays one branch per touch point.
+type Sampler struct {
+	cfg Config
+
+	mu     sync.Mutex
+	conns  map[*Conn]struct{}
+	nextID uint64
+	counts [NumStates]int
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	// occWin holds the latest ring-occupancy fraction of every tracked
+	// connection, one observation per connection per sweep — the aggregate
+	// quantile surface behind conn_ring_occupancy_p99.
+	occWin *obs.Window
+
+	mRTT        *obs.Histogram
+	mRetrans    *obs.Counter
+	mPushFail   *obs.Counter
+	mDrainBytes *obs.Counter
+	stateGauges [NumStates]*obs.Gauge
+	videoGauges map[uint32]*obs.Gauge
+	otherGauge  *obs.Gauge
+}
+
+// rttBuckets bins the RTT histogram from LAN to congested-WAN scales.
+var rttBuckets = []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1}
+
+// New builds a sampler on cfg; call Start to begin periodic sweeps.
+func New(cfg Config) *Sampler {
+	cfg = cfg.withDefaults()
+	s := &Sampler{
+		cfg:    cfg,
+		conns:  make(map[*Conn]struct{}),
+		occWin: obs.NewWindow(0),
+	}
+	if reg := cfg.Registry; reg != nil {
+		s.mRTT = reg.Histogram("conn_rtt_seconds",
+			"Kernel smoothed RTT per tracked connection per sample.", rttBuckets)
+		s.mRetrans = reg.Counter("conn_retrans_total",
+			"TCP segments retransmitted across all tracked connections.")
+		s.mPushFail = reg.Counter("conn_push_fail_total",
+			"Fan-out ring pushes refused because the subscriber's ring was full.")
+		s.mDrainBytes = reg.Counter("conn_drain_bytes_total",
+			"Payload bytes drained to tracked subscriber connections.")
+		for st := 0; st < NumStates; st++ {
+			s.stateGauges[st] = reg.GaugeWith("conn_state",
+				"Tracked connections currently classified into each transport state.",
+				obs.Labels{"state": stateNames[st]})
+		}
+		s.videoGauges = make(map[uint32]*obs.Gauge)
+		reg.GaugeFunc("conn_tracked",
+			"Connections currently tracked by the transport telemetry sampler.",
+			func() float64 { return float64(s.Tracked()) })
+		reg.GaugeFunc("conn_stalled_ratio",
+			"Fraction of tracked connections classified stalled (0 when none are tracked).",
+			s.StalledRatio)
+		reg.GaugeFunc("conn_ring_occupancy_p99",
+			"99th percentile of per-subscriber ring occupancy (fraction of capacity) over recent samples.",
+			func() float64 { return s.occWin.Snapshot().P99 })
+	}
+	return s
+}
+
+// Start begins periodic sweeping on an internal goroutine. No-op when nil or
+// already running.
+func (s *Sampler) Start() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	s.stop = stop
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(s.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Sweep()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts periodic sweeping and waits for the sweep goroutine to exit.
+// Idempotent and nil-safe.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.stop != nil {
+		close(s.stop)
+		s.stop = nil
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Conn is one tracked connection's telemetry handle. The fan-out and drain
+// hot paths feed it through RecordPush and RecordDrain — lock-free atomics,
+// nil-safe so the disabled path costs one branch — and the sampler's sweep
+// owns everything else.
+type Conn struct {
+	id      uint64
+	video   uint32
+	remote  string
+	ringCap int
+	raw     syscall.RawConn // nil when the conn is not *net.TCPConn
+	opened  time.Time
+
+	// Hot-path counters.
+	pushes     atomic.Int64
+	pushFails  atomic.Int64
+	failStreak atomic.Int64
+	lastDepth  atomic.Int64
+	drainBytes atomic.Int64
+	drainOps   atomic.Int64
+
+	// Published classification, readable from any goroutine (the drop path
+	// reads it at disconnect time).
+	pub      atomic.Uint32
+	pubSince atomic.Int64 // unix nanos
+
+	// Sweep-owned classifier state, guarded by the sampler's mutex.
+	candidate    State
+	candidateRun int
+	prev         prevSample
+	depthWin     *obs.Window
+	snap         ConnSnapshot
+}
+
+// prevSample is the previous sweep's cumulative counters, the baseline the
+// next sweep diffs against.
+type prevSample struct {
+	valid       bool
+	at          time.Time
+	drainBytes  int64
+	pushFails   int64
+	retrans     uint32
+	bytesAcked  uint64
+	rwndLimited time.Duration
+}
+
+// Register starts tracking conn. ringCap is the subscriber's queue capacity
+// (ring slots or channel buffer), the denominator of the occupancy signal.
+// A nil sampler returns a nil *Conn, which every Conn method accepts.
+func (s *Sampler) Register(conn net.Conn, video uint32, ringCap int) *Conn {
+	if s == nil {
+		return nil
+	}
+	if ringCap < 1 {
+		ringCap = 1
+	}
+	now := s.cfg.Clock()
+	c := &Conn{
+		video:    video,
+		ringCap:  ringCap,
+		opened:   now,
+		depthWin: obs.NewWindow(s.cfg.DepthWindow),
+	}
+	if conn != nil {
+		if addr := conn.RemoteAddr(); addr != nil {
+			c.remote = addr.String()
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			if raw, err := tc.SyscallConn(); err == nil {
+				c.raw = raw
+			}
+		}
+	}
+	c.pubSince.Store(now.UnixNano())
+	s.mu.Lock()
+	s.nextID++
+	c.id = s.nextID
+	c.snap = ConnSnapshot{ID: c.id, Remote: c.remote, Video: video,
+		State: StateHealthy.String(), RingCap: ringCap, Kernel: c.raw != nil}
+	s.conns[c] = struct{}{}
+	s.counts[StateHealthy]++
+	s.mu.Unlock()
+	return c
+}
+
+// Unregister stops tracking c. Nil-safe on both receiver and argument, and
+// idempotent — the drop, disconnect and shutdown paths may all reach it for
+// the same connection.
+func (s *Sampler) Unregister(c *Conn) {
+	if s == nil || c == nil {
+		return
+	}
+	s.mu.Lock()
+	if _, ok := s.conns[c]; ok {
+		delete(s.conns, c)
+		s.counts[c.State()]--
+	}
+	s.mu.Unlock()
+}
+
+// RecordPush notes one fan-out push attempt: the post-push ring depth on
+// success, or a refused push (ring full) on failure. Nil-safe — the disabled
+// path is one branch, no atomics.
+func (c *Conn) RecordPush(depth int, ok bool) {
+	if c == nil {
+		return
+	}
+	if ok {
+		c.pushes.Add(1)
+		c.lastDepth.Store(int64(depth))
+		c.failStreak.Store(0)
+		return
+	}
+	c.pushFails.Add(1)
+	c.failStreak.Add(1)
+}
+
+// RecordDrain notes one completed drain batch: frames handed to the kernel
+// and the payload bytes written. The ring is empty after a batch pop, so the
+// depth signal resets. Nil-safe.
+func (c *Conn) RecordDrain(frames int, bytes int64) {
+	if c == nil || frames == 0 {
+		return
+	}
+	c.drainOps.Add(1)
+	c.drainBytes.Add(bytes)
+	c.lastDepth.Store(0)
+}
+
+// State returns the connection's published classification. Nil-safe: an
+// untracked connection reads healthy.
+func (c *Conn) State() State {
+	if c == nil {
+		return StateHealthy
+	}
+	return State(c.pub.Load())
+}
+
+// StateAge reports how long the published state has held.
+func (c *Conn) StateAge(now time.Time) time.Duration {
+	if c == nil {
+		return 0
+	}
+	return now.Sub(time.Unix(0, c.pubSince.Load()))
+}
+
+// Sweep runs one sampling pass over every tracked connection: read the
+// kernel and userspace signals, classify with hysteresis, refresh the
+// cached /connz snapshots and the aggregate metric families. The interval
+// ticker calls it; tests and E2Es may call it directly. Nil-safe.
+func (s *Sampler) Sweep() {
+	if s == nil {
+		return
+	}
+	now := s.cfg.Clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	videoCounts := make(map[uint32]int)
+	for c := range s.conns {
+		s.sweepConn(c, now)
+		videoCounts[c.video]++
+	}
+	if s.cfg.Registry != nil {
+		for st := 0; st < NumStates; st++ {
+			s.stateGauges[st].Set(float64(s.counts[st]))
+		}
+		s.setVideoGauges(videoCounts)
+	}
+}
+
+// sweepConn samples and classifies one connection. Caller holds s.mu.
+func (s *Sampler) sweepConn(c *Conn, now time.Time) {
+	drain := c.drainBytes.Load()
+	fails := c.pushFails.Load()
+	streak := c.failStreak.Load()
+	depth := c.lastDepth.Load()
+	occ := float64(depth) / float64(c.ringCap)
+	info, kernelOK := readTCPInfo(c.raw)
+
+	cur := prevSample{
+		valid:      true,
+		at:         now,
+		drainBytes: drain,
+		pushFails:  fails,
+	}
+	if kernelOK {
+		cur.retrans = info.TotalRetrans
+		cur.bytesAcked = info.BytesAcked
+		cur.rwndLimited = info.RwndLimited
+	}
+
+	prev := c.prev
+	c.prev = cur
+	c.depthWin.Observe(float64(depth))
+	s.occWin.Observe(occ)
+
+	if s.cfg.Registry != nil {
+		if kernelOK && info.RTT > 0 {
+			s.mRTT.Observe(info.RTT.Seconds())
+		}
+		if prev.valid {
+			if d := drain - prev.drainBytes; d > 0 {
+				s.mDrainBytes.Add(float64(d))
+			}
+			if d := fails - prev.pushFails; d > 0 {
+				s.mPushFail.Add(float64(d))
+			}
+			if kernelOK && info.TotalRetrans > prev.retrans {
+				s.mRetrans.Add(float64(info.TotalRetrans - prev.retrans))
+			}
+		}
+	}
+
+	// The first sweep after registration only seeds the baseline: zero
+	// deltas would otherwise read as "nothing moved" and nominate stalled
+	// for a connection that just arrived.
+	if prev.valid {
+		elapsed := now.Sub(prev.at)
+		wrote := drain > prev.drainBytes ||
+			(kernelOK && prev.bytesAcked > 0 && info.BytesAcked > prev.bytesAcked)
+		backlog := depth > 0 || streak > 0 || (kernelOK && info.NotSentBytes > 0)
+		var retransDelta int64
+		var rwndDelta time.Duration
+		if kernelOK {
+			retransDelta = int64(info.TotalRetrans) - int64(prev.retrans)
+			rwndDelta = info.RwndLimited - prev.rwndLimited
+		}
+		cand := s.classify(wrote, backlog, occ, streak, retransDelta, rwndDelta, elapsed, info, kernelOK)
+		s.holdAndPublish(c, cand, now)
+	}
+
+	rate := 0.0
+	if prev.valid {
+		if dt := now.Sub(prev.at).Seconds(); dt > 0 {
+			if d := drain - prev.drainBytes; d > 0 {
+				rate = float64(d) / dt
+			}
+		}
+	}
+	st := c.State()
+	c.snap = ConnSnapshot{
+		ID:              c.id,
+		Remote:          c.remote,
+		Video:           c.video,
+		State:           st.String(),
+		StateAgeSeconds: c.StateAge(now).Seconds(),
+		RingDepth:       depth,
+		RingCap:         c.ringCap,
+		RingDepthP99:    c.depthWin.Snapshot().P99,
+		BytesPerSec:     rate,
+		PushFails:       fails,
+		Kernel:          kernelOK,
+	}
+	if kernelOK {
+		c.snap.RTTMillis = float64(info.RTT) / float64(time.Millisecond)
+		c.snap.RTTVarMillis = float64(info.RTTVar) / float64(time.Millisecond)
+		c.snap.Retrans = info.TotalRetrans
+		c.snap.NotSentBytes = info.NotSentBytes
+		c.snap.Cwnd = info.SndCwnd
+		c.snap.DeliveryRate = info.DeliveryRate
+	}
+}
+
+// classify nominates a candidate state from one sample's signals. Rules are
+// ordered by how definitive the evidence is: total stall beats everything, a
+// retransmit burst beats window accounting, kernel window accounting beats
+// the occupancy fallback.
+func (s *Sampler) classify(wrote, backlog bool, occ float64, streak, retransDelta int64,
+	rwndDelta, elapsed time.Duration, info TCPInfo, kernelOK bool) State {
+	if backlog && !wrote {
+		return StateStalled
+	}
+	if kernelOK && retransDelta >= s.cfg.RetransThreshold {
+		return StatePathLimited
+	}
+	if info.Extended && elapsed > 0 &&
+		rwndDelta >= time.Duration(s.cfg.RwndFraction*float64(elapsed)) {
+		return StateReceiverLimited
+	}
+	if occ >= s.cfg.RingHighFraction || streak > 0 {
+		// A deep ring with a drained kernel queue means the network and the
+		// receiver are keeping up — the server's own drain is behind.
+		if kernelOK && info.NotSentBytes <= s.cfg.NotSentLowBytes {
+			return StateSenderBackpressured
+		}
+		return StateReceiverLimited
+	}
+	return StateHealthy
+}
+
+// holdAndPublish applies hysteresis: the candidate must repeat for
+// Config.Hold consecutive sweeps before the published state moves. Caller
+// holds s.mu.
+func (s *Sampler) holdAndPublish(c *Conn, cand State, now time.Time) {
+	cur := c.State()
+	if cand == cur {
+		c.candidateRun = 0
+		return
+	}
+	if cand == c.candidate {
+		c.candidateRun++
+	} else {
+		c.candidate = cand
+		c.candidateRun = 1
+	}
+	if c.candidateRun < s.cfg.Hold {
+		return
+	}
+	s.counts[cur]--
+	s.counts[cand]++
+	c.pub.Store(uint32(cand))
+	c.pubSince.Store(now.UnixNano())
+	c.candidateRun = 0
+}
+
+// setVideoGauges refreshes the capped-cardinality per-video breakdown.
+// Caller holds s.mu.
+func (s *Sampler) setVideoGauges(counts map[uint32]int) {
+	for video, g := range s.videoGauges {
+		g.Set(float64(counts[video]))
+		delete(counts, video)
+	}
+	other := 0
+	for video, n := range counts {
+		if len(s.videoGauges) < s.cfg.MaxVideoLabels {
+			g := s.cfg.Registry.GaugeWith("conn_video_tracked",
+				"Tracked connections per video (cardinality-capped; overflow folds into video=\"other\").",
+				obs.Labels{"video": fmt.Sprint(video)})
+			g.Set(float64(n))
+			s.videoGauges[video] = g
+			continue
+		}
+		other += n
+	}
+	if other > 0 || s.otherGauge != nil {
+		if s.otherGauge == nil {
+			s.otherGauge = s.cfg.Registry.GaugeWith("conn_video_tracked",
+				"Tracked connections per video (cardinality-capped; overflow folds into video=\"other\").",
+				obs.Labels{"video": "other"})
+		}
+		s.otherGauge.Set(float64(other))
+	}
+}
+
+// Tracked reports the number of connections currently tracked. Nil-safe.
+func (s *Sampler) Tracked() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// StalledRatio reports the fraction of tracked connections whose published
+// state is stalled, or 0 when none are tracked — the conn_stalled_ratio
+// alert signal. Nil-safe.
+func (s *Sampler) StalledRatio() float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.conns) == 0 {
+		return 0
+	}
+	return float64(s.counts[StateStalled]) / float64(len(s.conns))
+}
+
+// StateCounts reports the per-state connection counts. Nil-safe.
+func (s *Sampler) StateCounts() [NumStates]int {
+	if s == nil {
+		return [NumStates]int{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts
+}
+
+// ConnSnapshot is one /connz table row: the connection's identity, its
+// published state, and the kernel plus ring signals behind it. Kernel fields
+// are zero when the platform (or the socket type) offers no TCP_INFO.
+type ConnSnapshot struct {
+	ID              uint64  `json:"id"`
+	Remote          string  `json:"remote,omitempty"`
+	Video           uint32  `json:"video"`
+	State           string  `json:"state"`
+	StateAgeSeconds float64 `json:"state_age_seconds"`
+	RTTMillis       float64 `json:"rtt_ms,omitempty"`
+	RTTVarMillis    float64 `json:"rttvar_ms,omitempty"`
+	Retrans         uint32  `json:"retrans_total"`
+	NotSentBytes    uint32  `json:"notsent_bytes,omitempty"`
+	Cwnd            uint32  `json:"cwnd,omitempty"`
+	DeliveryRate    uint64  `json:"delivery_rate_bps,omitempty"`
+	RingDepth       int64   `json:"ring_depth"`
+	RingCap         int     `json:"ring_cap"`
+	RingDepthP99    float64 `json:"ring_depth_p99"`
+	BytesPerSec     float64 `json:"bytes_per_sec"`
+	PushFails       int64   `json:"push_fails"`
+	Kernel          bool    `json:"kernel"`
+}
+
+// Summary is the /connz document (and the flight bundle's conns.json): the
+// state histogram, the aggregate signals, and one row per tracked
+// connection sorted by registration order.
+type Summary struct {
+	Tracked       int                `json:"tracked"`
+	States        map[string]int     `json:"states"`
+	StalledRatio  float64            `json:"stalled_ratio"`
+	RingOccupancy obs.WindowSnapshot `json:"ring_occupancy"`
+	Conns         []ConnSnapshot     `json:"conns"`
+}
+
+// Snapshot assembles the /connz document from the most recent sweep's cached
+// rows. State ages are refreshed to now so a poll between sweeps still sees
+// them advance. Nil-safe: a disabled sampler reports an empty summary.
+func (s *Sampler) Snapshot() Summary {
+	sum := Summary{States: make(map[string]int, NumStates)}
+	for _, name := range stateNames {
+		sum.States[name] = 0
+	}
+	if s == nil {
+		return sum
+	}
+	now := s.cfg.Clock()
+	s.mu.Lock()
+	sum.Tracked = len(s.conns)
+	for st := 0; st < NumStates; st++ {
+		sum.States[stateNames[st]] = s.counts[st]
+	}
+	if len(s.conns) > 0 {
+		sum.StalledRatio = float64(s.counts[StateStalled]) / float64(len(s.conns))
+	}
+	sum.Conns = make([]ConnSnapshot, 0, len(s.conns))
+	for c := range s.conns {
+		row := c.snap
+		row.State = c.State().String()
+		row.StateAgeSeconds = c.StateAge(now).Seconds()
+		sum.Conns = append(sum.Conns, row)
+	}
+	s.mu.Unlock()
+	sum.RingOccupancy = s.occWin.Snapshot()
+	sort.Slice(sum.Conns, func(i, j int) bool { return sum.Conns[i].ID < sum.Conns[j].ID })
+	return sum
+}

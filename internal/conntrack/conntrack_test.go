@@ -1,0 +1,371 @@
+package conntrack
+
+import (
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vodcast/internal/obs"
+)
+
+// manualClock advances only when told, making hysteresis deterministic.
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{now: time.Unix(1000, 0)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func testSampler(t *testing.T, cfg Config) (*Sampler, *manualClock) {
+	t.Helper()
+	clk := newManualClock()
+	cfg.Clock = clk.Now
+	s := New(cfg)
+	t.Cleanup(s.Stop)
+	return s, clk
+}
+
+// sweep advances the clock by one interval and runs one pass.
+func sweep(s *Sampler, clk *manualClock) {
+	clk.Advance(time.Second)
+	s.Sweep()
+}
+
+func TestClassifyTable(t *testing.T) {
+	s, _ := testSampler(t, Config{})
+	ext := TCPInfo{Valid: true, Extended: true}
+	cases := []struct {
+		name                 string
+		wrote, backlog       bool
+		occ                  float64
+		streak, retransDelta int64
+		rwndDelta            time.Duration
+		info                 TCPInfo
+		kernelOK             bool
+		want                 State
+	}{
+		{name: "idle healthy", want: StateHealthy},
+		{name: "backlog without progress stalls", backlog: true, want: StateStalled},
+		{name: "backlog with progress is not stalled", backlog: true, wrote: true, want: StateHealthy},
+		{name: "retransmit burst is path limited", wrote: true, retransDelta: 3, info: ext, kernelOK: true, want: StatePathLimited},
+		{name: "retransmits below threshold ignored", wrote: true, retransDelta: 2, info: ext, kernelOK: true, want: StateHealthy},
+		{name: "rwnd limited time is receiver limited", wrote: true, rwndDelta: 500 * time.Millisecond, info: ext, kernelOK: true, want: StateReceiverLimited},
+		{name: "deep ring with drained kernel queue is sender backpressured", wrote: true, occ: 0.75,
+			info: TCPInfo{Valid: true}, kernelOK: true, want: StateSenderBackpressured},
+		{name: "deep ring with kernel backlog is receiver limited", wrote: true, occ: 0.75,
+			info: TCPInfo{Valid: true, NotSentBytes: 1 << 20}, kernelOK: true, want: StateReceiverLimited},
+		{name: "push fail streak without kernel is receiver limited", wrote: true, streak: 2, want: StateReceiverLimited},
+		{name: "deep ring without kernel is receiver limited", wrote: true, occ: 0.9, want: StateReceiverLimited},
+	}
+	for _, tc := range cases {
+		got := s.classify(tc.wrote, tc.backlog, tc.occ, tc.streak, tc.retransDelta,
+			tc.rwndDelta, time.Second, tc.info, tc.kernelOK)
+		if got != tc.want {
+			t.Errorf("%s: classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestHysteresisHoldsAndTransitions drives a tracked (kernel-less) connection
+// through stall and recovery via its userspace counters, asserting the
+// published state only moves after Hold consecutive candidate sweeps.
+func TestHysteresisHoldsAndTransitions(t *testing.T) {
+	s, clk := testSampler(t, Config{Hold: 2})
+	c := s.Register(nil, 1, 8)
+	if c == nil {
+		t.Fatal("Register returned nil for a live sampler")
+	}
+	sweep(s, clk) // seed baseline
+	if got := c.State(); got != StateHealthy {
+		t.Fatalf("fresh conn state = %v, want healthy", got)
+	}
+
+	// Frames pile up with no drain progress: candidate stalled.
+	c.RecordPush(8, true)
+	sweep(s, clk)
+	if got := c.State(); got != StateHealthy {
+		t.Fatalf("state moved after one candidate sweep: %v", got)
+	}
+	sweep(s, clk)
+	if got := c.State(); got != StateStalled {
+		t.Fatalf("state after Hold sweeps = %v, want stalled", got)
+	}
+	if s.StalledRatio() != 1 {
+		t.Fatalf("StalledRatio = %v, want 1", s.StalledRatio())
+	}
+
+	// Drain resumes and the ring empties: back to healthy after Hold.
+	c.RecordDrain(8, 1<<20)
+	sweep(s, clk)
+	c.RecordDrain(8, 1<<20)
+	sweep(s, clk)
+	if got := c.State(); got != StateHealthy {
+		t.Fatalf("state after recovery = %v, want healthy", got)
+	}
+	age := c.StateAge(clk.Now())
+	if age < 0 || age > time.Second {
+		t.Fatalf("state age after transition = %v", age)
+	}
+}
+
+// TestHysteresisSuppressesFlap alternates the stall signal every sweep; with
+// Hold=2 the published state must never leave healthy.
+func TestHysteresisSuppressesFlap(t *testing.T) {
+	s, clk := testSampler(t, Config{Hold: 2})
+	c := s.Register(nil, 1, 8)
+	sweep(s, clk)
+	for i := 0; i < 6; i++ {
+		if i%2 == 0 {
+			c.RecordPush(8, true) // backlog, no progress
+		} else {
+			c.RecordDrain(8, 4096) // progress, ring empty
+		}
+		sweep(s, clk)
+		if got := c.State(); got != StateHealthy {
+			t.Fatalf("sweep %d: flapping signal moved state to %v", i, got)
+		}
+	}
+}
+
+func TestNilSamplerAndConnAreInert(t *testing.T) {
+	var s *Sampler
+	c := s.Register(nil, 1, 8)
+	if c != nil {
+		t.Fatal("nil sampler Register returned non-nil conn")
+	}
+	c.RecordPush(3, true)
+	c.RecordPush(0, false)
+	c.RecordDrain(2, 100)
+	if got := c.State(); got != StateHealthy {
+		t.Fatalf("nil conn state = %v", got)
+	}
+	if c.StateAge(time.Now()) != 0 {
+		t.Fatal("nil conn StateAge != 0")
+	}
+	s.Sweep()
+	s.Start()
+	s.Stop()
+	s.Unregister(c)
+	s.Unregister(nil)
+	if s.Tracked() != 0 || s.StalledRatio() != 0 {
+		t.Fatal("nil sampler reported tracked conns")
+	}
+	sum := s.Snapshot()
+	if sum.Tracked != 0 || len(sum.Conns) != 0 || len(sum.States) != NumStates {
+		t.Fatalf("nil sampler snapshot = %+v", sum)
+	}
+}
+
+func TestUnregisterIdempotentAndCounted(t *testing.T) {
+	s, clk := testSampler(t, Config{Hold: 1})
+	c := s.Register(nil, 1, 4)
+	sweep(s, clk)
+	c.RecordPush(4, true)
+	sweep(s, clk)
+	if got := c.State(); got != StateStalled {
+		t.Fatalf("state = %v, want stalled with Hold=1", got)
+	}
+	s.Unregister(c)
+	s.Unregister(c)
+	if s.Tracked() != 0 {
+		t.Fatalf("Tracked = %d after unregister", s.Tracked())
+	}
+	if counts := s.StateCounts(); counts[StateStalled] != 0 {
+		t.Fatalf("stalled count = %d after unregister", counts[StateStalled])
+	}
+}
+
+func TestSnapshotRowsAndMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, clk := testSampler(t, Config{Hold: 1, Registry: reg})
+	a := s.Register(nil, 1, 8)
+	b := s.Register(nil, 2, 8)
+	sweep(s, clk)
+	a.RecordPush(8, true) // stalls
+	b.RecordPush(1, true)
+	b.RecordDrain(1, 4096) // healthy
+	b.RecordPush(0, false) // one refused push
+	sweep(s, clk)
+
+	sum := s.Snapshot()
+	if sum.Tracked != 2 || len(sum.Conns) != 2 {
+		t.Fatalf("snapshot tracked=%d rows=%d", sum.Tracked, len(sum.Conns))
+	}
+	if sum.Conns[0].ID >= sum.Conns[1].ID {
+		t.Fatal("snapshot rows not sorted by id")
+	}
+	if sum.States["stalled"] != 1 {
+		t.Fatalf("states = %v, want one stalled", sum.States)
+	}
+	if sum.StalledRatio != 0.5 {
+		t.Fatalf("StalledRatio = %v, want 0.5", sum.StalledRatio)
+	}
+
+	vals := map[string]float64{}
+	for _, smp := range reg.Samples() {
+		vals[smp.Name+smp.Labels] = smp.Value
+	}
+	if vals[`conn_state{state="stalled"}`] != 1 {
+		t.Fatalf("conn_state stalled gauge = %v", vals[`conn_state{state="stalled"}`])
+	}
+	if vals["conn_tracked"] != 2 {
+		t.Fatalf("conn_tracked = %v", vals["conn_tracked"])
+	}
+	if vals["conn_stalled_ratio"] != 0.5 {
+		t.Fatalf("conn_stalled_ratio = %v", vals["conn_stalled_ratio"])
+	}
+	if vals["conn_push_fail_total"] != 1 {
+		t.Fatalf("conn_push_fail_total = %v", vals["conn_push_fail_total"])
+	}
+	if vals["conn_drain_bytes_total"] != 4096 {
+		t.Fatalf("conn_drain_bytes_total = %v", vals["conn_drain_bytes_total"])
+	}
+	if vals[`conn_video_tracked{video="1"}`] != 1 || vals[`conn_video_tracked{video="2"}`] != 1 {
+		t.Fatalf("per-video gauges = %v", vals)
+	}
+}
+
+// TestVideoLabelCardinalityCap registers more videos than MaxVideoLabels and
+// asserts the overflow folds into video="other" instead of minting new
+// children.
+func TestVideoLabelCardinalityCap(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, clk := testSampler(t, Config{MaxVideoLabels: 2, Registry: reg})
+	for v := uint32(1); v <= 5; v++ {
+		s.Register(nil, v, 4)
+	}
+	sweep(s, clk)
+	videoChildren, other := 0, 0.0
+	for _, smp := range reg.Samples() {
+		if smp.Name != "conn_video_tracked" {
+			continue
+		}
+		if strings.Contains(smp.Labels, `video="other"`) {
+			other = smp.Value
+			continue
+		}
+		videoChildren++
+	}
+	if videoChildren != 2 {
+		t.Fatalf("video label children = %d, want 2", videoChildren)
+	}
+	if other != 3 {
+		t.Fatalf(`video="other" = %v, want 3`, other)
+	}
+}
+
+func TestEveryStateNameIsValidMetricLabel(t *testing.T) {
+	names := StateNames()
+	if len(names) != NumStates {
+		t.Fatalf("StateNames returned %d names", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || n == "unknown" || seen[n] {
+			t.Fatalf("bad state name %q", n)
+		}
+		seen[n] = true
+	}
+	if State(200).String() != "unknown" {
+		t.Fatal("out-of-range state did not stringify to unknown")
+	}
+}
+
+// TestLoopbackKernelSampling exercises the real TCP_INFO read path over a
+// loopback socket: the sampler must see kernel telemetry and keep a conn
+// whose reader never drains the socket out of the healthy state only via
+// the classifier, not via errors.
+func TestLoopbackKernelSampling(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+
+	s, clk := testSampler(t, Config{})
+	c := s.Register(server, 7, 16)
+	if c.raw == nil {
+		t.Fatal("TCP conn did not yield a raw syscall conn")
+	}
+
+	// Push some traffic so BytesAcked moves.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		io.CopyN(io.Discard, client, 1<<16)
+	}()
+	buf := make([]byte, 1<<16)
+	if _, err := server.Write(buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	<-done
+
+	sweep(s, clk)
+	sweep(s, clk)
+	sum := s.Snapshot()
+	if len(sum.Conns) != 1 {
+		t.Fatalf("rows = %d", len(sum.Conns))
+	}
+	row := sum.Conns[0]
+	if !row.Kernel {
+		t.Fatal("loopback conn sampled without kernel telemetry")
+	}
+	if row.Remote == "" || row.Video != 7 {
+		t.Fatalf("row identity = %+v", row)
+	}
+	info, ok := readTCPInfo(c.raw)
+	if !ok || !info.Valid {
+		t.Fatal("readTCPInfo failed on a live TCP socket")
+	}
+	if info.SndCwnd == 0 {
+		t.Fatal("kernel reported zero congestion window")
+	}
+	if info.BytesAcked == 0 {
+		t.Fatal("kernel reported zero acked bytes after a drained 64 KiB write")
+	}
+}
+
+// TestStartStopLifecycle exercises the ticker goroutine with a real clock.
+func TestStartStopLifecycle(t *testing.T) {
+	s := New(Config{Interval: time.Millisecond})
+	s.Register(nil, 1, 4)
+	s.Start()
+	s.Start() // idempotent
+	time.Sleep(10 * time.Millisecond)
+	s.Stop()
+	s.Stop()
+	if s.Tracked() != 1 {
+		t.Fatalf("Tracked = %d", s.Tracked())
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package conntrack
+
+import "syscall"
+
+// readTCPInfo on non-Linux platforms reports no kernel telemetry; the
+// classifier runs on the userspace ring/drain signals alone.
+func readTCPInfo(syscall.RawConn) (TCPInfo, bool) {
+	return TCPInfo{}, false
+}

@@ -36,6 +36,11 @@ func NewRing(capacity int) *Ring {
 	return r
 }
 
+// Cap reports the ring's frame capacity — the denominator of the occupancy
+// signal the transport telemetry layer classifies against. Immutable after
+// NewRing, so the read takes no lock.
+func (r *Ring) Cap() int { return len(r.buf) }
+
 // Push enqueues one frame reference without blocking and returns the
 // post-push queue depth. It returns ok=false — and takes no ownership, so
 // the caller must Release — when the ring is full or already closed. The

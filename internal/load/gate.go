@@ -48,6 +48,16 @@ type Gate struct {
 	// are skipped, not failed. Defaults 20 and 20.
 	MinSessions int
 	MinSlots    int
+	// ConnStalledBudget bounds the fraction of tracked connections the
+	// server's transport telemetry classifies stalled at the step boundary —
+	// a healthy closed-loop fleet keeps reading, so any stall is the
+	// server's (or the harness's) fault. Default 0.05.
+	ConnStalledBudget float64
+	// ConnRetransBudget bounds mean kernel retransmits per tracked
+	// connection over the step: loopback load runs should see essentially
+	// none, so the default mostly exists for shaped-network profiles.
+	// Default 50.
+	ConnRetransBudget float64
 }
 
 func (g Gate) withDefaults() Gate {
@@ -74,6 +84,12 @@ func (g Gate) withDefaults() Gate {
 	}
 	if g.MinSlots == 0 {
 		g.MinSlots = 20
+	}
+	if g.ConnStalledBudget == 0 {
+		g.ConnStalledBudget = 0.05
+	}
+	if g.ConnRetransBudget == 0 {
+		g.ConnRetransBudget = 50
 	}
 	return g
 }
@@ -116,6 +132,7 @@ type StepResult struct {
 
 	Server  *ServerDelta  `json:"server,omitempty"`
 	History *HistoryDelta `json:"history,omitempty"`
+	Conn    *ConnDelta    `json:"conn,omitempty"`
 	Checks  []Check       `json:"checks,omitempty"`
 	// Gated reports whether the gate evaluated this step; Pass is its
 	// verdict (true when ungated — an ungated step cannot fail).
@@ -190,48 +207,62 @@ func (h *Harness) gateStep(res *StepResult) {
 				fmt.Sprintf("T[1]=%d over %d videos", maxT1, len(periods))))
 	}
 
-	// Bandwidth: each video's measured broadcast load (instances per slot,
-	// from the server-side delta) against the saturation ceiling and the
-	// renewal-model mean at the measured arrival rate.
-	if res.Server == nil {
-		return
+	// Transport health: the server's /connz histogram at the step boundary.
+	// A closed-loop fleet keeps reading, so stalled classifications and
+	// kernel retransmits are budgeted, not expected. Skipped when the sample
+	// is missing (conntrack disabled, an older server) or nothing was
+	// tracked at the boundary.
+	if cd := res.Conn; cd != nil && cd.Tracked > 0 {
+		res.Checks = append(res.Checks,
+			check("conn_stalled_ratio", cd.StalledRatio, g.ConnStalledBudget,
+				fmt.Sprintf("%d of %d tracked connections stalled", cd.States["stalled"], cd.Tracked)),
+			check("conn_retrans_per_conn", cd.RetransPerConn, g.ConnRetransBudget,
+				fmt.Sprintf("%d kernel retransmits over %d connections", cd.Retrans, cd.Tracked)))
 	}
 
-	// Cross-check: the server's retained history must agree with its live
-	// counters over the step. The tolerance absorbs scrape-boundary effects
-	// (requests landing before the first in-window sample); sparse ranges —
-	// short CI smokes, slow scrape intervals — are skipped, not failed.
-	if hd := res.History; hd != nil && hd.Points >= 5 && res.Server.Requests > 0 {
-		hd.StatuszDelta = res.Server.Requests
-		diff := math.Abs(hd.Delta - float64(res.Server.Requests))
-		limit := 0.3*float64(res.Server.Requests) + 10
-		res.Checks = append(res.Checks,
-			check("history_requests_delta", diff, limit,
-				fmt.Sprintf("history %s moved %.0f over %d points, statusz moved %d",
-					hd.Series, hd.Delta, hd.Points, res.Server.Requests)))
-	}
-	slotSec := float64(h.slotMillisLearned()) / 1000
-	for i := range res.Server.PerVideo {
-		v := &res.Server.PerVideo[i]
-		p, ok := periods[v.Video]
-		if !ok || v.Slots < h.cfg.Gate.MinSlots || slotSec <= 0 {
-			continue
+	// Bandwidth: each video's measured broadcast load (instances per slot,
+	// from the server-side delta) against the saturation ceiling and the
+	// renewal-model mean at the measured arrival rate. Both server-side
+	// sections are skipped — not failed — when /statusz was never polled;
+	// the client-side checks above still decide the verdict below.
+	if res.Server != nil {
+		// Cross-check: the server's retained history must agree with its
+		// live counters over the step. The tolerance absorbs scrape-boundary
+		// effects (requests landing before the first in-window sample);
+		// sparse ranges — short CI smokes, slow scrape intervals — are
+		// skipped, not failed.
+		if hd := res.History; hd != nil && hd.Points >= 5 && res.Server.Requests > 0 {
+			hd.StatuszDelta = res.Server.Requests
+			diff := math.Abs(hd.Delta - float64(res.Server.Requests))
+			limit := 0.3*float64(res.Server.Requests) + 10
+			res.Checks = append(res.Checks,
+				check("history_requests_delta", diff, limit,
+					fmt.Sprintf("history %s moved %.0f over %d points, statusz moved %d",
+						hd.Series, hd.Delta, hd.Points, res.Server.Requests)))
 		}
-		sat, err := analysis.DHBSaturated(p)
-		if err != nil {
-			continue
-		}
-		v.Saturated = sat
-		res.Checks = append(res.Checks,
-			check(fmt.Sprintf("bandwidth_saturated_video_%d", v.Video), v.Load, sat*(1+g.SaturatedTolerance),
-				fmt.Sprintf("measured %.3f streams over %d slots, H ceiling %.3f", v.Load, v.Slots, sat)))
-		if v.RatePerHour > 0 {
-			mean, err := analysis.DHBMean(p, v.RatePerHour, slotSec)
-			if err == nil {
-				v.MeanEnvelope = mean
-				res.Checks = append(res.Checks,
-					check(fmt.Sprintf("bandwidth_mean_video_%d", v.Video), v.Load, mean*(1+g.MeanTolerance)+g.MeanSlackStreams,
-						fmt.Sprintf("renewal model %.3f streams at %.0f req/h", mean, v.RatePerHour)))
+		slotSec := float64(h.slotMillisLearned()) / 1000
+		for i := range res.Server.PerVideo {
+			v := &res.Server.PerVideo[i]
+			p, ok := periods[v.Video]
+			if !ok || v.Slots < h.cfg.Gate.MinSlots || slotSec <= 0 {
+				continue
+			}
+			sat, err := analysis.DHBSaturated(p)
+			if err != nil {
+				continue
+			}
+			v.Saturated = sat
+			res.Checks = append(res.Checks,
+				check(fmt.Sprintf("bandwidth_saturated_video_%d", v.Video), v.Load, sat*(1+g.SaturatedTolerance),
+					fmt.Sprintf("measured %.3f streams over %d slots, H ceiling %.3f", v.Load, v.Slots, sat)))
+			if v.RatePerHour > 0 {
+				mean, err := analysis.DHBMean(p, v.RatePerHour, slotSec)
+				if err == nil {
+					v.MeanEnvelope = mean
+					res.Checks = append(res.Checks,
+						check(fmt.Sprintf("bandwidth_mean_video_%d", v.Video), v.Load, mean*(1+g.MeanTolerance)+g.MeanSlackStreams,
+							fmt.Sprintf("renewal model %.3f streams at %.0f req/h", mean, v.RatePerHour)))
+				}
 			}
 		}
 	}
@@ -334,9 +365,25 @@ type HistoryDelta struct {
 // comparison observe the same server.
 const historySeries = "vod_requests_total"
 
+// ConnDelta is the transport-telemetry sample taken at the step boundary:
+// the /connz state histogram plus the aggregate evidence the gate budgets.
+// Unlike the counter deltas it is a point-in-time sample — connections
+// churn too fast across a step for per-connection subtraction to mean
+// anything.
+type ConnDelta struct {
+	Tracked      int            `json:"tracked"`
+	States       map[string]int `json:"states,omitempty"`
+	StalledRatio float64        `json:"stalled_ratio"`
+	// Retrans sums the kernel retransmit counters across the tracked set;
+	// RetransPerConn is the mean the gate compares against its budget.
+	Retrans        uint64  `json:"retrans_total"`
+	RetransPerConn float64 `json:"retrans_per_conn"`
+}
+
 type statusPoller struct {
 	url      string
 	queryURL string
+	connzURL string
 	client   *http.Client
 }
 
@@ -349,8 +396,45 @@ func newStatusPoller(addr string) *statusPoller {
 	return &statusPoller{
 		url:      "http://" + addr + "/statusz",
 		queryURL: "http://" + addr + "/queryz",
+		connzURL: "http://" + addr + "/connz",
 		client:   &http.Client{Timeout: 5 * time.Second},
 	}
+}
+
+// conns samples /connz at a step boundary; nil on any failure — conntrack
+// disabled (503), an older server without the endpoint (404) — which skips
+// the transport checks for the step.
+func (p *statusPoller) conns() *ConnDelta {
+	if p == nil {
+		return nil
+	}
+	resp, err := p.client.Get(p.connzURL)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var body struct {
+		Tracked      int            `json:"tracked"`
+		States       map[string]int `json:"states"`
+		StalledRatio float64        `json:"stalled_ratio"`
+		Conns        []struct {
+			Retrans uint32 `json:"retrans_total"`
+		} `json:"conns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil
+	}
+	cd := &ConnDelta{Tracked: body.Tracked, States: body.States, StalledRatio: body.StalledRatio}
+	for _, c := range body.Conns {
+		cd.Retrans += uint64(c.Retrans)
+	}
+	if body.Tracked > 0 {
+		cd.RetransPerConn = float64(cd.Retrans) / float64(body.Tracked)
+	}
+	return cd
 }
 
 // history runs one /queryz range query over the step window; nil on any

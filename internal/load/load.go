@@ -316,6 +316,7 @@ func (h *Harness) Run(done <-chan struct{}) (*Report, error) {
 		stepEnd := time.Now()
 		res.Server = poller.delta(before, res.DurationSeconds)
 		res.History = poller.history(stepStart, stepEnd)
+		res.Conn = poller.conns()
 		h.gateStep(&res)
 		if h.cfg.StepLog != nil {
 			if b, err := json.Marshal(res); err == nil {

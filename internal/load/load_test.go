@@ -441,6 +441,127 @@ func TestStatusPollerHistory(t *testing.T) {
 	}
 }
 
+// TestGateConnBudgets: the transport checks budget the /connz histogram —
+// present on a tracked sample, failing over either budget, skipped when the
+// sample is missing or empty.
+func TestGateConnBudgets(t *testing.T) {
+	h := testHarness(t, Gate{})
+	res := healthyStep()
+	res.Conn = &ConnDelta{
+		Tracked:      10,
+		States:       map[string]int{"healthy": 10},
+		StalledRatio: 0,
+	}
+	h.gateStep(&res)
+	if !res.Pass {
+		t.Fatalf("healthy transport failed: %+v", res.Checks)
+	}
+	names := map[string]bool{}
+	for _, c := range res.Checks {
+		names[c.Name] = true
+	}
+	if !names["conn_stalled_ratio"] || !names["conn_retrans_per_conn"] {
+		t.Fatalf("conn checks missing: %v", names)
+	}
+
+	// A stall past the budget fails the step even when everything else is
+	// green.
+	res = healthyStep()
+	res.Conn = &ConnDelta{
+		Tracked:      10,
+		States:       map[string]int{"healthy": 8, "stalled": 2},
+		StalledRatio: 0.2,
+	}
+	h.gateStep(&res)
+	if res.Pass {
+		t.Fatal("stalled fleet passed the gate")
+	}
+	for _, c := range res.Checks {
+		if c.Name == "conn_stalled_ratio" && c.Pass {
+			t.Fatalf("stalled check passed at ratio 0.2: %+v", c)
+		}
+	}
+
+	// Retransmit storms budget the same way.
+	res = healthyStep()
+	res.Conn = &ConnDelta{Tracked: 4, States: map[string]int{"path_limited": 4}, Retrans: 400, RetransPerConn: 100}
+	h.gateStep(&res)
+	if res.Pass {
+		t.Fatal("retransmit storm passed the gate")
+	}
+
+	// Missing or empty samples skip the checks, not fail them.
+	for _, cd := range []*ConnDelta{nil, {Tracked: 0}} {
+		res = healthyStep()
+		res.Conn = cd
+		h.gateStep(&res)
+		if !res.Pass {
+			t.Fatalf("conn sample %+v failed the step", cd)
+		}
+		for _, c := range res.Checks {
+			if strings.HasPrefix(c.Name, "conn_") {
+				t.Fatalf("conn check emitted without a tracked sample: %+v", c)
+			}
+		}
+	}
+}
+
+// TestGateFailsWithoutServerDelta pins the verdict path when /statusz was
+// never polled: client-side failures must still fail the step.
+func TestGateFailsWithoutServerDelta(t *testing.T) {
+	h := testHarness(t, Gate{})
+	res := healthyStep()
+	res.Server = nil
+	res.Misses = 50
+	res.MissesPerSession = 0.5
+	h.gateStep(&res)
+	if res.Pass {
+		t.Fatal("missing-deadline step passed without a server delta")
+	}
+}
+
+// TestStatusPollerConns: the poller turns one /connz document into a
+// ConnDelta, and any failure — conntrack disabled, an old server — degrades
+// to nil.
+func TestStatusPollerConns(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/connz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(`{"tracked":3,
+			"states":{"healthy":2,"stalled":1},
+			"stalled_ratio":0.3333,
+			"conns":[{"id":1,"retrans_total":2},{"id":2,"retrans_total":0},{"id":3,"retrans_total":4}]}`))
+	}))
+	defer srv.Close()
+
+	cd := newStatusPoller(strings.TrimPrefix(srv.URL, "http://")).conns()
+	if cd == nil {
+		t.Fatal("connz sample failed")
+	}
+	if cd.Tracked != 3 || cd.States["stalled"] != 1 || cd.StalledRatio != 0.3333 {
+		t.Fatalf("conn delta = %+v", cd)
+	}
+	if cd.Retrans != 6 || cd.RetransPerConn != 2 {
+		t.Fatalf("retrans aggregate = %+v", cd)
+	}
+
+	// Conntrack disabled answers 503 → nil, like a server without /connz.
+	srv503 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "conntrack disabled", http.StatusServiceUnavailable)
+	}))
+	defer srv503.Close()
+	if cd := newStatusPoller(strings.TrimPrefix(srv503.URL, "http://")).conns(); cd != nil {
+		t.Fatalf("503 produced conn delta %+v", cd)
+	}
+
+	var none *statusPoller
+	if none.conns() != nil {
+		t.Fatal("nil poller returned a conn delta")
+	}
+}
+
 // TestStepResultJSON: the JSONL record round-trips with stable field names
 // — the contract vodtop and BENCH_load.json consumers parse.
 func TestStepResultJSON(t *testing.T) {

@@ -352,9 +352,16 @@ func (e *AlertEngine) Snapshot() []AlertStatus {
 			op = "stale"
 			threshold = s.rule.Stale.Seconds()
 		}
+		value := s.value
+		if math.IsNaN(value) {
+			// NaN is the engine's "no data" sentinel; JSON has no NaN, so
+			// the no-data level renders as zero (the state already says
+			// inactive).
+			value = 0
+		}
 		out = append(out, AlertStatus{
 			Name: s.rule.Name, Severity: s.rule.Severity, Help: s.rule.Help,
-			State: s.state, Value: s.value,
+			State: s.state, Value: value,
 			Threshold: threshold, Op: op,
 			Since: s.enteredAt.Sub(e.started).Seconds(),
 			Fired: s.fired,

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"time"
@@ -136,6 +137,14 @@ func TestAlertBelowOpAndNaN(t *testing.T) {
 	e.Eval()
 	if got := stateOf(t, e, "throughput_low"); got.State != StateInactive {
 		t.Fatalf("NaN state = %s, want inactive (no data never fires)", got.State)
+	}
+	// The no-data level must stay JSON-encodable: /alertz serves Snapshot
+	// verbatim and encoding/json refuses NaN.
+	if got := stateOf(t, e, "throughput_low"); got.Value != 0 {
+		t.Fatalf("no-data snapshot value = %v, want 0", got.Value)
+	}
+	if _, err := json.Marshal(e.Snapshot()); err != nil {
+		t.Fatalf("no-data snapshot not JSON-encodable: %v", err)
 	}
 	level = 2
 	e.Eval()

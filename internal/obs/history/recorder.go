@@ -51,6 +51,10 @@ type RecorderConfig struct {
 	Spans func() []obs.SpanRecord
 	// Alerts supplies the alert table (alerts.json).
 	Alerts func() []obs.AlertStatus
+	// Conns supplies a rendered per-connection transport telemetry snapshot
+	// (conns.json), normally the same bytes /connz serves — the evidence a
+	// stall-attribution postmortem needs.
+	Conns func() ([]byte, error)
 	// Clock stamps bundles and drives the cooldown; nil selects time.Now.
 	Clock func() time.Time
 }
@@ -225,6 +229,18 @@ func (r *Recorder) capture(reason string, now time.Time) (string, error) {
 	if r.cfg.Alerts != nil {
 		if err := write("alerts.json", func(f *os.File) error {
 			return json.NewEncoder(f).Encode(r.cfg.Alerts())
+		}); err != nil {
+			return "", err
+		}
+	}
+	if r.cfg.Conns != nil {
+		if err := write("conns.json", func(f *os.File) error {
+			b, err := r.cfg.Conns()
+			if err != nil {
+				return err
+			}
+			_, err = f.Write(b)
+			return err
 		}); err != nil {
 			return "", err
 		}

@@ -106,9 +106,10 @@ type ring struct {
 	curSet   bool
 }
 
-// seriesCost is the resident-byte estimate charged per admitted series: three
+// SeriesCost is the resident-byte estimate charged per admitted series: three
 // rings of pointsPerTier points (16 bytes each) plus map/key overhead.
-const seriesCost = 3*pointsPerTier*16 + 256
+// Exported so callers can size Config.MaxBytes in whole-series units.
+const SeriesCost = 3*pointsPerTier*16 + 256
 
 // New returns a store on cfg. It panics if cfg.Samples is nil: a store with
 // no scrape source is a programming error, caught by the first test.
@@ -204,7 +205,7 @@ func (s *Store) Scrape() {
 		key := sm.Name + sm.Labels
 		sr, ok := s.series[key]
 		if !ok {
-			if s.bytes+seriesCost > s.maxBytes {
+			if s.bytes+SeriesCost > s.maxBytes {
 				s.droppedSeries++
 				continue
 			}
@@ -214,7 +215,7 @@ func (s *Store) Scrape() {
 				t60: ring{period: tier60Period},
 			}
 			s.series[key] = sr
-			s.bytes += seriesCost
+			s.bytes += SeriesCost
 		}
 		sr.raw.push(Point{Unix: unix(now), Value: sm.Value})
 		sr.t10.fold(now, sm.Value)

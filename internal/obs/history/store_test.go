@@ -164,9 +164,12 @@ func TestStoreByteCapRefusesNewSeries(t *testing.T) {
 	reg.Gauge("a", "").Set(1)
 	reg.Gauge("b", "").Set(2)
 	reg.Gauge("c", "").Set(3)
-	// Budget for exactly two series.
-	s, _ := newTestStore(t, reg, Config{MaxBytes: 2 * seriesCost})
+	// Budget for exactly two series. Samples walks families in sorted name
+	// order, so admission is deterministic: a and b land, c is refused.
+	s, clk := newTestStore(t, reg, Config{MaxBytes: 2 * SeriesCost})
+	start := clk.Now()
 	s.Scrape()
+	clk.Advance(time.Second)
 	s.Scrape()
 
 	st := s.Stats()
@@ -182,9 +185,21 @@ func TestStoreByteCapRefusesNewSeries(t *testing.T) {
 	if st.Scrapes != 2 {
 		t.Fatalf("Scrapes = %d, want 2", st.Scrapes)
 	}
-	// Established series keep updating despite the cap.
-	if got := len(s.Series()); got != 2 {
-		t.Fatalf("Series() lists %d, want 2", got)
+	// The listing carries exactly the admitted identities — a refused series
+	// never appears, so /queryz discovery cannot advertise data that was
+	// never retained.
+	got := s.Series()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Series() = %v, want [a b]", got)
+	}
+	// Querying the refused series answers like any unknown series: nil, not
+	// a partial window.
+	if pts := s.Query("c", start, clk.Now(), 0); pts != nil {
+		t.Fatalf("refused series returned points: %+v", pts)
+	}
+	// Established series keep updating despite the cap: both scrapes landed.
+	if pts := s.Query("a", start, clk.Now(), 0); len(pts) != 2 {
+		t.Fatalf("admitted series has %d points, want 2: %+v", len(pts), pts)
 	}
 }
 

@@ -152,21 +152,28 @@ func TestParallelTickChurn(t *testing.T) {
 	}
 
 	// The same accounting must surface through the exposition endpoint —
-	// the per-worker tallies merge into the registry counters too.
+	// the per-worker tallies merge into the registry counters too. The drop
+	// counter is reason-labelled, so its scrape sums every child.
 	_, body := get(t, s, "/metricsz")
 	scrape := func(name string) int64 {
+		var total int64
+		found := false
 		for _, line := range strings.Split(body, "\n") {
-			if strings.HasPrefix(line, name+" ") {
-				fields := strings.Fields(line)
-				v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
-				if err != nil {
-					t.Fatalf("bad exposition line %q: %v", line, err)
-				}
-				return int64(v)
+			if !strings.HasPrefix(line, name+" ") && !strings.HasPrefix(line, name+"{") {
+				continue
 			}
+			fields := strings.Fields(line)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("bad exposition line %q: %v", line, err)
+			}
+			total += int64(v)
+			found = true
 		}
-		t.Fatalf("/metricsz missing %s", name)
-		return -1
+		if !found {
+			t.Fatalf("/metricsz missing %s", name)
+		}
+		return total
 	}
 	if got := scrape("vod_requests_total"); got != st.Requests {
 		t.Fatalf("Stats().Requests = %d but /metricsz reports %d", st.Requests, got)

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"vodcast/internal/conntrack"
 	"vodcast/internal/fanout"
 )
 
@@ -66,9 +67,9 @@ func TestDrainZeroAlloc(t *testing.T) {
 		if !open {
 			t.Fatal("ring closed unexpectedly")
 		}
-		sent, err := writeFrames(conn, &vec, frames, -1)
-		if err != nil || !sent {
-			t.Fatalf("writeFrames sent=%v err=%v", sent, err)
+		sent, n, err := writeFrames(conn, &vec, frames, -1)
+		if err != nil || !sent || n == 0 {
+			t.Fatalf("writeFrames sent=%v n=%d err=%v", sent, n, err)
 		}
 		for _, g := range frames {
 			g.Release()
@@ -102,18 +103,18 @@ func TestWriteFramesFiltersAdmitSlot(t *testing.T) {
 			f.Release()
 		}
 	}()
-	sent, err := writeFrames(discardConn{}, &vec, frames, 3)
+	sent, n, err := writeFrames(discardConn{}, &vec, frames, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sent {
+	if sent || n != 0 {
 		t.Fatal("writeFrames reported a send with every frame at or before the admit slot")
 	}
-	sent, err = writeFrames(discardConn{}, &vec, frames, 1)
+	sent, n, err = writeFrames(discardConn{}, &vec, frames, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !sent {
+	if !sent || n == 0 {
 		t.Fatal("writeFrames skipped frames past the admit slot")
 	}
 	if len(vec) != 0 || cap(vec) < 2 {
@@ -147,8 +148,61 @@ func BenchmarkDrainRing(b *testing.B) {
 		if !open {
 			b.Fatal("ring closed unexpectedly")
 		}
-		if _, err := writeFrames(conn, &vec, frames, -1); err != nil {
+		if _, _, err := writeFrames(conn, &vec, frames, -1); err != nil {
 			b.Fatal(err)
+		}
+		for _, g := range frames {
+			g.Release()
+		}
+	}
+	for i := 0; i < 8; i++ {
+		cycle(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle(i)
+	}
+}
+
+// BenchmarkDrainRingConntrackDisabled is the disabled-path A/B subject behind
+// BENCH_conn.json: the same steady-state drain cycle with the transport
+// telemetry hooks a ConntrackDisabled server actually executes — a nil *Conn
+// RecordPush on the producer side and RecordDrain on the consumer side, each
+// one predictable branch. The budget against BenchmarkDrainRing is <2% and
+// 0 allocs/op (make bench-conn).
+func BenchmarkDrainRingConntrackDisabled(b *testing.B) {
+	enc, ring := drainFixture(b)
+	var (
+		conn   net.Conn = discardConn{}
+		vec    net.Buffers
+		frames []*fanout.Frame
+		ct     *conntrack.Conn
+	)
+	segments := []int{1, 2, 3, 4, 5}
+	cycle := func(slot int) {
+		f, err := enc.EncodeSlot(1, slot, segments, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Retain()
+		depth, ok := ring.Push(f)
+		ct.RecordPush(depth, ok)
+		if !ok {
+			b.Fatal("push failed on drained ring")
+		}
+		f.Release()
+		var open bool
+		frames, open = ring.PopAll(frames[:0])
+		if !open {
+			b.Fatal("ring closed unexpectedly")
+		}
+		sent, n, err := writeFrames(conn, &vec, frames, -1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sent {
+			ct.RecordDrain(len(frames), n)
 		}
 		for _, g := range frames {
 			g.Release()

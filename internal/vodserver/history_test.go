@@ -168,16 +168,101 @@ func TestQueryzEndpoint(t *testing.T) {
 		t.Fatalf("unknown series points: %v %+v", err, rng.Points)
 	}
 
-	// Parameter validation.
-	for _, bad := range []string{
-		"/queryz?series=x&from=notatime",
-		"/queryz?series=x&to=alsonot",
-		"/queryz?series=x&step=sideways",
-		"/queryz?series=x&step=-5s",
+	// Parameter validation: every rejected shape answers 400 without
+	// touching the store, and the boundary-adjacent valid shapes still pass.
+	for _, tc := range []struct {
+		name string
+		url  string
+		want int
+	}{
+		{"from not a time", "/queryz?series=x&from=notatime", http.StatusBadRequest},
+		{"to not a time", "/queryz?series=x&to=alsonot", http.StatusBadRequest},
+		{"step not a duration", "/queryz?series=x&step=sideways", http.StatusBadRequest},
+		{"step negative", "/queryz?series=x&step=-5s", http.StatusBadRequest},
+		{"step zero", "/queryz?series=x&step=0", http.StatusBadRequest},
+		{"step zero with unit", "/queryz?series=x&step=0s", http.StatusBadRequest},
+		{"from after to", "/queryz?series=x&from=2000000000&to=1000000000", http.StatusBadRequest},
+		{"from after to rfc3339", "/queryz?series=x&from=2026-01-02T00:00:00Z&to=2026-01-01T00:00:00Z", http.StatusBadRequest},
+		{"from equals to is valid", "/queryz?series=x&from=1000000000&to=1000000000", http.StatusOK},
+		{"positive step is valid", "/queryz?series=x&step=5s", http.StatusOK},
+		{"unix float bounds are valid", "/queryz?series=x&from=1000000000.5&to=2000000000.5", http.StatusOK},
 	} {
-		if code, _ := get(t, s, bad); code != http.StatusBadRequest {
-			t.Fatalf("GET %s = %d, want 400", bad, code)
+		if code, _ := get(t, s, tc.url); code != tc.want {
+			t.Fatalf("%s: GET %s = %d, want %d", tc.name, tc.url, code, tc.want)
 		}
+	}
+}
+
+// TestQueryzSeriesCapExcludesRefused pins the series-cap refusal accounting
+// through the HTTP surface: a store capped well below the registry's family
+// count admits only the first few series, counts every refusal, and the
+// /queryz discovery listing advertises exactly the admitted identities —
+// never a refused series with no retained data behind it.
+func TestQueryzSeriesCapExcludesRefused(t *testing.T) {
+	s, err := Start(Config{
+		Addr:            "127.0.0.1:0",
+		Videos:          []VideoConfig{{ID: 1, Segments: 6, SegmentBytes: 64}},
+		SlotDuration:    10 * time.Millisecond,
+		StatsAddr:       "127.0.0.1:0",
+		HistoryInterval: 20 * time.Millisecond,
+		// Room for three series; the registry exports far more.
+		HistoryMaxBytes: 3 * history.SeriesCost,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	waitFor(t, "history scrapes", func() bool {
+		return s.History().Stats().Scrapes >= 2
+	})
+
+	code, body := get(t, s, "/queryz")
+	if code != http.StatusOK {
+		t.Fatalf("queryz = %d", code)
+	}
+	var idx queryzIndex
+	if err := json.Unmarshal([]byte(body), &idx); err != nil {
+		t.Fatalf("queryz body: %v\n%s", err, body)
+	}
+	if len(idx.Series) != 3 {
+		t.Fatalf("capped listing advertises %d series, want 3: %v", len(idx.Series), idx.Series)
+	}
+	if idx.Stats.DroppedSeries == 0 {
+		t.Fatalf("no refusals counted despite the cap: %+v", idx.Stats)
+	}
+	if idx.Stats.Bytes > idx.Stats.MaxBytes {
+		t.Fatalf("resident bytes %d exceed cap %d", idx.Stats.Bytes, idx.Stats.MaxBytes)
+	}
+	// vod_uptime_seconds sorts far past the first three families, so the cap
+	// must have refused it — the listing is how an operator learns that.
+	for _, name := range idx.Series {
+		if name == "vod_uptime_seconds" {
+			t.Fatalf("refused series leaked into the listing: %v", idx.Series)
+		}
+	}
+	// Querying a refused series over HTTP is a valid empty range, not an
+	// error and not fabricated points.
+	code, body = get(t, s, "/queryz?series=vod_uptime_seconds")
+	if code != http.StatusOK {
+		t.Fatalf("refused-series query = %d", code)
+	}
+	var rng queryzRange
+	if err := json.Unmarshal([]byte(body), &rng); err != nil {
+		t.Fatalf("queryz range body: %v", err)
+	}
+	if len(rng.Points) != 0 {
+		t.Fatalf("refused series served %d points", len(rng.Points))
+	}
+	// An admitted series answers with real points over the same surface.
+	code, body = get(t, s, "/queryz?series="+idx.Series[0])
+	if code != http.StatusOK {
+		t.Fatalf("admitted-series query = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &rng); err != nil {
+		t.Fatalf("queryz range body: %v", err)
+	}
+	if len(rng.Points) < 2 {
+		t.Fatalf("admitted series %q has %d points, want >= 2", idx.Series[0], len(rng.Points))
 	}
 }
 

@@ -56,6 +56,29 @@ func (s *Server) armAlerts() error {
 	if err := s.alerts.Add(burn); err != nil {
 		return err
 	}
+	// The stall alert watches the transport classifier's aggregate: the
+	// fraction of tracked connections whose published state is stalled. The
+	// ratio resolves on its own as stalled subscribers are dropped or
+	// recover, so the rule walks firing → resolved without operator action.
+	if s.ct != nil {
+		stalledRatio := s.cfg.ConnStalledRatio
+		if stalledRatio == 0 {
+			stalledRatio = 0.5
+		}
+		stalled := obs.AlertRule{
+			Name:     "conn_stalled_ratio",
+			Severity: "critical",
+			Help: fmt.Sprintf(
+				"more than %g of tracked subscriber connections are stalled (backlog with no forward progress)", stalledRatio),
+			Value:     s.ct.StalledRatio,
+			Op:        obs.CmpAbove,
+			Threshold: stalledRatio,
+			For:       s.cfg.AlertFor,
+		}
+		if err := s.alerts.Add(stalled); err != nil {
+			return err
+		}
+	}
 	if s.cfg.ReportStaleAfter > 0 {
 		stale := obs.StalenessRule("client_reports_stale",
 			func() float64 { return s.mReports.Value() }, s.cfg.ReportStaleAfter)

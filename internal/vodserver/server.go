@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vodcast/internal/conntrack"
 	"vodcast/internal/core"
 	"vodcast/internal/fanout"
 	"vodcast/internal/obs"
@@ -169,6 +170,19 @@ type Config struct {
 	// FlightKeep bounds retained bundle directories; 0 selects the recorder
 	// default (8).
 	FlightKeep int
+	// ConntrackDisabled turns off per-subscriber transport telemetry: no
+	// TCP_INFO sampling, no conn_* metric families, /connz answers 503 and
+	// dropped subscribers are attributed reason="untracked". The disabled
+	// path costs one nil check per fan-out push and drain batch.
+	ConntrackDisabled bool
+	// ConntrackInterval is the transport telemetry sampling period; 0
+	// selects the conntrack default (1s).
+	ConntrackInterval time.Duration
+	// ConnStalledRatio is the fraction of tracked connections classified
+	// stalled at which the conn_stalled_ratio alert trips (and, with a
+	// FlightDir armed, captures a diagnostic bundle carrying conns.json).
+	// 0 selects 0.5.
+	ConnStalledRatio float64
 }
 
 // DefaultSpanSampleEvery is the admission span sampling period when the
@@ -242,6 +256,35 @@ type subscriber struct {
 	lastSlot atomic.Int64
 	// admitted stamps the admission for the first-byte latency histogram.
 	admitted time.Time
+	// ct is the transport telemetry handle: the fan-out and drain paths feed
+	// it ring depth and progress signals, and the drop path reads the last
+	// classified state as the disconnect reason. nil when conntrack is
+	// disabled — every touch point is nil-safe.
+	ct *conntrack.Conn
+}
+
+// Dropped-subscriber attribution: the reason label on
+// vod_dropped_subscribers_total is the connection's last classified
+// transport state at drop time, or "untracked" when conntrack is disabled
+// (or the drop won before the subscriber was ever registered).
+const (
+	dropReasonUntracked = conntrack.NumStates
+	numDropReasons      = conntrack.NumStates + 1
+)
+
+func dropReasonName(r int) string {
+	if r < conntrack.NumStates {
+		return conntrack.State(r).String()
+	}
+	return "untracked"
+}
+
+// dropReason resolves the reason index for one dropped subscriber.
+func dropReason(sub *subscriber) int {
+	if sub.ct == nil {
+		return dropReasonUntracked
+	}
+	return int(sub.ct.State())
 }
 
 // fanoutTally accumulates one worker's per-tick broadcast accounting,
@@ -251,9 +294,11 @@ type subscriber struct {
 type fanoutTally struct {
 	instances int64
 	bytes     int64
-	drops     int64
-	maxDepth  int64
-	_         [32]byte
+	// dropsBy counts dropped subscribers by attribution reason (last
+	// classified transport state, or untracked).
+	dropsBy  [numDropReasons]int64
+	maxDepth int64
+	_        [32]byte
 }
 
 // retireEntry queues a subscriber for detachment after a span walk: drop
@@ -295,12 +340,15 @@ type Server struct {
 	mRejects        *obs.Counter
 	mInstances      *obs.Counter
 	mBroadcastBytes *obs.Counter
-	mDropped        *obs.Counter
-	mAdmitLatency   *obs.Histogram
-	mFanout         *obs.Histogram
-	mReports        *obs.Counter
-	mClientStartup  *obs.Histogram
-	mClientSlack    *obs.Histogram
+	// mDroppedBy are the reason-labelled children of
+	// vod_dropped_subscribers_total, indexed by drop reason and bound at
+	// startup so the drop path never touches the registry's name map.
+	mDroppedBy     [numDropReasons]*obs.Counter
+	mAdmitLatency  *obs.Histogram
+	mFanout        *obs.Histogram
+	mReports       *obs.Counter
+	mClientStartup *obs.Histogram
+	mClientSlack   *obs.Histogram
 	// ringDepth is the fan-out ring depth high-watermark behind the
 	// vod_fanout_ring_depth_max GaugeFunc: the hot path Records, each scrape
 	// Reads-and-resets, so a one-tick depth spike between scrapes survives
@@ -312,6 +360,12 @@ type Server struct {
 	// Both are nil when disabled — every touch point is nil-safe.
 	history  *history.Store
 	recorder *history.Recorder
+
+	// ct samples per-subscriber transport telemetry (kernel TCP_INFO plus
+	// ring/drain signals) and classifies each connection; it is the source
+	// of /connz, the conn_* families and the conn_stalled_ratio alert. nil
+	// when Config.ConntrackDisabled — every touch point is nil-safe.
+	ct *conntrack.Sampler
 
 	// enc is the zero-copy slot encoder (pre-generated payloads, pooled
 	// ref-counted frames); ref is the retained allocating path, built
@@ -492,8 +546,6 @@ func Start(cfg Config) (*Server, error) {
 			"Segment instances transmitted across all videos."),
 		mBroadcastBytes: reg.Counter("vod_broadcast_bytes_total",
 			"Payload bytes transmitted, counted once per instance regardless of fan-out."),
-		mDropped: reg.Counter("vod_dropped_subscribers_total",
-			"Subscribers disconnected for falling a full buffer behind."),
 		mAdmitLatency: reg.Histogram("vod_admit_first_byte_seconds",
 			"Latency from request admission to the first broadcast byte reaching the subscriber.", nil),
 		mFanout: reg.Histogram("vod_fanout_seconds",
@@ -531,6 +583,22 @@ func Start(cfg Config) (*Server, error) {
 	}
 	s.tallies = make([]fanoutTally, nw)
 	s.retire = make([][]retireEntry, nw)
+	// Pre-register every reason child of the drop counter so the exposition
+	// inventory (and the metric-name lint walking it) is complete from boot,
+	// not from the first drop.
+	for r := 0; r < numDropReasons; r++ {
+		s.mDroppedBy[r] = reg.CounterWith("vod_dropped_subscribers_total",
+			"Subscribers disconnected for falling a full buffer behind, by last classified transport state.",
+			obs.Labels{"reason": dropReasonName(r)})
+	}
+	// The sampler exists before armAlerts so the conn_stalled_ratio rule can
+	// watch it.
+	if !cfg.ConntrackDisabled {
+		s.ct = conntrack.New(conntrack.Config{
+			Interval: cfg.ConntrackInterval,
+			Registry: reg,
+		})
+	}
 	if err := s.armAlerts(); err != nil {
 		ln.Close()
 		return nil, fmt.Errorf("vodserver: %w", err)
@@ -567,7 +635,7 @@ func Start(cfg Config) (*Server, error) {
 		})
 	}
 	if cfg.FlightDir != "" {
-		rec, err := history.NewRecorder(history.RecorderConfig{
+		recCfg := history.RecorderConfig{
 			Dir:      cfg.FlightDir,
 			Cooldown: cfg.FlightCooldown,
 			Keep:     cfg.FlightKeep,
@@ -577,7 +645,13 @@ func Start(cfg Config) (*Server, error) {
 			},
 			Spans:  func() []obs.SpanRecord { return s.spans.Recent(0) },
 			Alerts: func() []obs.AlertStatus { return s.alerts.Snapshot() },
-		})
+		}
+		if s.ct != nil {
+			recCfg.Conns = func() ([]byte, error) {
+				return json.MarshalIndent(s.ct.Snapshot(), "", "  ")
+			}
+		}
+		rec, err := history.NewRecorder(recCfg)
 		if err != nil {
 			ln.Close()
 			return nil, fmt.Errorf("vodserver: %w", err)
@@ -593,6 +667,7 @@ func Start(cfg Config) (*Server, error) {
 		})
 	}
 	s.history.Start()
+	s.ct.Start()
 	if cfg.StatsAddr != "" {
 		statsLn, err := s.serveStats(cfg.StatsAddr)
 		if err != nil {
@@ -732,6 +807,10 @@ func (s *Server) Alerts() *obs.AlertEngine { return s.alerts }
 // Config.HistoryDisabled was set.
 func (s *Server) History() *history.Store { return s.history }
 
+// Conns exposes the transport telemetry sampler behind /connz, or nil when
+// Config.ConntrackDisabled was set.
+func (s *Server) Conns() *conntrack.Sampler { return s.ct }
+
 // FlightRecord forces a diagnostic bundle capture (bypassing the alert
 // cooldown) and returns the bundle directory. It errors when no FlightDir
 // was configured — the SIGQUIT and /debug/flightrecord paths surface that
@@ -777,6 +856,7 @@ func (s *Server) Close() error {
 		// on, so a late registration can never hold a ring no producer ever
 		// closes — and surfaces every live subscriber exactly once.
 		for _, sub := range v.subs.Close() {
+			s.ct.Unregister(sub.ct)
 			if sub.ring != nil {
 				sub.ring.Close()
 				continue
@@ -798,6 +878,7 @@ func (s *Server) Close() error {
 	// joined worker spans — to finish before the pool is torn down.
 	s.alerts.Stop()
 	s.history.Stop()
+	s.ct.Stop()
 	s.station.Close()
 	if s.workers != nil {
 		s.workers.Close()
@@ -927,6 +1008,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			return
 		}
+		sub.ct.RecordDrain(1, int64(len(batch.data)))
 		if !firstByte {
 			firstByte = true
 			lat := time.Since(sub.admitted).Seconds()
@@ -962,7 +1044,7 @@ func (s *Server) drainRing(conn net.Conn, videoID uint32, sub *subscriber, admit
 	for {
 		var open bool
 		frames, open = sub.ring.PopAll(frames[:0])
-		sent, err := writeFrames(conn, &vec, frames, admitSlot)
+		sent, n, err := writeFrames(conn, &vec, frames, admitSlot)
 		if err != nil {
 			release()
 			// unsubscribe Drops the ring, which releases anything still
@@ -970,6 +1052,9 @@ func (s *Server) drainRing(conn net.Conn, videoID uint32, sub *subscriber, admit
 			// frame reference is now accounted for.
 			s.unsubscribe(videoID, sub)
 			return false
+		}
+		if sent {
+			sub.ct.RecordDrain(len(frames), n)
 		}
 		if sent && !firstByte {
 			firstByte = true
@@ -995,7 +1080,7 @@ func (s *Server) drainRing(conn net.Conn, videoID uint32, sub *subscriber, admit
 // writes — so the full-capacity slice is restored into *vec afterwards.
 // One header lives per session and the steady-state write path performs no
 // per-batch allocation (BenchmarkDrainRing gates this).
-func writeFrames(conn net.Conn, vec *net.Buffers, frames []*fanout.Frame, admitSlot int) (sent bool, err error) {
+func writeFrames(conn net.Conn, vec *net.Buffers, frames []*fanout.Frame, admitSlot int) (sent bool, n int64, err error) {
 	bufs := (*vec)[:0]
 	for _, f := range frames {
 		if f.Slot() > admitSlot {
@@ -1004,11 +1089,11 @@ func writeFrames(conn net.Conn, vec *net.Buffers, frames []*fanout.Frame, admitS
 	}
 	*vec = bufs
 	if len(bufs) == 0 {
-		return false, nil
+		return false, 0, nil
 	}
-	_, err = vec.WriteTo(conn)
+	n, err = vec.WriteTo(conn)
 	*vec = bufs[:0]
-	return true, err
+	return true, n, err
 }
 
 // admit registers a subscription and admits the request through the
@@ -1049,7 +1134,16 @@ func (s *Server) admit(videoID, fromSegment uint32, conn net.Conn, root *obs.Spa
 	} else {
 		sub.ring = fanout.NewRing(s.cfg.SubscriberBuffer)
 	}
+	// Telemetry registration precedes publication into the subscriber set:
+	// tick workers read sub.ct lock-free from snapshots, so the field must
+	// be settled before Add makes the subscriber visible.
+	queueCap := s.cfg.SubscriberBuffer
+	if sub.ring != nil {
+		queueCap = sub.ring.Cap()
+	}
+	sub.ct = s.ct.Register(conn, videoID, queueCap)
 	if !v.subs.Add(sub) {
+		s.ct.Unregister(sub.ct)
 		return nil, wire.ScheduleInfo{}, fmt.Errorf("server shutting down")
 	}
 
@@ -1115,6 +1209,7 @@ func (s *Server) unsubscribe(videoID uint32, sub *subscriber) {
 	if !v.subs.Remove(sub) {
 		return
 	}
+	s.ct.Unregister(sub.ct)
 	if sub.ring != nil {
 		sub.ring.Drop()
 		return
@@ -1162,12 +1257,15 @@ func (s *Server) fanOut(reports []core.SlotReport) {
 	} else {
 		s.fanOutSpan(0, 0, len(s.vlist))
 	}
-	var instances, bytes, drops, maxDepth int64
+	var instances, bytes, maxDepth int64
+	var dropsBy [numDropReasons]int64
 	for i := range s.tallies {
 		t := &s.tallies[i]
 		instances += t.instances
 		bytes += t.bytes
-		drops += t.drops
+		for r, n := range t.dropsBy {
+			dropsBy[r] += n
+		}
 		if t.maxDepth > maxDepth {
 			maxDepth = t.maxDepth
 		}
@@ -1176,9 +1274,11 @@ func (s *Server) fanOut(reports []core.SlotReport) {
 	s.mInstances.Add(float64(instances))
 	s.statBroadcastBytes.Add(bytes)
 	s.mBroadcastBytes.Add(float64(bytes))
-	if drops != 0 {
-		s.statDropped.Add(drops)
-		s.mDropped.Add(float64(drops))
+	for r, n := range dropsBy {
+		if n != 0 {
+			s.statDropped.Add(n)
+			s.mDroppedBy[r].Add(float64(n))
+		}
 	}
 	s.ringDepth.Record(float64(maxDepth))
 }
@@ -1207,6 +1307,7 @@ func (s *Server) fanOutSpan(worker, lo, hi int) {
 		for _, sub := range v.subs.Snapshot() {
 			frame.Retain()
 			depth, ok := sub.ring.Push(frame)
+			sub.ct.RecordPush(depth, ok)
 			if !ok {
 				// The subscriber fell a full ring behind: queue it for
 				// disconnection rather than stall the broadcast.
@@ -1227,16 +1328,18 @@ func (s *Server) fanOutSpan(worker, lo, hi int) {
 		for _, r := range retire {
 			// Remove has exactly one winner, so a disconnect or shutdown
 			// racing this retirement ends the ring exactly once. Only a won
-			// drop counts toward the disconnect tally.
+			// drop counts toward the disconnect tally, attributed to the
+			// connection's last classified transport state.
 			if !v.subs.Remove(r.sub) {
 				continue
 			}
 			if r.drop {
+				tally.dropsBy[dropReason(r.sub)]++
 				r.sub.ring.Drop()
-				tally.drops++
 			} else {
 				r.sub.ring.Close()
 			}
+			s.ct.Unregister(r.sub.ct)
 		}
 		retire = retire[:0]
 	}
@@ -1267,19 +1370,23 @@ func (s *Server) fanOutReference(reports []core.SlotReport) {
 		for _, sub := range v.subs.Snapshot() {
 			select {
 			case sub.batches <- batch:
+				sub.ct.RecordPush(len(sub.batches), true)
 			default:
 				// The subscriber fell a full buffer behind: disconnect it
 				// rather than stall the broadcast.
+				sub.ct.RecordPush(0, false)
 				if v.subs.Remove(sub) {
 					close(sub.batches)
 					s.statDropped.Add(1)
-					s.mDropped.Inc()
+					s.mDroppedBy[dropReason(sub)].Inc()
+					s.ct.Unregister(sub.ct)
 				}
 				continue
 			}
 			if int64(rep.Slot) >= sub.lastSlot.Load() {
 				if v.subs.Remove(sub) {
 					close(sub.batches)
+					s.ct.Unregister(sub.ct)
 				}
 			}
 		}

@@ -24,6 +24,8 @@ import (
 //	GET /tracez?n=N   the most recent N scheduler events (default: all buffered)
 //	GET /spanz?n=N    the most recent N finished pipeline spans
 //	GET /alertz       the alert rule table with per-rule state and a firing count
+//	GET /connz        per-subscriber transport telemetry: classified state,
+//	                  RTT, retransmits, ring depth, bytes/sec per connection
 //	GET /queryz       retained metric history range queries
 //	                  (?series=&from=&to=&step=; no series lists the inventory)
 //	GET /debug/flightrecord  force a diagnostic bundle capture
@@ -115,6 +117,23 @@ func (s *Server) metricsz(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// connz serves the per-subscriber transport telemetry table: every tracked
+// connection with its classified state (healthy / receiver_limited /
+// path_limited / sender_backpressured / stalled), state age, kernel RTT and
+// retransmit counters, ring depth p99 and drain rate — the drill-down an
+// operator reaches for when the drop counter moves. A server with conntrack
+// disabled answers 503.
+func (s *Server) connz(w http.ResponseWriter, r *http.Request) {
+	if !guardGET(w, r, "/connz") {
+		return
+	}
+	if s.ct == nil {
+		http.Error(w, "conntrack disabled", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, s.ct.Snapshot())
+}
+
 // queryz serves range queries over the retained metric history:
 //
 //	GET /queryz?series=NAME[&from=T][&to=T][&step=D]
@@ -160,10 +179,19 @@ func (s *Server) queryz(w http.ResponseWriter, r *http.Request) {
 		}
 		from = t
 	}
+	if from.After(to) {
+		http.Error(w, fmt.Sprintf("bad range: from %s after to %s",
+			from.UTC().Format(time.RFC3339Nano), to.UTC().Format(time.RFC3339Nano)),
+			http.StatusBadRequest)
+		return
+	}
 	var step time.Duration
 	if raw := q.Get("step"); raw != "" {
 		d, err := time.ParseDuration(raw)
-		if err != nil || d < 0 {
+		// A zero or negative step is a degenerate downsampling request — the
+		// spelled-out "0s" included; raw points are requested by omitting the
+		// parameter, not by sending a non-step.
+		if err != nil || d <= 0 {
 			http.Error(w, fmt.Sprintf("bad step %q", raw), http.StatusBadRequest)
 			return
 		}
@@ -273,6 +301,7 @@ func (s *Server) serveStats(addr string) (net.Listener, error) {
 	mux.HandleFunc("/tracez", s.tracez)
 	mux.HandleFunc("/spanz", s.spanz)
 	mux.HandleFunc("/alertz", s.alertz)
+	mux.HandleFunc("/connz", s.connz)
 	mux.HandleFunc("/queryz", s.queryz)
 	mux.HandleFunc("/debug/flightrecord", s.flightrecord)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

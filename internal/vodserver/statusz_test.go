@@ -164,6 +164,7 @@ func TestRouteGuards(t *testing.T) {
 		{"/tracez", "application/json"},
 		{"/spanz", "application/json"},
 		{"/alertz", "application/json"},
+		{"/connz", "application/json"},
 		{"/queryz", "application/json"},
 	}
 	client := &http.Client{}
@@ -207,6 +208,53 @@ func TestRouteGuards(t *testing.T) {
 	}
 }
 
+// TestConnzDisabled: a server with conntrack turned off answers /connz 503
+// while keeping the shared routing guards, exposes no sampler handle, and
+// registers none of the conn_* families.
+func TestConnzDisabled(t *testing.T) {
+	s, err := Start(Config{
+		Addr:              "127.0.0.1:0",
+		Videos:            []VideoConfig{{ID: 1, Segments: 6, SegmentBytes: 64}},
+		SlotDuration:      10 * time.Millisecond,
+		StatsAddr:         "127.0.0.1:0",
+		ConntrackDisabled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Conns() != nil {
+		t.Fatal("ConntrackDisabled left a live sampler")
+	}
+	if code, _ := get(t, s, "/connz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("connz disabled = %d, want 503", code)
+	}
+	// Routing guards hold even when the feature is disabled.
+	resp, err := http.Post("http://"+s.StatsAddr()+"/connz", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /connz = %d, want 405", resp.StatusCode)
+	}
+	if code, _ := get(t, s, "/connz/sub"); code != http.StatusNotFound {
+		t.Fatal("GET /connz/sub did not 404")
+	}
+	// The disabled server's registry carries no conn_* families, and the
+	// alert table carries no conn_stalled_ratio rule.
+	for _, name := range s.Registry().Names() {
+		if strings.HasPrefix(name, "conn_") {
+			t.Fatalf("disabled conntrack registered %q", name)
+		}
+	}
+	for _, r := range s.Alerts().Snapshot() {
+		if r.Name == "conn_stalled_ratio" {
+			t.Fatal("disabled conntrack armed the stall alert")
+		}
+	}
+}
+
 // TestRegisteredMetricNamesValid is the metric-name lint: every family the
 // fully wired server registers must pass the Prometheus charset predicate.
 // `make ci` runs this by name.
@@ -233,6 +281,10 @@ func TestRegisteredMetricNamesValid(t *testing.T) {
 		"client_deadline_slack_slots", "client_miss_total", "client_rebuffer_total",
 		"vod_fanout_ring_depth_max", "vod_qoe_startup_p99_slots",
 		"vod_qoe_miss_rate", "vod_alerts_firing",
+		"vod_dropped_subscribers_total",
+		"conn_rtt_seconds", "conn_retrans_total", "conn_push_fail_total",
+		"conn_drain_bytes_total", "conn_state", "conn_tracked",
+		"conn_stalled_ratio", "conn_ring_occupancy_p99",
 	}
 	have := make(map[string]bool, len(names))
 	for _, n := range names {

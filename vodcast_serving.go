@@ -8,6 +8,7 @@ import (
 	"io"
 	"time"
 
+	"vodcast/internal/conntrack"
 	"vodcast/internal/load"
 	"vodcast/internal/obs"
 	"vodcast/internal/obs/history"
@@ -141,6 +142,32 @@ type FlightRecorderStats = history.RecorderStats
 func NewFlightRecorder(cfg FlightRecorderConfig) (*FlightRecorder, error) {
 	return history.NewRecorder(cfg)
 }
+
+// ConnSampler tracks per-subscriber transport telemetry: each sweep reads
+// kernel TCP_INFO alongside the fan-out's userspace signals and classifies
+// every tracked connection into a stall-attribution state with hysteresis.
+// The networked server runs one automatically; embedders drive their own
+// with Register/Sweep.
+type ConnSampler = conntrack.Sampler
+
+// ConnSamplerConfig parameterizes a sampler (sweep interval, classifier
+// thresholds, hysteresis hold, metrics registry).
+type ConnSamplerConfig = conntrack.Config
+
+// ConnState is one stall-attribution verdict: healthy, receiver_limited,
+// path_limited, sender_backpressured or stalled.
+type ConnState = conntrack.State
+
+// ConnSnapshot is one tracked connection's row of the /connz document.
+type ConnSnapshot = conntrack.ConnSnapshot
+
+// ConnSummary is the full /connz document (and the flight bundle's
+// conns.json): state histogram, aggregate signals, per-connection rows.
+type ConnSummary = conntrack.Summary
+
+// NewConnSampler builds a transport-telemetry sampler; call Start for
+// periodic sweeps or drive Sweep by hand.
+func NewConnSampler(cfg ConnSamplerConfig) *ConnSampler { return conntrack.New(cfg) }
 
 // StationStatus is the station's operator snapshot: shard table, per-video
 // rows, stage latency windows and clock health.
